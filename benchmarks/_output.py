@@ -1,0 +1,15 @@
+"""Benchmark output helper: print tables and persist them under results/."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered result table and save it to results/<name>.txt."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

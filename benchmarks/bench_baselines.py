@@ -1,0 +1,50 @@
+"""Extra: classical baselines vs the LLMs (context for the intro's claims).
+
+Not a paper table — a sanity floor showing where five decades of classical
+matching land on the same benchmarks, and that the fine-tuned simulated
+LLMs clear it where the paper's narrative expects them to.
+"""
+
+import numpy as np
+
+from repro.baselines import FellegiSunterMatcher, ThresholdMatcher
+from repro.core.finetuning import finetune_model, zero_shot_model
+from repro.datasets.registry import load_dataset
+from repro.eval.evaluator import evaluate_model
+from repro.eval.metrics import f1_score
+from repro.eval.reports import format_table
+
+from benchmarks._output import emit
+
+
+def test_baselines_vs_llms(benchmark):
+    def run():
+        rows = []
+        for name in ("wdc-small", "abt-buy", "dblp-acm"):
+            dataset = load_dataset(name)
+            labels = np.array(dataset.test.labels())
+            threshold = ThresholdMatcher().fit(dataset.train)
+            fs = FellegiSunterMatcher().fit(dataset.train)
+            zs = evaluate_model(zero_shot_model("gpt-4o"), dataset.test).f1
+            ft = evaluate_model(
+                finetune_model("llama-3.1-8b", name).model, dataset.test
+            ).f1
+            rows.append([
+                name,
+                f"{f1_score(labels, threshold.predict(dataset.test)).f1:.2f}",
+                f"{f1_score(labels, fs.predict(dataset.test)).f1:.2f}",
+                f"{zs:.2f}",
+                f"{ft:.2f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "baselines",
+        format_table(
+            ["dataset", "threshold", "fellegi-sunter", "gpt-4o zero-shot",
+             "llama-8b fine-tuned"],
+            rows,
+            title="Classical baselines vs (simulated) LLMs",
+        ),
+    )

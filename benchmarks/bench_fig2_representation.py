@@ -1,0 +1,29 @@
+"""Figure 2: the standard training-example representation."""
+
+from repro.datasets.registry import load_dataset
+from repro.prompts.builder import build_matching_prompt
+
+from benchmarks._output import emit
+
+
+def test_fig2_standard_representation(benchmark):
+    train = load_dataset("wdc-small").train
+    match = next(p for p in train if p.label)
+    nonmatch = next(p for p in train if not p.label)
+
+    def render():
+        return [
+            (build_matching_prompt(pair), "Yes." if pair.label else "No.")
+            for pair in (match, nonmatch)
+        ]
+
+    examples = benchmark.pedantic(render, rounds=1, iterations=1)
+    lines = ["Figure 2: standard fine-tuning example representation", ""]
+    for prompt, completion in examples:
+        lines.append("Prompt:")
+        lines.extend("  " + line for line in prompt.splitlines())
+        lines.append(f"Completion: {completion!r}")
+        lines.append("")
+    emit("fig2_representation", "\n".join(lines))
+    assert examples[0][1] == "Yes."
+    assert examples[1][1] == "No."

@@ -1,0 +1,47 @@
+"""Extra: in-context learning vs fine-tuning (the paper's framing).
+
+The paper motivates fine-tuning as the step beyond prompt engineering and
+in-context learning.  This benchmark quantifies that ladder on WDC
+Products for Llama-8B: zero-shot < few-shot (random/knn demonstrations) <
+standard fine-tuning.
+"""
+
+import numpy as np
+
+from repro.core.finetuning import finetune_model
+from repro.datasets.registry import load_dataset
+from repro.eval.metrics import f1_score
+from repro.eval.reports import format_table
+from repro.llm.incontext import FewShotMatcher
+from repro.llm.model import build_model
+
+from benchmarks._output import emit
+
+
+def test_icl_ladder(benchmark):
+    wdc = load_dataset("wdc-small")
+    labels = np.array(wdc.test.labels())
+    model = build_model("llama-3.1-8b")
+
+    def run():
+        rows = []
+        rows.append(["zero-shot",
+                     f"{f1_score(labels, model.predict_pairs(wdc.test.pairs)).f1:.2f}"])
+        for selection in ("random", "knn"):
+            matcher = FewShotMatcher(model, wdc.train, k=6, selection=selection)
+            f1 = f1_score(labels, matcher.predict_pairs(wdc.test.pairs)).f1
+            rows.append([f"few-shot ({selection}, k=6)", f"{f1:.2f}"])
+        tuned = finetune_model("llama-3.1-8b", "wdc-small").model
+        rows.append(["fine-tuned (LoRA)",
+                     f"{f1_score(labels, tuned.predict_pairs(wdc.test.pairs)).f1:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "icl_vs_finetuning",
+        format_table(["regime", "WDC F1"], rows,
+                     title="In-context learning vs fine-tuning (Llama-8B)"),
+    )
+    f1s = [float(r[1]) for r in rows]
+    assert f1s[1] > f1s[0]          # few-shot beats zero-shot
+    assert f1s[-1] > max(f1s[1:3])  # fine-tuning beats few-shot

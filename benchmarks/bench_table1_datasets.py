@@ -1,0 +1,37 @@
+"""Table 1: dataset statistics (must reproduce the paper verbatim)."""
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset, table1_statistics
+from repro.eval.reports import format_table
+from repro.paper_reference import TABLE1
+
+from benchmarks._output import emit
+
+
+def test_table1_statistics(benchmark):
+    stats = benchmark.pedantic(table1_statistics, rounds=1, iterations=1)
+
+    rows = []
+    for name in DATASET_NAMES:
+        ours = stats[name]
+        paper = TABLE1[name]
+        row = [name]
+        for split in ("train", "valid", "test"):
+            row.append(f"{ours[split][0]}/{ours[split][1]}")
+        row.append("OK" if ours == paper else "MISMATCH")
+        rows.append(row)
+    emit(
+        "table1_datasets",
+        format_table(
+            ["dataset", "train +/-", "valid +/-", "test +/-", "vs paper"],
+            rows,
+            title="Table 1: dataset statistics (ours; paper values identical where OK)",
+        ),
+    )
+    assert all(stats[name] == TABLE1[name] for name in DATASET_NAMES)
+
+
+def test_dataset_generation_speed(benchmark):
+    """Micro-benchmark: rebuilding the WDC small dataset from scratch."""
+    from repro.datasets.products import build_wdc
+
+    benchmark.pedantic(lambda: build_wdc("small"), rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Table 3: fine-tuning with explanation-augmented training sets."""
+
+from repro.experiments.render import render_results_table
+from repro.experiments.table3 import compute_table3
+from repro.paper_reference import TABLE3, TABLE3_GAINS
+
+from benchmarks._output import emit
+
+COLUMNS = ["wdc", "abt-buy", "amazon-google", "walmart-amazon",
+           "dblp-acm", "dblp-scholar"]
+
+
+def test_table3_explanations(benchmark):
+    result = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    rows, gains = result["rows"], result["gains"]
+
+    emit(
+        "table3_explanations",
+        render_results_table(
+            "Table 3: explanation fine-tuning on WDC small "
+            "(ours, deltas vs standard WDC fine-tuning; paper underneath)",
+            COLUMNS, rows, gains,
+            paper_rows=TABLE3, paper_gains=TABLE3_GAINS,
+            reference_key="wdc-small",
+        ),
+    )
+
+    # --- shape assertions (paper §4) ---------------------------------------
+    def f1(model, train, column="wdc"):
+        return rows[(model, train)][column]
+
+    # structured explanations beat standard fine-tuning for 3 of 4 models on
+    # the source dataset; we require it for Llama-8B and allow the aggregate
+    # check for the rest
+    assert f1("llama-3.1-8b", "structured") > f1("llama-3.1-8b", "wdc-small")
+    better = sum(
+        f1(m, "structured") > f1(m, "wdc-small")
+        for m in ("llama-3.1-8b", "gpt-4o-mini", "llama-3.1-70b", "gpt-4o")
+    )
+    assert better >= 2
+
+    # structured explanations help in-domain generalization for Llama-8B
+    # (paper: 91% vs 72% transfer gain)
+    base_gain = gains[("llama-3.1-8b", "wdc-small")][0]
+    structured_gain = gains[("llama-3.1-8b", "structured")][0]
+    assert structured_gain is not None and base_gain is not None
+    assert structured_gain > base_gain - 0.05
+
+    # long textual explanations are the weakest representation for Llama-8B
+    assert f1("llama-3.1-8b", "structured") >= f1("llama-3.1-8b", "long-textual")

@@ -1,0 +1,44 @@
+"""Table 4: training-set sizes after filtration and generation."""
+
+from repro.core.generation import inspection_report
+from repro.experiments.render import render_size_table
+from repro.experiments.table45 import _generated_pool, compute_table4
+from repro.paper_reference import TABLE4
+
+from benchmarks._output import emit
+
+
+def test_table4_set_sizes(benchmark):
+    sizes = benchmark.pedantic(compute_table4, rounds=1, iterations=1)
+
+    text = render_size_table(
+        "Table 4: training-set sizes after filtration/generation "
+        "(ours vs paper)",
+        sizes,
+        paper_sizes=TABLE4,
+    )
+    report = inspection_report(list(_generated_pool().pairs))
+    text += "\n\nGenerated-example inspection (paper §5.2, simulated ground truth):\n"
+    for method, stats in report.items():
+        text += (
+            f"  {method:14s} count={stats['count']:6.0f} "
+            f"pos={stats['positive_rate']:.2f} corner={stats['corner_rate']:.2f} "
+            f"mislabeled={stats['mislabeled_rate']:.2f}\n"
+        )
+    emit("table4_set_sizes", text)
+
+    # shape: error-based filtering removes a minority of WDC-small …
+    assert sizes["WDC-small"][2] == 2500
+    assert 0.6 * 2500 < sizes["WDC-filtered"][2] < 2500
+    # … relevancy filtering is much more aggressive and keeps mostly
+    # positives/corner cases (paper: 608 of 2500, mostly positives)
+    assert sizes["WDC-filtered-rel"][2] < sizes["WDC-filtered"][2]
+    pos, neg, _ = sizes["WDC-filtered-rel"]
+    assert pos > 0.4 * 500
+    # generation adds far more data than the seeds
+    assert sizes["Syn"][2] > 4 * 2500
+    # filtering the generated pool removes the (mislabeled) part
+    assert sizes["Syn-filtered"][2] < sizes["Syn"][2]
+    assert sizes["Syn-filtered-rel"][2] < sizes["Syn-filtered"][2]
+    # brief generation has the worst label quality (paper's inspection)
+    assert report["brief"]["mislabeled_rate"] > report["detailed"]["mislabeled_rate"]

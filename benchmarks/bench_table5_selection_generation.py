@@ -1,0 +1,49 @@
+"""Table 5: fine-tuning with example selection and generation."""
+
+from repro.experiments.render import render_results_table
+from repro.experiments.table45 import compute_table5
+from repro.paper_reference import TABLE5, TABLE5_GAINS
+
+from benchmarks._output import emit
+
+COLUMNS = ["wdc", "abt-buy", "amazon-google", "walmart-amazon",
+           "dblp-acm", "dblp-scholar"]
+
+
+def test_table5_selection_generation(benchmark):
+    result = benchmark.pedantic(compute_table5, rounds=1, iterations=1)
+    rows, gains = result["rows"], result["gains"]
+
+    emit(
+        "table5_selection_generation",
+        render_results_table(
+            "Table 5: example selection and generation "
+            "(ours, deltas vs WDC-small fine-tuning; paper underneath)",
+            COLUMNS, rows, gains,
+            paper_rows=TABLE5, paper_gains=TABLE5_GAINS,
+            reference_key="wdc-small",
+        ),
+    )
+
+    # --- shape assertions (paper §5) ---------------------------------------
+    def f1(model, train, column="wdc"):
+        return rows[(model, train)][column]
+
+    # error-based filtering helps Llama-8B beyond the unfiltered baseline …
+    assert f1("llama-3.1-8b", "wdc-s-filter") > f1("llama-3.1-8b", "wdc-small")
+    # … and the filtered small sets rival training on the large set
+    assert f1("llama-3.1-8b", "wdc-s-filter") > f1("llama-3.1-8b", "wdc-large") - 3
+
+    # error-based filtering HURTS the filter model itself (GPT-4o-mini):
+    # it removes exactly the examples it needs to learn from
+    assert f1("gpt-4o-mini", "wdc-s-filter") < f1("gpt-4o-mini", "wdc-small")
+
+    # generation + filtering helps Llama-8B
+    assert f1("llama-3.1-8b", "syn-filter-rel") > f1("llama-3.1-8b", "wdc-small")
+    # … but not GPT-4o-mini (paper: -6.4; ours lands near zero — we assert
+    # "no meaningful improvement", see EXPERIMENTS.md)
+    assert f1("gpt-4o-mini", "syn-filter") < f1("gpt-4o-mini", "wdc-small") + 1.5
+
+    # error-based selection is among the best Llama-8B configurations
+    err_sel = f1("llama-3.1-8b", "wdc-s-err-sel")
+    assert err_sel > f1("llama-3.1-8b", "wdc-small")

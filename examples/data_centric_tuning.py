@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scenario: squeezing more F1 out of a fixed labelling budget (Dimension 2).
+
+Compares the paper's data-centric strategies on Llama-3.1-8B with the same
+2,500-example WDC budget: standard fine-tuning, error-based filtering,
+relevancy filtering, and LLM example generation with filtering.
+
+Usage::
+
+    python examples/data_centric_tuning.py
+"""
+
+from repro.core.pipeline import TailorMatch
+from repro.core.selection import error_based_filter, relevancy_filter
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    tm = TailorMatch("llama-3.1-8b")
+    train = load_dataset("wdc-small").train
+
+    print("training-set variants (paper §5.1/§5.2):")
+    filtered = error_based_filter(train)
+    relevancy = relevancy_filter(filtered)
+    print(f"  WDC-small          {len(train):6d} examples")
+    print(f"  error-filtered     {len(filtered):6d} examples")
+    print(f"  + relevancy        {len(relevancy):6d} examples")
+
+    results = {}
+    print("\nfine-tuning each variant …")
+    results["standard"] = tm.evaluate(tm.fine_tune("wdc-small"), "wdc-small").f1
+    results["error-filter"] = tm.evaluate(
+        tm.fine_tune("wdc-small", selection="error-filter"), "wdc-small"
+    ).f1
+    results["error+relevancy"] = tm.evaluate(
+        tm.fine_tune("wdc-small", selection="error-filter+relevancy"), "wdc-small"
+    ).f1
+    results["generation+filter"] = tm.evaluate(
+        tm.fine_tune("wdc-small", selection="error-filter", generation=True),
+        "wdc-small",
+    ).f1
+
+    zero = tm.evaluate(None, "wdc-small").f1
+    print()
+    print(f"{'variant':20s} {'F1':>7s} {'vs zero-shot':>13s}")
+    print(f"{'zero-shot':20s} {zero:7.2f} {'-':>13s}")
+    for name, f1 in results.items():
+        print(f"{name:20s} {f1:7.2f} {f1 - zero:+13.2f}")
+
+    best = max(results, key=results.get)
+    print(f"\nbest data-centric strategy here: {best}")
+    print("(paper §5: quality beats quantity — filtered small sets rival the")
+    print(" 20k-example WDC-large training set)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quantify reproduction quality: sign agreement of fine-tuning deltas.
+
+For every fine-tuned cell of Table 2, compares the sign of the
+reproduction's (fine-tuned − zero-shot) delta with the paper's.  Writes
+results/agreement_scorecard.txt.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.table2 import compute_table2
+from repro.paper_reference import TABLE2
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> None:
+    result = compute_table2()
+    rows = result["rows"]
+
+    agree = total = 0
+    big_agree = big_total = 0
+    lines = ["Agreement scorecard: sign of (fine-tuned - zero-shot) deltas, Table 2", ""]
+    for (model, train_set), row in rows.items():
+        if train_set == "zero-shot" or (model, train_set) not in TABLE2:
+            continue
+        ours_zero = rows[(model, "zero-shot")]
+        paper_zero = TABLE2[(model, "zero-shot")]
+        paper_row = TABLE2[(model, train_set)]
+        for column in row:
+            ours_delta = row[column] - ours_zero[column]
+            paper_delta = paper_row[column] - paper_zero[column]
+            match = (ours_delta >= 0) == (paper_delta >= 0)
+            total += 1
+            agree += match
+            if abs(paper_delta) >= 3.0:  # deltas the paper would call real
+                big_total += 1
+                big_agree += match
+                if not match:
+                    lines.append(
+                        f"  sign mismatch: {model}/{train_set} on {column}: "
+                        f"ours {ours_delta:+.1f} vs paper {paper_delta:+.1f}"
+                    )
+    lines.insert(1, f"all cells:           {agree}/{total} signs agree "
+                    f"({agree / total:.0%})")
+    lines.insert(2, f"|paper delta| >= 3:  {big_agree}/{big_total} signs agree "
+                    f"({big_agree / big_total:.0%})")
+    text = "\n".join(lines)
+    print(text)
+    (ROOT / "results" / "agreement_scorecard.txt").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""TailorMatch reproduction: fine-tuning (simulated) LLMs for entity matching.
+
+Reproduces Steiner, Peeters & Bizer, *Fine-tuning Large Language Models for
+Entity Matching* — the full pipeline (Figure 1): benchmark datasets,
+simulated LLM personas, LoRA fine-tuning, explanation-augmented training
+sets (Dimension 1), training-set selection/generation (Dimension 2),
+evaluation, transfer-gain analysis and prompt-sensitivity analysis.
+
+Quickstart::
+
+    from repro import TailorMatch
+
+    tm = TailorMatch("llama-3.1-8b")
+    tm.match("Jabra EVOLVE 80 MS Stereo", "Jabra Evolve 80 UC stereo")
+    tuned = tm.fine_tune("wdc-small", explanations="structured")
+    print(tm.evaluate(tuned, "wdc-small").f1)
+"""
+
+from repro.core.pipeline import TailorMatch
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.eval import evaluate_model, f1_score
+from repro.llm import MODEL_NAMES, get_model
+from repro.prompts import PROMPTS, get_prompt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DATASET_NAMES",
+    "MODEL_NAMES",
+    "PROMPTS",
+    "TailorMatch",
+    "__version__",
+    "evaluate_model",
+    "f1_score",
+    "get_model",
+    "get_prompt",
+    "load_dataset",
+]

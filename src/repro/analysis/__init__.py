@@ -1,0 +1,7 @@
+"""Result analysis: confidence intervals, error breakdowns, delta tables."""
+
+from repro.analysis.bootstrap import bootstrap_f1_interval
+from repro.analysis.errors import error_breakdown
+from repro.analysis.deltas import delta_table
+
+__all__ = ["bootstrap_f1_interval", "delta_table", "error_breakdown"]

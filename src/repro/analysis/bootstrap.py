@@ -1,0 +1,59 @@
+"""Bootstrap confidence intervals for F1 scores.
+
+The paper selects datasets with ≥150 test matches "to ensure the stability
+of the performance measurement"; this module quantifies that stability for
+any split via a percentile bootstrap over test pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import derive_rng
+from repro.eval.metrics import f1_score
+
+__all__ = ["F1Interval", "bootstrap_f1_interval"]
+
+
+@dataclass(frozen=True)
+class F1Interval:
+    """Point estimate plus a percentile-bootstrap confidence interval."""
+
+    f1: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def bootstrap_f1_interval(
+    labels: np.ndarray,
+    predictions: np.ndarray,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> F1Interval:
+    """Percentile bootstrap CI of the F1 score over test pairs."""
+    labels = np.asarray(labels, dtype=bool)
+    predictions = np.asarray(predictions, dtype=bool)
+    if labels.size == 0:
+        raise ValueError("cannot bootstrap an empty evaluation")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    point = f1_score(labels, predictions).f1
+    rng = derive_rng(seed, "bootstrap-f1")
+    n = labels.size
+    samples = np.empty(n_resamples)
+    for b in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        samples[b] = f1_score(labels[idx], predictions[idx]).f1
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(samples, [alpha, 1.0 - alpha])
+    return F1Interval(
+        f1=point, lower=float(lower), upper=float(upper), confidence=confidence
+    )

@@ -1,0 +1,30 @@
+"""Delta tables: paper-style comparisons between two result rows."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["delta_table"]
+
+
+def delta_table(
+    ours: Mapping[str, float],
+    reference: Mapping[str, float],
+) -> dict[str, dict[str, float]]:
+    """Cellwise comparison of two F1 rows sharing the same columns.
+
+    Returns per column: both values, the delta, and whether the signs of
+    the deltas agree when both rows are themselves deltas.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for column in ours:
+        if column not in reference:
+            continue
+        a, b = ours[column], reference[column]
+        out[column] = {
+            "ours": a,
+            "reference": b,
+            "delta": a - b,
+            "sign_agrees": float((a >= 0) == (b >= 0)),
+        }
+    return out

@@ -1,0 +1,53 @@
+"""Error breakdowns: where does a model fail?
+
+Splits a model's test errors by corner-case status and error type —
+the paper's corner-case framing ("matching or non-matching pairs that
+closely resemble the opposite class") made quantitative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import Split
+from repro.llm.model import ChatModel
+from repro.prompts.templates import DEFAULT_PROMPT, PromptTemplate
+
+__all__ = ["error_breakdown"]
+
+
+def error_breakdown(
+    model: ChatModel,
+    split: Split,
+    template: PromptTemplate = DEFAULT_PROMPT,
+) -> dict[str, dict[str, float]]:
+    """Error rates per pair category.
+
+    Returns, for each of ``corner``/``easy``: the number of pairs, the
+    false-negative rate among matches and the false-positive rate among
+    non-matches.
+    """
+    predictions = model.predict_pairs(split.pairs, template)
+    out: dict[str, dict[str, float]] = {}
+    for corner in (True, False):
+        subset = [
+            (pair, pred)
+            for pair, pred in zip(split.pairs, predictions)
+            if pair.corner_case == corner
+        ]
+        matches = [(p, pr) for p, pr in subset if p.label]
+        nonmatches = [(p, pr) for p, pr in subset if not p.label]
+        fn_rate = (
+            sum(1 for _, pr in matches if not pr) / len(matches) if matches else 0.0
+        )
+        fp_rate = (
+            sum(1 for _, pr in nonmatches if pr) / len(nonmatches)
+            if nonmatches
+            else 0.0
+        )
+        out["corner" if corner else "easy"] = {
+            "pairs": float(len(subset)),
+            "false_negative_rate": fn_rate,
+            "false_positive_rate": fp_rate,
+        }
+    return out

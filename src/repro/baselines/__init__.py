@@ -1,0 +1,13 @@
+"""Classical entity-matching baselines.
+
+The paper motivates LLMs against five decades of matching techniques
+(Fellegi & Sunter 1969 onwards).  These reference implementations — a
+similarity-threshold matcher and a Fellegi-Sunter probabilistic matcher —
+give the library a non-LLM comparison point and a sanity floor for the
+benchmarks.
+"""
+
+from repro.baselines.threshold import ThresholdMatcher
+from repro.baselines.fellegi_sunter import FellegiSunterMatcher
+
+__all__ = ["FellegiSunterMatcher", "ThresholdMatcher"]

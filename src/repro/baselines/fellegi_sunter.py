@@ -1,0 +1,89 @@
+"""Fellegi-Sunter probabilistic record linkage (1969).
+
+The classical model: discretize each comparison feature into agreement
+levels, estimate per-level m- and u-probabilities (P(level | match) and
+P(level | non-match)) from labelled data, and score a pair by the sum of
+log-likelihood ratios.  Pairs above a decision threshold are matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.schema import Split
+from repro.eval.metrics import f1_score
+from repro.llm.features import FEATURE_NAMES, featurize_pairs
+
+__all__ = ["FellegiSunterMatcher"]
+
+#: Default comparison vector: generic similarity signals.
+DEFAULT_FEATURES = (
+    "token_jaccard",
+    "char3_cosine",
+    "numeric_jaccard",
+    "first_token_eq",
+    "rare_token_overlap",
+)
+
+_LEVELS = 4  # agreement levels per feature
+_SMOOTHING = 0.5  # Laplace smoothing of level counts
+
+
+class FellegiSunterMatcher:
+    """Classic log-likelihood-ratio matcher with quantized agreement levels."""
+
+    def __init__(self, features: tuple[str, ...] = DEFAULT_FEATURES) -> None:
+        unknown = [f for f in features if f not in FEATURE_NAMES]
+        if unknown:
+            raise ValueError(f"unknown features: {unknown}")
+        self.features = features
+        self._indices = [FEATURE_NAMES.index(f) for f in features]
+        self._log_ratios: np.ndarray | None = None  # (n_features × levels)
+        self.threshold = 0.0
+
+    @staticmethod
+    def _levels(values: np.ndarray) -> np.ndarray:
+        """Quantize similarities in [0,1] into agreement levels."""
+        return np.minimum((values * _LEVELS).astype(int), _LEVELS - 1)
+
+    def fit(self, train: Split) -> "FellegiSunterMatcher":
+        """Estimate m/u probabilities and the F1-optimal threshold."""
+        phi = featurize_pairs(train.pairs)[:, self._indices]
+        labels = np.array(train.labels(), dtype=bool)
+        if not labels.any() or labels.all():
+            raise ValueError("training split must contain both classes")
+        levels = self._levels(phi)
+        log_ratios = np.zeros((len(self.features), _LEVELS))
+        for j in range(len(self.features)):
+            for level in range(_LEVELS):
+                m = np.sum(levels[labels, j] == level) + _SMOOTHING
+                u = np.sum(levels[~labels, j] == level) + _SMOOTHING
+                m_prob = m / (labels.sum() + _SMOOTHING * _LEVELS)
+                u_prob = u / ((~labels).sum() + _SMOOTHING * _LEVELS)
+                log_ratios[j, level] = np.log(m_prob / u_prob)
+        self._log_ratios = log_ratios
+
+        scores = self._score_levels(levels)
+        best_threshold, best_f1 = 0.0, -1.0
+        for candidate in np.unique(np.round(scores, 2)):
+            f1 = f1_score(labels, scores >= candidate).f1
+            if f1 > best_f1:
+                best_f1, best_threshold = f1, float(candidate)
+        self.threshold = best_threshold
+        return self
+
+    def _score_levels(self, levels: np.ndarray) -> np.ndarray:
+        assert self._log_ratios is not None
+        return sum(
+            self._log_ratios[j, levels[:, j]] for j in range(len(self.features))
+        )
+
+    def scores(self, split: Split) -> np.ndarray:
+        """Summed log-likelihood ratios for every pair."""
+        if self._log_ratios is None:
+            raise RuntimeError("matcher is not fitted; call fit() first")
+        phi = featurize_pairs(split.pairs)[:, self._indices]
+        return self._score_levels(self._levels(phi))
+
+    def predict(self, split: Split) -> np.ndarray:
+        return self.scores(split) >= self.threshold

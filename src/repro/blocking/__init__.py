@@ -1,0 +1,25 @@
+"""Blocking: candidate-pair generation for entity matching.
+
+The paper's benchmarks ship pre-blocked candidate pairs, but a deployed
+TailorMatch pipeline (Figure 1) sits downstream of a blocker that reduces
+the quadratic record space to a candidate set.  This package provides the
+two standard families so the library covers the full EM pipeline:
+
+* :class:`~repro.blocking.embedding.EmbeddingBlocker` — nearest-neighbour
+  blocking in the embedding space (the modern default);
+* :class:`~repro.blocking.token.TokenBlocker` — classic shared-token
+  (inverted-index) blocking.
+
+Both report pair-completeness / reduction-ratio quality metrics.
+"""
+
+from repro.blocking.base import BlockingResult, blocking_quality
+from repro.blocking.embedding import EmbeddingBlocker
+from repro.blocking.token import TokenBlocker
+
+__all__ = [
+    "BlockingResult",
+    "EmbeddingBlocker",
+    "TokenBlocker",
+    "blocking_quality",
+]

@@ -1,0 +1,52 @@
+"""Shared blocking data structures and quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.schema import Record
+
+__all__ = ["BlockingResult", "blocking_quality"]
+
+
+@dataclass(frozen=True)
+class BlockingResult:
+    """Candidate pairs produced by a blocker over two record collections.
+
+    ``candidates`` holds (left_index, right_index) pairs into the input
+    collections.
+    """
+
+    left: tuple[Record, ...]
+    right: tuple[Record, ...]
+    candidates: frozenset[tuple[int, int]]
+
+    @property
+    def reduction_ratio(self) -> float:
+        """1 − |candidates| / |left × right| (higher = fewer comparisons)."""
+        total = len(self.left) * len(self.right)
+        if total == 0:
+            return 0.0
+        return 1.0 - len(self.candidates) / total
+
+    def contains(self, left_index: int, right_index: int) -> bool:
+        return (left_index, right_index) in self.candidates
+
+
+def blocking_quality(
+    result: BlockingResult, true_matches: set[tuple[int, int]]
+) -> dict[str, float]:
+    """Pair completeness (recall of true matches) and reduction ratio.
+
+    ``true_matches`` are (left_index, right_index) ground-truth pairs.
+    """
+    if true_matches:
+        found = sum(1 for pair in true_matches if pair in result.candidates)
+        completeness = found / len(true_matches)
+    else:
+        completeness = 1.0
+    return {
+        "pair_completeness": completeness,
+        "reduction_ratio": result.reduction_ratio,
+        "candidates": float(len(result.candidates)),
+    }

@@ -1,0 +1,49 @@
+"""Embedding-based nearest-neighbour blocking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blocking.base import BlockingResult
+from repro.datasets.schema import Record
+from repro.llm.embeddings import EmbeddingModel
+
+__all__ = ["EmbeddingBlocker"]
+
+
+class EmbeddingBlocker:
+    """Keep, per left record, the *k* most similar right records.
+
+    An optional cosine-similarity floor prunes neighbours that are near
+    only relatively (sparse regions of the embedding space).
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        min_similarity: float = 0.0,
+        embedding: EmbeddingModel | None = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.min_similarity = min_similarity
+        self.embedding = embedding or EmbeddingModel()
+
+    def block(
+        self, left: list[Record], right: list[Record]
+    ) -> BlockingResult:
+        """Produce candidate pairs between two record collections."""
+        if not left or not right:
+            return BlockingResult(tuple(left), tuple(right), frozenset())
+        left_matrix = self.embedding.embed_many([r.description for r in left])
+        right_matrix = self.embedding.embed_many([r.description for r in right])
+        similarities = left_matrix @ right_matrix.T  # (n_left × n_right)
+        k = min(self.k, len(right))
+        candidates: set[tuple[int, int]] = set()
+        for i in range(len(left)):
+            top = np.argpartition(-similarities[i], k - 1)[:k]
+            for j in top:
+                if similarities[i, int(j)] >= self.min_similarity:
+                    candidates.add((i, int(j)))
+        return BlockingResult(tuple(left), tuple(right), frozenset(candidates))

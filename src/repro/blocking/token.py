@@ -1,0 +1,56 @@
+"""Classic shared-token (inverted index) blocking."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.blocking.base import BlockingResult
+from repro.datasets.schema import Record
+from repro.llm.tokenizer import tokenize
+
+__all__ = ["TokenBlocker"]
+
+
+class TokenBlocker:
+    """Candidate pairs share at least ``min_shared`` non-stop tokens.
+
+    Tokens occurring in more than ``max_token_frequency`` of one side's
+    records are treated as stop words (they would otherwise explode the
+    candidate set — e.g. 'the', 'new', a ubiquitous category word).
+    """
+
+    def __init__(self, min_shared: int = 1, max_token_frequency: float = 0.2) -> None:
+        if min_shared <= 0:
+            raise ValueError("min_shared must be positive")
+        if not 0.0 < max_token_frequency <= 1.0:
+            raise ValueError("max_token_frequency must be in (0, 1]")
+        self.min_shared = min_shared
+        self.max_token_frequency = max_token_frequency
+
+    def _index(self, records: list[Record]) -> dict[str, set[int]]:
+        index: dict[str, set[int]] = defaultdict(set)
+        for i, record in enumerate(records):
+            for token in set(tokenize(record.description)):
+                index[token].add(i)
+        # at least one record per token must survive, or tiny
+        # collections would prune everything
+        cutoff = max(1.0, self.max_token_frequency * len(records))
+        return {t: ids for t, ids in index.items() if len(ids) <= cutoff}
+
+    def block(self, left: list[Record], right: list[Record]) -> BlockingResult:
+        """Produce candidate pairs between two record collections."""
+        right_index = self._index(right)
+        shared_counts: dict[tuple[int, int], int] = defaultdict(int)
+        left_index = self._index(left)
+        for token, left_ids in left_index.items():
+            right_ids = right_index.get(token)
+            if not right_ids:
+                continue
+            for i in left_ids:
+                for j in right_ids:
+                    shared_counts[(i, j)] += 1
+        candidates = frozenset(
+            pair for pair, count in shared_counts.items()
+            if count >= self.min_shared
+        )
+        return BlockingResult(tuple(left), tuple(right), candidates)

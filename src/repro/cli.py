@@ -1,0 +1,199 @@
+"""Command-line interface: ``repro-em``.
+
+Subcommands::
+
+    repro-em datasets                      # Table 1 statistics
+    repro-em export --dataset wdc-small --out DIR
+    repro-em match "desc a" "desc b" [--model NAME] [--prompt NAME]
+    repro-em zero-shot [--model NAME] [--datasets a,b,...]
+    repro-em finetune --model NAME --train wdc-small
+        [--explanations STYLE] [--selection STRATEGY] [--eval a,b,...]
+    repro-em sensitivity --model NAME --dataset NAME
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import TailorMatch
+from repro.core.sensitivity import prompt_sensitivity
+from repro.datasets.io import write_dataset
+from repro.datasets.registry import DATASET_NAMES, load_dataset, table1_statistics
+from repro.eval.reports import format_table
+from repro.llm.registry import MODEL_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-em",
+        description="TailorMatch reproduction: fine-tuning LLMs for entity matching",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print Table 1 dataset statistics")
+
+    export = sub.add_parser("export", help="write a dataset as JSONL")
+    export.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    export.add_argument("--out", required=True)
+
+    match = sub.add_parser("match", help="match a single pair of descriptions")
+    match.add_argument("left")
+    match.add_argument("right")
+    match.add_argument("--model", default="gpt-4o-mini", choices=MODEL_NAMES)
+    match.add_argument("--prompt", default="default")
+
+    zero = sub.add_parser("zero-shot", help="zero-shot F1 over benchmarks")
+    zero.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    zero.add_argument("--datasets", default="wdc-small")
+
+    ft = sub.add_parser("finetune", help="fine-tune and evaluate")
+    ft.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    ft.add_argument("--train", default="wdc-small", choices=DATASET_NAMES)
+    ft.add_argument("--explanations", default=None)
+    ft.add_argument("--selection", default=None)
+    ft.add_argument("--generation", action="store_true")
+    ft.add_argument("--eval", dest="eval_datasets", default=None)
+
+    sens = sub.add_parser("sensitivity", help="prompt-sensitivity analysis")
+    sens.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    sens.add_argument("--dataset", default="wdc-small", choices=DATASET_NAMES)
+
+    val = sub.add_parser("validate", help="integrity-check a dataset")
+    val.add_argument("--dataset", help="built-in dataset name")
+    val.add_argument("--path", help="directory written by 'repro-em export'")
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name, splits in table1_statistics().items():
+        row = [name]
+        for split in ("train", "valid", "test"):
+            pos, neg = splits[split]
+            row.extend([pos, neg])
+        rows.append(row)
+    print(
+        format_table(
+            ["dataset", "train+", "train-", "valid+", "valid-", "test+", "test-"],
+            rows,
+            title="Table 1: dataset statistics",
+        )
+    )
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    tm = TailorMatch(args.model)
+    verdict = tm.match(args.left, args.right, prompt=args.prompt)
+    print("MATCH" if verdict else "NO MATCH")
+    return 0
+
+
+def _cmd_zero_shot(args: argparse.Namespace) -> int:
+    tm = TailorMatch(args.model)
+    names = [n.strip() for n in args.datasets.split(",") if n.strip()]
+    rows = []
+    for name in names:
+        result = tm.evaluate(None, name)
+        rows.append(
+            [name, f"{result.scores.precision:.2f}", f"{result.scores.recall:.2f}",
+             f"{result.f1:.2f}"]
+        )
+    print(format_table(["dataset", "P", "R", "F1"], rows,
+                       title=f"zero-shot: {args.model}"))
+    return 0
+
+
+def _cmd_finetune(args: argparse.Namespace) -> int:
+    tm = TailorMatch(args.model)
+    tuned = tm.fine_tune(
+        args.train,
+        explanations=args.explanations,
+        selection=args.selection,
+        generation=args.generation,
+    )
+    eval_names = (
+        [n.strip() for n in args.eval_datasets.split(",") if n.strip()]
+        if args.eval_datasets
+        else [args.train]
+    )
+    rows = []
+    for name in eval_names:
+        zero = tm.evaluate(None, name)
+        ft = tm.evaluate(tuned, name)
+        rows.append([name, f"{zero.f1:.2f}", f"{ft.f1:.2f}", f"{ft.f1 - zero.f1:+.2f}"])
+    print(
+        format_table(
+            ["dataset", "zero-shot F1", "fine-tuned F1", "delta"],
+            rows,
+            title=f"{args.model} fine-tuned on {args.train} "
+            f"({tuned.describe()})",
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    tm = TailorMatch(args.model)
+    zero = prompt_sensitivity(tm.zero_shot, args.dataset)
+    tuned = tm.fine_tune(args.dataset)
+    post = prompt_sensitivity(tuned, args.dataset)
+    rows = [
+        ["zero-shot"] + [f"{zero.f1_by_prompt[p]:.2f}" for p in zero.f1_by_prompt]
+        + [f"{zero.std:.2f}"],
+        ["fine-tuned"] + [f"{post.f1_by_prompt[p]:.2f}" for p in post.f1_by_prompt]
+        + [f"{post.std:.2f}"],
+    ]
+    print(
+        format_table(
+            ["state"] + list(zero.f1_by_prompt) + ["std"],
+            rows,
+            title=f"prompt sensitivity: {args.model} on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.datasets.io import read_dataset
+    from repro.datasets.validation import validate_dataset
+
+    if bool(args.dataset) == bool(args.path):
+        print("specify exactly one of --dataset or --path")
+        return 2
+    dataset = load_dataset(args.dataset) if args.dataset else read_dataset(args.path)
+    report = validate_dataset(dataset)
+    if report.ok:
+        print(f"{dataset.name}: OK")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "export":
+        write_dataset(load_dataset(args.dataset), args.out)
+        print(f"wrote {args.dataset} to {args.out}")
+        return 0
+    if args.command == "match":
+        return _cmd_match(args)
+    if args.command == "zero-shot":
+        return _cmd_zero_shot(args)
+    if args.command == "finetune":
+        return _cmd_finetune(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: the TailorMatch fine-tuning pipeline.
+
+Dimension 1 (example representation) lives in
+:mod:`repro.core.explanations`; Dimension 2 (example selection and
+generation) in :mod:`repro.core.selection`, :mod:`repro.core.generation`
+and :mod:`repro.core.error_selection`.  :mod:`repro.core.finetuning`
+orchestrates the experiment grids, :mod:`repro.core.transfer` computes
+transfer gains, :mod:`repro.core.sensitivity` the prompt-sensitivity study,
+and :mod:`repro.core.pipeline` exposes the high-level TailorMatch facade.
+"""
+
+from repro.core.explanations import ExplanationGenerator, Explanation
+from repro.core.finetuning import (
+    FineTuneOutcome,
+    evaluate_on,
+    finetune_model,
+    make_training_examples,
+    zero_shot_model,
+)
+from repro.core.pipeline import TailorMatch
+from repro.core.transfer import transfer_gain
+
+__all__ = [
+    "Explanation",
+    "ExplanationGenerator",
+    "FineTuneOutcome",
+    "TailorMatch",
+    "evaluate_on",
+    "finetune_model",
+    "make_training_examples",
+    "transfer_gain",
+    "zero_shot_model",
+]

@@ -1,0 +1,124 @@
+"""Dimension 2c: iterative error-based example selection (paper §5.3).
+
+The loop:
+
+1. Fine-tune on the 2,500 WDC-small examples.
+2. Validate; collect the validation pairs the model still gets wrong.
+3. From the large WDC pool (simulating extra labelling capacity), select
+   the 2,500 pairs nearest to those errors in the embedding space.
+4. Re-train on 2,500 seed + 2,500 selected examples for 5 epochs.
+5. Repeat five times; keep the round with the best validation F1.
+
+Only run for the Llama series in the paper (OpenAI's API does not allow
+this kind of loop economically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.finetuning import make_training_examples
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Split
+from repro.eval.evaluator import evaluate_model
+from repro.llm.embeddings import EmbeddingModel
+from repro.llm.model import ChatModel, build_model
+from repro.prompts.templates import DEFAULT_PROMPT
+from repro.training.config import defaults_for
+
+__all__ = ["ErrorSelectionResult", "error_based_selection"]
+
+
+@dataclass
+class ErrorSelectionResult:
+    """Outcome of the iterative loop."""
+
+    model: ChatModel
+    best_round: int
+    round_valid_f1: list[float] = field(default_factory=list)
+    #: how many validation errors remained after each round
+    round_errors: list[int] = field(default_factory=list)
+
+
+def _pair_text(pair) -> str:
+    return f"{pair.left.description} ### {pair.right.description}"
+
+
+def error_based_selection(
+    model_name: str = "llama-3.1-8b",
+    seed_dataset: str = "wdc-small",
+    pool_dataset: str = "wdc-large",
+    rounds: int = 5,
+    extra_per_round: int = 2500,
+    epochs_per_round: int = 5,
+    embedding: EmbeddingModel | None = None,
+) -> ErrorSelectionResult:
+    """Run the error-based selection loop and return the best model."""
+    persona = build_model(model_name).persona
+    if persona.kind != "open-source":
+        raise ValueError(
+            "error-based selection requires a locally trainable model "
+            "(OpenAI fine-tuning limitations, see paper §5.3)"
+        )
+
+    seed_ds = load_dataset(seed_dataset)
+    pool = load_dataset(pool_dataset).train
+    embedding = embedding or EmbeddingModel()
+    pool_vectors = embedding.embed_many([_pair_text(p) for p in pool.pairs])
+
+    base = build_model(model_name)
+    config = defaults_for(persona.kind).with_epochs(epochs_per_round)
+    seed_examples = make_training_examples(seed_ds.train)
+
+    best_f1 = -1.0
+    best_model: ChatModel | None = None
+    best_round = 0
+    round_f1s: list[float] = []
+    round_errors: list[int] = []
+    extra_pairs: list = []
+
+    for round_no in range(1, rounds + 1):
+        extra_examples = make_training_examples(
+            Split(name="err-sel-extra", pairs=extra_pairs)
+        )
+        tuned, _ = base.fine_tune(
+            seed_examples + extra_examples,
+            valid=seed_ds.valid,
+            template=DEFAULT_PROMPT,
+            config=config,
+            training_set=f"{seed_dataset}-err-sel-r{round_no}",
+        )
+        valid_eval = evaluate_model(tuned, seed_ds.valid)
+        round_f1s.append(valid_eval.f1)
+        if valid_eval.f1 > best_f1:
+            best_f1 = valid_eval.f1
+            best_model = tuned
+            best_round = round_no
+
+        # collect remaining validation errors
+        predictions = tuned.predict_pairs(seed_ds.valid.pairs)
+        errors = [
+            pair
+            for pair, pred in zip(seed_ds.valid.pairs, predictions)
+            if bool(pred) != pair.label
+        ]
+        round_errors.append(len(errors))
+        if not errors or round_no == rounds:
+            continue
+
+        # select pool pairs nearest to the error centroid(s)
+        error_vectors = embedding.embed_many([_pair_text(p) for p in errors])
+        scores = pool_vectors @ error_vectors.T  # (pool × errors)
+        affinity = scores.max(axis=1)
+        ranked = np.argsort(-affinity)[:extra_per_round]
+        extra_pairs = [pool.pairs[int(i)] for i in ranked]
+
+    assert best_model is not None
+    return ErrorSelectionResult(
+        model=best_model,
+        best_round=best_round,
+        round_valid_f1=round_f1s,
+        round_errors=round_errors,
+    )

@@ -1,0 +1,186 @@
+"""Standard fine-tuning orchestration (paper §3).
+
+Helpers shared by every experiment: building training examples (optionally
+explanation-augmented), fine-tuning a persona on a named training set, and
+evaluating models over the benchmark test sets.  An in-process result cache
+keeps the benchmark harness from re-running identical fine-tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.explanations import ExplanationGenerator
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Split
+from repro.eval.evaluator import EvaluationResult, evaluate_model
+from repro.llm.model import ChatModel, build_model
+from repro.prompts.templates import DEFAULT_PROMPT, PromptTemplate
+from repro.training.config import FineTuneConfig
+from repro.training.trainer import TrainingExample
+
+__all__ = [
+    "FineTuneOutcome",
+    "combine_training_sets",
+    "evaluate_on",
+    "finetune_model",
+    "make_training_examples",
+    "zero_shot_model",
+]
+
+
+def zero_shot_model(model_name: str) -> ChatModel:
+    """The zero-shot model for a persona (cached)."""
+    return build_model(model_name)
+
+
+def combine_training_sets(names: list[str], tag: str | None = None) -> Split:
+    """Concatenate the training splits of several benchmarks.
+
+    The paper's future-work direction for the cross-domain problem: train
+    on a mixture of topical domains so neither is unrehearsed during
+    fine-tuning (see ``benchmarks/bench_extension_mixed_domain.py``).
+    """
+    if not names:
+        raise ValueError("need at least one training set")
+    pairs = []
+    for name in names:
+        pairs.extend(load_dataset(name).train.pairs)
+    return Split(name=tag or "+".join(names), pairs=pairs)
+
+
+def make_training_examples(
+    split: Split,
+    explanation_style: str | None = None,
+    generator: str = "gpt-4o-mini",
+) -> list[TrainingExample]:
+    """Turn a training split into fine-tuning examples.
+
+    With an ``explanation_style``, every example is augmented with a
+    generated explanation whose auxiliary targets drive the Dimension-1
+    multi-task loss.
+    """
+    if explanation_style is None:
+        return [TrainingExample(pair=p, label=p.label) for p in split.pairs]
+    explainer = ExplanationGenerator(generator=generator)
+    examples = []
+    for pair in split.pairs:
+        explanation = explainer.explain(pair, explanation_style)
+        examples.append(
+            TrainingExample(pair=pair, label=pair.label, aux=explanation.aux_targets)
+        )
+    return examples
+
+
+@dataclass
+class FineTuneOutcome:
+    """A fine-tuned model plus its training diagnostics."""
+
+    model: ChatModel
+    best_epoch: int
+    final_train_loss: float
+    #: per-epoch validation F1 of the visible checkpoints
+    valid_curve: list[float | None] = field(default_factory=list)
+
+
+# In-process cache: (model, trainset-tag, style, prompt, epochs) → outcome.
+_FT_CACHE: dict[tuple, FineTuneOutcome] = {}
+
+
+def finetune_model(
+    model_name: str,
+    train: Split | str,
+    valid: Split | str | None = None,
+    explanation_style: str | None = None,
+    template: PromptTemplate = DEFAULT_PROMPT,
+    config: FineTuneConfig | None = None,
+    tag: str | None = None,
+    use_cache: bool = True,
+) -> FineTuneOutcome:
+    """Fine-tune *model_name* on *train* (a Split or a dataset name).
+
+    When given dataset names, the dataset's own train/valid splits are used
+    — the paper's per-dataset specialized models.  ``tag`` names the
+    training set for reporting and caching (defaults to the split name).
+    """
+    if isinstance(train, str):
+        dataset = load_dataset(train)
+        train_split = dataset.train
+        valid_split = dataset.valid if valid is None else valid
+        tag = tag or train
+    else:
+        train_split = train
+        valid_split = valid
+        tag = tag or train_split.name
+    if isinstance(valid_split, str):
+        valid_split = load_dataset(valid_split).valid
+
+    aux_weight = 1.0 if explanation_style else 0.0
+    cache_key = (
+        model_name,
+        tag,
+        explanation_style,
+        template.name,
+        config.epochs if config else None,
+        config.seed if config else None,
+        len(train_split),
+    )
+    if use_cache and cache_key in _FT_CACHE:
+        return _FT_CACHE[cache_key]
+
+    base = build_model(model_name)
+    if config is None:
+        from repro.training.config import defaults_for
+
+        config = defaults_for(base.persona.kind)
+    if explanation_style:
+        config = config.with_aux_weight(aux_weight)
+
+    examples = make_training_examples(train_split, explanation_style)
+    tuned, result = base.fine_tune(
+        examples,
+        valid=valid_split,
+        template=template,
+        config=config,
+        training_set=tag,
+        explanation_style=explanation_style,
+    )
+    outcome = FineTuneOutcome(
+        model=tuned,
+        best_epoch=result.best_epoch,
+        final_train_loss=result.final_train_loss,
+        valid_curve=[c.valid_f1 for c in result.log.checkpoints],
+    )
+    if use_cache:
+        _FT_CACHE[cache_key] = outcome
+    return outcome
+
+
+# Evaluation memo: (model identity, dataset, prompt) → result.  The model
+# reference inside the value pins the object so ids cannot be recycled.
+_EVAL_CACHE: dict[tuple[int, str, str], tuple[ChatModel, EvaluationResult]] = {}
+
+
+def evaluate_on(
+    model: ChatModel,
+    dataset_names: list[str],
+    template: PromptTemplate = DEFAULT_PROMPT,
+) -> dict[str, EvaluationResult]:
+    """Evaluate *model* on the test split of each named dataset (memoized)."""
+    results: dict[str, EvaluationResult] = {}
+    for name in dataset_names:
+        key = (id(model), name, template.name)
+        cached = _EVAL_CACHE.get(key)
+        if cached is not None and cached[0] is model:
+            results[name] = cached[1]
+            continue
+        result = evaluate_model(model, load_dataset(name).test, template)
+        _EVAL_CACHE[key] = (model, result)
+        results[name] = result
+    return results
+
+
+def clear_finetune_cache() -> None:
+    """Drop all cached fine-tuning outcomes (mainly for tests)."""
+    _FT_CACHE.clear()
+    _EVAL_CACHE.clear()

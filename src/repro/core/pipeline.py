@@ -1,0 +1,138 @@
+"""TailorMatch: the high-level facade over the whole pipeline (Figure 1).
+
+One object ties together zero-shot matching, fine-tuning with every
+example-representation and example-selection strategy from the paper, and
+evaluation — the API a downstream user programs against:
+
+    >>> tm = TailorMatch("llama-3.1-8b")
+    >>> tuned = tm.fine_tune("wdc-small", explanations="structured")
+    >>> tm.evaluate(tuned, "abt-buy").f1  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.core.error_selection import error_based_selection
+from repro.core.finetuning import (
+    FineTuneOutcome,
+    finetune_model,
+    make_training_examples,
+)
+from repro.core.generation import GENERATION_METHODS, generate_examples
+from repro.core.selection import error_based_filter, relevancy_filter
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Split
+from repro.eval.evaluator import EvaluationResult, evaluate_model
+from repro.llm.model import ChatModel, build_model
+from repro.prompts.templates import DEFAULT_PROMPT, PromptTemplate, get_prompt
+
+__all__ = ["TailorMatch"]
+
+
+class TailorMatch:
+    """Fine-tuning LLMs for entity matching, end to end."""
+
+    def __init__(self, model: str = "llama-3.1-8b") -> None:
+        self.model_name = model
+        self._zero_shot = build_model(model)
+
+    # ------------------------------------------------------------ matching
+
+    @property
+    def zero_shot(self) -> ChatModel:
+        """The model without any fine-tuning."""
+        return self._zero_shot
+
+    def match(
+        self,
+        left: str,
+        right: str,
+        model: ChatModel | None = None,
+        prompt: str = "default",
+    ) -> bool:
+        """Match one pair of entity descriptions through the chat interface."""
+        from repro.llm.parsing import parse_yes_no
+
+        template = get_prompt(prompt)
+        chat = model or self._zero_shot
+        response = chat.complete(template.render(left, right))
+        return bool(parse_yes_no(response))
+
+    def evaluate(
+        self,
+        model: ChatModel | None,
+        dataset: str,
+        prompt: str = "default",
+    ) -> EvaluationResult:
+        """F1/precision/recall of a model on a benchmark test set."""
+        template = get_prompt(prompt)
+        chat = model or self._zero_shot
+        return evaluate_model(chat, load_dataset(dataset).test, template)
+
+    # --------------------------------------------------------- fine-tuning
+
+    def fine_tune(
+        self,
+        dataset: str,
+        explanations: str | None = None,
+        selection: str | None = None,
+        generation: bool = False,
+        prompt: str = "default",
+    ) -> ChatModel:
+        """Fine-tune with any combination of the paper's strategies.
+
+        Parameters
+        ----------
+        dataset:
+            Source training set ("wdc-small", "abt-buy", ...).
+        explanations:
+            Dimension 1 style (None, "long-textual", "wadhwa",
+            "structured", "no-importance", "no-imp-sim").
+        selection:
+            Dimension 2a (None, "error-filter", "relevancy-filter",
+            "error-filter+relevancy").
+        generation:
+            Dimension 2b: augment the training set with generated examples
+            (combined with the selected filters, as in the paper).
+        """
+        source = load_dataset(dataset)
+        train: Split = source.train
+        tag = dataset
+
+        if generation:
+            generated = generate_examples(train, methods=GENERATION_METHODS)
+            train = train.extended(generated, name=f"{train.name}+syn")
+            tag += "+syn"
+
+        if selection in ("error-filter", "error-filter+relevancy"):
+            train = error_based_filter(train)
+            tag += "-filter"
+        if selection in ("relevancy-filter", "error-filter+relevancy"):
+            train = relevancy_filter(train)
+            tag += "-rel"
+        if selection not in (
+            None,
+            "error-filter",
+            "relevancy-filter",
+            "error-filter+relevancy",
+        ):
+            raise ValueError(f"unknown selection strategy {selection!r}")
+
+        outcome: FineTuneOutcome = finetune_model(
+            self.model_name,
+            train,
+            valid=source.valid,
+            explanation_style=explanations,
+            template=get_prompt(prompt),
+            tag=tag,
+        )
+        return outcome.model
+
+    def fine_tune_error_selection(self, rounds: int = 5) -> ChatModel:
+        """Dimension 2c: the iterative error-based selection loop."""
+        return error_based_selection(self.model_name, rounds=rounds).model
+
+    # ----------------------------------------------------------- utilities
+
+    def training_examples(self, dataset: str, explanations: str | None = None):
+        """Expose the exact fine-tuning examples (for inspection/tests)."""
+        return make_training_examples(load_dataset(dataset).train, explanations)

@@ -1,0 +1,72 @@
+"""Dimension 2a: training-set filtration (paper §5.1).
+
+* **Error-based filtering** — GPT-4o-mini labels every training pair with
+  the *complex-force* prompt; pairs whose prediction disagrees with the
+  annotation are discarded.  This removes genuinely mislabeled web data
+  (plus some hard-but-correct examples), which is why it helps Llama-8B —
+  and why fine-tuning GPT-4o-mini on a set filtered by *its own* errors
+  backfires: exactly the examples it needs to learn from are gone.
+* **Relevancy-based filtering** — GPT-4o keeps only "interesting" pairs;
+  empirically the model interprets interesting as highly similar pairs
+  (corner cases), so we implement the judgement as a similarity threshold
+  on the filter model's reading of the pair.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.schema import Split
+from repro.llm.features import featurize_texts
+from repro.llm.model import ChatModel, build_model
+from repro.prompts.templates import COMPLEX_FORCE, PromptTemplate
+
+__all__ = ["error_based_filter", "relevancy_filter"]
+
+
+def error_based_filter(
+    split: Split,
+    filter_model: ChatModel | str = "gpt-4o-mini",
+    template: PromptTemplate = COMPLEX_FORCE,
+    name: str | None = None,
+) -> Split:
+    """Keep only pairs the filter model labels consistently with the data.
+
+    Mirrors the paper: the model is prompted with the *complex-force*
+    prompt; examples whose model label differs from the annotation are
+    dropped.
+    """
+    if isinstance(filter_model, str):
+        filter_model = build_model(filter_model)
+    predictions = filter_model.predict_pairs(split.pairs, template)
+    keep = [bool(pred) == pair.label for pred, pair in zip(predictions, split.pairs)]
+    return split.filtered(keep, name=name or f"{split.name}-filtered")
+
+
+def relevancy_filter(
+    split: Split,
+    filter_model: ChatModel | str = "gpt-4o",
+    match_threshold: float = 0.45,
+    nonmatch_threshold: float = 0.80,
+    name: str | None = None,
+) -> Split:
+    """Keep only "interesting" pairs, as judged by the filter model.
+
+    The paper leaves "interesting" undefined and observes that GPT-4o
+    selects highly similar pairs (corner cases), keeping most matches but
+    only a small fraction of the non-matches.  We reproduce that emergent
+    judgement: labelled matches are interesting unless trivially dissimilar;
+    labelled non-matches are interesting only when their surface similarity
+    is high enough to make them genuine corner cases (a hard drive vs. a TV
+    offers little training value).
+    """
+    if isinstance(filter_model, str):
+        filter_model = build_model(filter_model)
+    from repro.llm.features import FEATURE_NAMES
+
+    sim_index = FEATURE_NAMES.index("char3_cosine")
+    keep = []
+    for pair in split.pairs:
+        phi = featurize_texts(pair.left.description, pair.right.description)
+        similarity = phi[sim_index]
+        threshold = match_threshold if pair.label else nonmatch_threshold
+        keep.append(similarity >= threshold)
+    return split.filtered(keep, name=name or f"{split.name}-filtered-rel")

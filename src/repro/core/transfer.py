@@ -1,0 +1,54 @@
+"""Transfer-gain computation (paper §3.2).
+
+    Transfer Gain = avg performance gain on target datasets
+                  / avg gain of models fine-tuned directly on those targets
+
+Gains are measured against each model's zero-shot baseline on the target
+dataset.  The source dataset itself is excluded from the targets.
+"""
+
+from __future__ import annotations
+
+__all__ = ["transfer_gain", "domain_targets"]
+
+from repro.datasets.registry import PRODUCT_DATASETS, SCHOLAR_DATASETS
+
+
+def domain_targets(domain: str, exclude: str | None = None) -> list[str]:
+    """The evaluation datasets of a topical domain, minus the source set.
+
+    WDC size variants share the WDC test set, so any ``wdc-*`` source
+    excludes the WDC target.
+    """
+    pool = PRODUCT_DATASETS if domain == "product" else SCHOLAR_DATASETS
+    targets = list(pool)
+    if exclude is not None:
+        if exclude.startswith("wdc"):
+            targets = [t for t in targets if not t.startswith("wdc")]
+        else:
+            targets = [t for t in targets if t != exclude]
+    return targets
+
+
+def transfer_gain(
+    model_f1: dict[str, float],
+    zero_shot_f1: dict[str, float],
+    specialized_f1: dict[str, float],
+    targets: list[str],
+) -> float | None:
+    """The paper's transfer-gain ratio over *targets*.
+
+    Parameters map dataset name → F1: the transferred model's scores, the
+    zero-shot baseline, and the dataset-specialized fine-tuned models.
+    Returns None when the specialized models show no average gain (the
+    ratio is undefined) or when *targets* is empty.
+    """
+    if not targets:
+        return None
+    model_gain = sum(model_f1[t] - zero_shot_f1[t] for t in targets) / len(targets)
+    specialized_gain = sum(
+        specialized_f1[t] - zero_shot_f1[t] for t in targets
+    ) / len(targets)
+    if abs(specialized_gain) < 1e-9:
+        return None
+    return model_gain / specialized_gain

@@ -1,0 +1,30 @@
+"""Benchmark dataset substrate.
+
+Synthetic, seeded generators for the six entity-matching benchmarks used in
+the paper (WDC Products 80cc small/medium/large, Abt-Buy, Amazon-Google,
+Walmart-Amazon, DBLP-ACM, DBLP-Scholar) with the exact split statistics of
+the paper's Table 1, plus serialization rules, JSONL I/O, and a registry of
+named loaders.
+"""
+
+from repro.datasets.schema import Dataset, EntityPair, Record, Split, SplitStats
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_domain,
+    load_dataset,
+    table1_statistics,
+)
+from repro.datasets.serialize import serialize_record
+
+__all__ = [
+    "Dataset",
+    "EntityPair",
+    "Record",
+    "Split",
+    "SplitStats",
+    "DATASET_NAMES",
+    "dataset_domain",
+    "load_dataset",
+    "serialize_record",
+    "table1_statistics",
+]

@@ -1,0 +1,152 @@
+"""Generic pair-set construction from catalogs.
+
+Every benchmark is built the same way:
+
+* **positives** — two independently rendered surface forms of the same
+  catalog entity; *corner-case positives* use aggressive rendering noise so
+  the two forms look dissimilar (hard positives).
+* **negatives** — either two unrelated entities (easy negatives) or an
+  entity versus one of its catalog *siblings* (corner-case negatives, e.g.
+  same product line with a different model number).
+* a small **label-noise** rate flips labels, mimicking the annotation noise
+  of web-scraped benchmarks (this is what the paper's error-based filtering
+  implicitly removes).
+
+A :class:`HardnessProfile` holds the knobs; each dataset module instantiates
+one to match the difficulty ordering observed in the paper's zero-shot rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro._util import derive_rng
+from repro.datasets.schema import EntityPair, Record, Split
+
+__all__ = ["HardnessProfile", "RecordRenderer", "build_split"]
+
+
+@dataclass(frozen=True)
+class HardnessProfile:
+    """Difficulty knobs for one benchmark.
+
+    Attributes
+    ----------
+    corner_frac_pos / corner_frac_neg:
+        Fraction of positives / negatives that are corner cases
+        (WDC Products 80cc uses 0.8 for both).
+    noise_easy / noise_hard:
+        Rendering noise for easy and corner-case pairs.
+    label_noise_train / label_noise_eval:
+        Probability of a flipped label in train and valid/test splits.
+    """
+
+    corner_frac_pos: float = 0.5
+    corner_frac_neg: float = 0.5
+    noise_easy: float = 0.3
+    noise_hard: float = 0.8
+    label_noise_train: float = 0.0
+    label_noise_eval: float = 0.0
+    code_dropout: float = 0.0
+
+
+class RecordRenderer(Protocol):
+    """Renders one view of a catalog entity as a :class:`Record`."""
+
+    def __call__(
+        self,
+        entity: object,
+        rng: np.random.Generator,
+        noise: float,
+        view: str,
+        code_dropout: float = 0.0,
+    ) -> Record: ...
+
+
+def build_split(
+    name: str,
+    n_pos: int,
+    n_neg: int,
+    profile: HardnessProfile,
+    sample_entity: Callable[[], object],
+    sample_sibling: Callable[[object, int], object],
+    render: RecordRenderer,
+    seed: int,
+    is_train: bool,
+) -> Split:
+    """Build one split with exactly *n_pos* positives and *n_neg* negatives.
+
+    Labels record the *annotated* class, so the split statistics match
+    Table 1 exactly.  A fraction of pairs (per the profile's label-noise
+    rate) has *content* that contradicts its annotation — an
+    annotated-positive built from two different entities, or an
+    annotated-negative built from the same entity — exactly like the
+    annotation noise of web-scraped benchmarks.
+    """
+    rng = derive_rng(seed, "split", name)
+    label_noise = profile.label_noise_train if is_train else profile.label_noise_eval
+    # Annotation errors occur in similar absolute numbers per class; applying
+    # the positive-class rate to the (much larger) negative class would
+    # contaminate the match signal far beyond what real benchmarks show.
+    label_noise_neg = label_noise * (n_pos / n_neg) if n_neg else 0.0
+    pairs: list[EntityPair] = []
+
+    for i in range(n_pos):
+        corner = rng.random() < profile.corner_frac_pos
+        noise = profile.noise_hard if corner else profile.noise_easy
+        entity = sample_entity()
+        mislabeled = rng.random() < label_noise
+        if mislabeled:  # annotated positive, but actually two entities
+            other = sample_sibling(entity, i)
+        else:
+            other = entity
+        # Asymmetric views: one source renders cleanly, the other carries
+        # the full corruption budget (clean shop vs. messy shop).
+        left = render(entity, rng, noise * 0.5, view="a",
+                      code_dropout=profile.code_dropout)
+        right = render(other, rng, noise, view="b",
+                       code_dropout=profile.code_dropout)
+        pairs.append(
+            EntityPair(
+                pair_id=f"{name}-p{i}",
+                left=left,
+                right=right,
+                label=True,
+                corner_case=corner,
+                source="seed-mislabeled" if mislabeled else "seed",
+            )
+        )
+
+    for i in range(n_neg):
+        corner = rng.random() < profile.corner_frac_neg
+        entity = sample_entity()
+        mislabeled = rng.random() < label_noise_neg
+        if mislabeled:  # annotated negative, but actually the same entity
+            other = entity
+            noise = profile.noise_easy
+        elif corner:
+            other = sample_sibling(entity, i)
+            noise = profile.noise_easy  # hard negatives look clean but differ subtly
+        else:
+            other = sample_entity()
+            noise = profile.noise_easy
+        left = render(entity, rng, noise, view="a",
+                      code_dropout=profile.code_dropout)
+        right = render(other, rng, noise, view="b",
+                       code_dropout=profile.code_dropout)
+        pairs.append(
+            EntityPair(
+                pair_id=f"{name}-n{i}",
+                left=left,
+                right=right,
+                label=False,
+                corner_case=corner,
+                source="seed-mislabeled" if mislabeled else "seed",
+            )
+        )
+
+    order = rng.permutation(len(pairs))
+    return Split(name=name, pairs=[pairs[int(j)] for j in order])

@@ -1,0 +1,114 @@
+"""JSONL import/export for datasets and splits.
+
+The on-disk format mirrors common EM benchmark releases: one JSON object
+per line with the two serialized descriptions, the label, and provenance
+metadata.  Round-tripping a split through JSONL is lossless for everything
+experiments rely on (descriptions, attributes, labels, corner-case flags).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.datasets.schema import Dataset, EntityPair, Record, Split
+
+__all__ = ["write_split_jsonl", "read_split_jsonl", "write_dataset", "read_dataset"]
+
+
+def _pair_to_obj(pair: EntityPair) -> dict:
+    return {
+        "pair_id": pair.pair_id,
+        "label": int(pair.label),
+        "corner_case": pair.corner_case,
+        "source": pair.source,
+        "left": {
+            "record_id": pair.left.record_id,
+            "description": pair.left.description,
+            "attributes": dict(pair.left.attributes),
+        },
+        "right": {
+            "record_id": pair.right.record_id,
+            "description": pair.right.description,
+            "attributes": dict(pair.right.attributes),
+        },
+    }
+
+
+def _record_from_obj(obj: dict) -> Record:
+    return Record(
+        record_id=obj["record_id"],
+        attributes=obj.get("attributes", {}),
+        description=obj["description"],
+    )
+
+
+def _pair_from_obj(obj: dict) -> EntityPair:
+    return EntityPair(
+        pair_id=obj["pair_id"],
+        left=_record_from_obj(obj["left"]),
+        right=_record_from_obj(obj["right"]),
+        label=bool(obj["label"]),
+        corner_case=bool(obj.get("corner_case", False)),
+        source=obj.get("source", "seed"),
+    )
+
+
+def write_split_jsonl(split: Split, path: str | Path) -> None:
+    """Write one split as JSONL (one pair per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for pair in split:
+            handle.write(json.dumps(_pair_to_obj(pair), sort_keys=True) + "\n")
+
+
+def read_split_jsonl(path: str | Path, name: str | None = None) -> Split:
+    """Read a split written by :func:`write_split_jsonl`."""
+    path = Path(path)
+    pairs: list[EntityPair] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                pairs.append(_pair_from_obj(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ValueError(f"{path}:{line_no}: malformed pair record") from exc
+    return Split(name=name or path.stem, pairs=pairs)
+
+
+def write_dataset(dataset: Dataset, directory: str | Path) -> None:
+    """Write all three splits of *dataset* into *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {"name": dataset.name, "domain": dataset.domain}
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    for split_name, split in dataset.splits.items():
+        write_split_jsonl(split, directory / f"{split_name}.jsonl")
+
+
+def read_dataset(directory: str | Path) -> Dataset:
+    """Read a dataset written by :func:`write_dataset`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    splits = {
+        split_name: read_split_jsonl(directory / f"{split_name}.jsonl", split_name)
+        for split_name in ("train", "valid", "test")
+    }
+    return Dataset(
+        name=meta["name"],
+        domain=meta["domain"],
+        train=splits["train"],
+        valid=splits["valid"],
+        test=splits["test"],
+    )
+
+
+def iter_descriptions(pairs: Iterable[EntityPair]) -> Iterable[str]:
+    """Yield every description appearing in *pairs* (left then right)."""
+    for pair in pairs:
+        yield pair.left.description
+        yield pair.right.description

@@ -1,0 +1,91 @@
+"""Named dataset loaders with caching and Table-1 statistics."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro.datasets.products import (
+    build_abt_buy,
+    build_amazon_google,
+    build_walmart_amazon,
+    build_wdc,
+)
+from repro.datasets.scholar import build_dblp_acm, build_dblp_scholar
+from repro.datasets.schema import Dataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "PRODUCT_DATASETS",
+    "SCHOLAR_DATASETS",
+    "SHORT_NAMES",
+    "dataset_domain",
+    "load_dataset",
+    "table1_statistics",
+]
+
+_BUILDERS: dict[str, Callable[[], Dataset]] = {
+    "wdc-small": lambda: build_wdc("small"),
+    "wdc-medium": lambda: build_wdc("medium"),
+    "wdc-large": lambda: build_wdc("large"),
+    "abt-buy": build_abt_buy,
+    "amazon-google": build_amazon_google,
+    "walmart-amazon": build_walmart_amazon,
+    "dblp-scholar": build_dblp_scholar,
+    "dblp-acm": build_dblp_acm,
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+#: Datasets per topical domain (the WDC default used in experiments is small).
+PRODUCT_DATASETS = ("abt-buy", "amazon-google", "walmart-amazon", "wdc-small")
+SCHOLAR_DATASETS = ("dblp-acm", "dblp-scholar")
+
+#: Column labels used in the paper's tables.
+SHORT_NAMES = {
+    "abt-buy": "A-B",
+    "amazon-google": "A-G",
+    "walmart-amazon": "W-A",
+    "wdc-small": "WDC",
+    "wdc-medium": "WDC",
+    "wdc-large": "WDC",
+    "dblp-acm": "D-A",
+    "dblp-scholar": "D-S",
+}
+
+
+@lru_cache(maxsize=None)
+def load_dataset(name: str) -> Dataset:
+    """Load (and cache) the benchmark named *name*.
+
+    Valid names: ``wdc-small``, ``wdc-medium``, ``wdc-large``, ``abt-buy``,
+    ``amazon-google``, ``walmart-amazon``, ``dblp-scholar``, ``dblp-acm``.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; valid names: {', '.join(DATASET_NAMES)}"
+        ) from None
+    return builder()
+
+
+def dataset_domain(name: str) -> str:
+    """Topical domain ('product' or 'scholar') of a dataset name."""
+    if name.startswith(("wdc", "abt", "amazon", "walmart")):
+        return "product"
+    if name.startswith("dblp"):
+        return "scholar"
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def table1_statistics() -> dict[str, dict[str, tuple[int, int]]]:
+    """Per-dataset (positives, negatives) for each split — the paper's Table 1."""
+    stats: dict[str, dict[str, tuple[int, int]]] = {}
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name)
+        stats[name] = {
+            split_name: (split.stats.positives, split.stats.negatives)
+            for split_name, split in dataset.splits.items()
+        }
+    return stats

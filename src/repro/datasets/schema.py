@@ -1,0 +1,139 @@
+"""Core dataset data structures: records, pairs, splits, datasets.
+
+A :class:`Record` is one entity description (a bag of attributes plus a
+pre-rendered surface ``description``).  An :class:`EntityPair` is a labelled
+candidate pair — the unit every experiment in the paper operates on.  A
+:class:`Dataset` bundles the train/validation/test :class:`Split` objects of
+one benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping, Sequence
+
+__all__ = ["Record", "EntityPair", "Split", "SplitStats", "Dataset"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One entity description.
+
+    Attributes
+    ----------
+    record_id:
+        Unique id within the dataset side it came from.
+    attributes:
+        Structured attribute dict (e.g. brand/model/specs or
+        authors/title/venue/year).  Only used by generators and explainers;
+        models see the serialized ``description``.
+    description:
+        The serialized surface form shown to the model.
+    """
+
+    record_id: str
+    attributes: Mapping[str, str]
+    description: str
+
+    def with_description(self, description: str) -> "Record":
+        """Return a copy with a different surface form."""
+        return replace(self, description=description)
+
+
+@dataclass(frozen=True)
+class EntityPair:
+    """A labelled candidate pair of entity descriptions."""
+
+    pair_id: str
+    left: Record
+    right: Record
+    label: bool
+    #: True when the pair is a corner case (hard positive or hard negative).
+    corner_case: bool = False
+    #: Optional provenance tag ("seed", "generated:brief", ...).
+    source: str = "seed"
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Identity key used for deduplication."""
+        return (self.left.description, self.right.description)
+
+
+@dataclass(frozen=True)
+class SplitStats:
+    """Positive/negative counts of a split (one row fragment of Table 1)."""
+
+    positives: int
+    negatives: int
+
+    @property
+    def total(self) -> int:
+        return self.positives + self.negatives
+
+
+@dataclass
+class Split:
+    """A named collection of labelled pairs (train/valid/test)."""
+
+    name: str
+    pairs: list[EntityPair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[EntityPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index: int) -> EntityPair:
+        return self.pairs[index]
+
+    @property
+    def stats(self) -> SplitStats:
+        positives = sum(1 for p in self.pairs if p.label)
+        return SplitStats(positives=positives, negatives=len(self.pairs) - positives)
+
+    def labels(self) -> list[bool]:
+        return [p.label for p in self.pairs]
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Split":
+        """Return a new split containing ``pairs[i]`` for each index."""
+        return Split(name=name or self.name, pairs=[self.pairs[i] for i in indices])
+
+    def filtered(self, keep: Sequence[bool], name: str | None = None) -> "Split":
+        """Return a new split keeping pairs where ``keep[i]`` is true."""
+        if len(keep) != len(self.pairs):
+            raise ValueError(
+                f"keep mask length {len(keep)} != split size {len(self.pairs)}"
+            )
+        pairs = [p for p, k in zip(self.pairs, keep) if k]
+        return Split(name=name or self.name, pairs=pairs)
+
+    def extended(self, extra: Sequence[EntityPair], name: str | None = None) -> "Split":
+        """Return a new split with *extra* pairs appended."""
+        return Split(name=name or self.name, pairs=list(self.pairs) + list(extra))
+
+
+@dataclass
+class Dataset:
+    """A benchmark: train/validation/test splits plus metadata."""
+
+    name: str
+    domain: str  # "product" or "scholar"
+    train: Split
+    valid: Split
+    test: Split
+
+    def split(self, which: str) -> Split:
+        """Return the split named ``train``/``valid``/``test``."""
+        try:
+            return {"train": self.train, "valid": self.valid, "test": self.test}[which]
+        except KeyError:
+            raise ValueError(f"unknown split {which!r}") from None
+
+    @property
+    def splits(self) -> dict[str, Split]:
+        return {"train": self.train, "valid": self.valid, "test": self.test}
+
+    def stats(self) -> dict[str, SplitStats]:
+        """Table-1-style statistics for every split."""
+        return {name: split.stats for name, split in self.splits.items()}

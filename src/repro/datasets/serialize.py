@@ -1,0 +1,34 @@
+"""Record serialization rules.
+
+Following the paper: product records are represented by their *title*
+attribute only; bibliographic records concatenate the author, title, venue
+and year attributes with a semicolon delimiter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["serialize_product", "serialize_scholar", "serialize_record"]
+
+SCHOLAR_FIELDS = ("authors", "title", "venue", "year")
+
+
+def serialize_product(attributes: Mapping[str, str], title: str) -> str:
+    """Products are serialized as their (already rendered) title string."""
+    del attributes  # products expose only the title surface form
+    return title
+
+
+def serialize_scholar(attributes: Mapping[str, str]) -> str:
+    """Concatenate author/title/venue/year with '; ' as in the paper."""
+    return "; ".join(attributes.get(field, "") for field in SCHOLAR_FIELDS)
+
+
+def serialize_record(domain: str, attributes: Mapping[str, str], title: str = "") -> str:
+    """Serialize according to the record's topical domain."""
+    if domain == "product":
+        return serialize_product(attributes, title)
+    if domain == "scholar":
+        return serialize_scholar(attributes)
+    raise ValueError(f"unknown domain {domain!r}")

@@ -1,0 +1,72 @@
+"""Dataset integrity validation.
+
+Checks a benchmark for the defects that silently invalidate EM evaluations:
+train/test leakage, duplicate pairs, empty descriptions, degenerate label
+distributions, and split-size drift.  Used by tests and available to users
+who load external JSONL datasets through :mod:`repro.datasets.io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import Dataset, Split
+
+__all__ = ["ValidationReport", "validate_dataset", "validate_split"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run: a list of human-readable problems."""
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        self.problems.append(problem)
+
+
+def validate_split(split: Split, report: ValidationReport | None = None) -> ValidationReport:
+    """Check one split for duplicates, empties and label degeneracy."""
+    report = report or ValidationReport()
+    seen: set[tuple[str, str]] = set()
+    duplicates = 0
+    empties = 0
+    for pair in split:
+        if pair.key in seen:
+            duplicates += 1
+        seen.add(pair.key)
+        if not pair.left.description.strip() or not pair.right.description.strip():
+            empties += 1
+    if duplicates:
+        report.add(f"{split.name}: {duplicates} duplicate description pairs")
+    if empties:
+        report.add(f"{split.name}: {empties} pairs with empty descriptions")
+    stats = split.stats
+    if len(split) and (stats.positives == 0 or stats.negatives == 0):
+        report.add(f"{split.name}: degenerate label distribution "
+                   f"({stats.positives}+/{stats.negatives}-)")
+    return report
+
+
+def validate_dataset(dataset: Dataset) -> ValidationReport:
+    """Validate all splits and check for pair leakage between them."""
+    report = ValidationReport()
+    for split in dataset.splits.values():
+        validate_split(split, report)
+
+    keys = {
+        name: {pair.key for pair in split}
+        for name, split in dataset.splits.items()
+    }
+    for a, b in (("train", "valid"), ("train", "test"), ("valid", "test")):
+        overlap = keys[a] & keys[b]
+        if overlap:
+            report.add(
+                f"{dataset.name}: {len(overlap)} pairs leak between "
+                f"{a} and {b}"
+            )
+    return report

@@ -1,0 +1,15 @@
+"""Evaluation: precision/recall/F1 metrics, the evaluator, table rendering."""
+
+from repro.eval.metrics import MatchingScores, confusion, f1_score
+from repro.eval.evaluator import evaluate_model, EvaluationResult
+from repro.eval.reports import format_table, format_delta
+
+__all__ = [
+    "EvaluationResult",
+    "MatchingScores",
+    "confusion",
+    "evaluate_model",
+    "f1_score",
+    "format_delta",
+    "format_table",
+]

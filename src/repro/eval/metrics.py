@@ -1,0 +1,65 @@
+"""Matching metrics: precision, recall, F1 (reported as percentages).
+
+F1 of the positive (match) class, following the standard evaluation
+protocol of the entity-matching literature that the paper adopts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MatchingScores", "confusion", "f1_score"]
+
+
+@dataclass(frozen=True)
+class MatchingScores:
+    """Precision / recall / F1 in percent, plus the confusion counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.fn + self.tn
+        if total == 0:
+            return 0.0
+        return 100.0 * (self.tp + self.tn) / total
+
+
+def confusion(
+    labels: np.ndarray, predictions: np.ndarray
+) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) for boolean label/prediction arrays."""
+    labels = np.asarray(labels, dtype=bool)
+    predictions = np.asarray(predictions, dtype=bool)
+    if labels.shape != predictions.shape:
+        raise ValueError(
+            f"labels shape {labels.shape} != predictions shape {predictions.shape}"
+        )
+    tp = int(np.sum(labels & predictions))
+    fp = int(np.sum(~labels & predictions))
+    fn = int(np.sum(labels & ~predictions))
+    tn = int(np.sum(~labels & ~predictions))
+    return tp, fp, fn, tn
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> MatchingScores:
+    """Positive-class precision/recall/F1 (in percent)."""
+    tp, fp, fn, tn = confusion(labels, predictions)
+    precision = 100.0 * tp / (tp + fp) if (tp + fp) else 0.0
+    recall = 100.0 * tp / (tp + fn) if (tp + fn) else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    return MatchingScores(
+        precision=precision, recall=recall, f1=f1, tp=tp, fp=fp, fn=fn, tn=tn
+    )

@@ -1,0 +1,53 @@
+"""Rendering result tables in the paper's style.
+
+The paper reports F1 with deltas against a reference row in parentheses,
+e.g. ``87.34 (+30.77)``.  These helpers format individual cells and whole
+tables as aligned ASCII suitable for benchmark output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_delta", "format_table", "format_percent"]
+
+
+def format_delta(value: float, reference: float | None) -> str:
+    """``87.34 (+30.77)`` — F1 with the delta to a reference value."""
+    if reference is None:
+        return f"{value:.2f}"
+    delta = value - reference
+    return f"{value:.2f} ({delta:+.2f})"
+
+
+def format_percent(value: float | None) -> str:
+    """Transfer-gain style percentage cell (``72%`` / ``-`` for absent)."""
+    if value is None:
+        return "-"
+    return f"{round(value * 100):d}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, mapping: Mapping[str, object]) -> str:
+    """Simple two-column key/value table."""
+    return format_table(
+        ["key", "value"], [[k, v] for k, v in mapping.items()], title=title
+    )

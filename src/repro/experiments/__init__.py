@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each ``compute_*`` function runs the full experiment through the public
+pipeline and returns plain dicts; ``render`` turns them into paper-style
+tables with the paper's reported numbers alongside.  The benchmark harness
+(``benchmarks/``) and the EXPERIMENTS.md generator both build on these.
+"""
+
+from repro.experiments.table2 import compute_table2
+from repro.experiments.table3 import compute_table3
+from repro.experiments.table45 import (
+    compute_table4,
+    compute_table5,
+    training_set_variants,
+)
+from repro.experiments.sensitivity_study import compute_sensitivity_study
+from repro.experiments.render import render_results_table
+
+__all__ = [
+    "compute_sensitivity_study",
+    "compute_table2",
+    "compute_table3",
+    "compute_table4",
+    "compute_table5",
+    "render_results_table",
+    "training_set_variants",
+]

@@ -1,0 +1,73 @@
+"""Rendering experiment results in the paper's table style.
+
+Every cell shows the reproduction's F1 with the delta to the row's
+reference (zero-shot or fine-tuned baseline, per table); when the paper
+reported the same cell, it is printed underneath for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.eval.reports import format_delta, format_percent
+
+__all__ = ["render_results_table", "render_size_table"]
+
+
+def render_results_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[tuple[str, str], Mapping[str, float]],
+    gains: Mapping[tuple[str, str], tuple[float | None, float | None]] | None = None,
+    paper_rows: Mapping[tuple[str, str], Mapping[str, float]] | None = None,
+    paper_gains: Mapping[tuple[str, str], tuple[float, float]] | None = None,
+    reference_key: str = "zero-shot",
+) -> str:
+    """Paper-style grid with ours/paper interleaved per row."""
+    headers = ["model", "training set"] + list(columns)
+    if gains is not None:
+        headers += ["prod gain", "schol gain"]
+    widths = [max(14, len(h)) for h in headers]
+
+    def fmt_row(cells):
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = [title, fmt_row(headers), "-+-".join("-" * w for w in widths)]
+    for (model, train_set), row in rows.items():
+        reference = rows.get((model, reference_key))
+        cells = [model, train_set]
+        for col in columns:
+            ref = reference[col] if (reference and train_set != reference_key) else None
+            cells.append(format_delta(row[col], ref))
+        if gains is not None:
+            g = gains.get((model, train_set), (None, None))
+            cells += [format_percent(g[0]), format_percent(g[1])]
+        lines.append(fmt_row(cells))
+        if paper_rows and (model, train_set) in paper_rows:
+            p = paper_rows[(model, train_set)]
+            pcells = ["", "  (paper)"] + [f"{p[c]:.2f}" for c in columns]
+            if gains is not None:
+                pg = (paper_gains or {}).get((model, train_set))
+                pcells += (
+                    [f"{pg[0]}%", f"{pg[1]}%"] if pg else ["-", "-"]
+                )
+            lines.append(fmt_row(pcells))
+    return "\n".join(lines)
+
+
+def render_size_table(
+    title: str,
+    sizes: Mapping[str, tuple[int, int, int]],
+    paper_sizes: Mapping[str, tuple[int, int, int]] | None = None,
+) -> str:
+    """Table-4 style: name → (#pos, #neg, #total), ours vs paper."""
+    lines = [title, f"{'training set':22s} | {'# pos':>7s} | {'# neg':>7s} | {'# total':>8s}"]
+    lines.append("-" * len(lines[-1]))
+    for name, (pos, neg, total) in sizes.items():
+        lines.append(f"{name:22s} | {pos:7d} | {neg:7d} | {total:8d}")
+        if paper_sizes and name in paper_sizes:
+            ppos, pneg, ptotal = paper_sizes[name]
+            lines.append(
+                f"{'  (paper)':22s} | {ppos:7d} | {pneg:7d} | {ptotal:8d}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""§3.3 prompt-sensitivity study.
+
+Measures the standard deviation of F1 across the four prompts for the
+zero-shot models and for the fine-tuned models, aggregated the way the
+paper reports it: non-transfer (model evaluated on its source dataset),
+in-domain transfer, and across all datasets.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.core.finetuning import finetune_model, zero_shot_model
+from repro.core.sensitivity import prompt_sensitivity
+from repro.datasets.registry import PRODUCT_DATASETS, SCHOLAR_DATASETS, dataset_domain
+
+__all__ = ["compute_sensitivity_study"]
+
+_ALL_DATASETS = list(PRODUCT_DATASETS) + list(SCHOLAR_DATASETS)
+
+
+def compute_sensitivity_study(
+    models: tuple[str, ...] = ("llama-3.1-8b", "gpt-4o-mini"),
+    training_sets: tuple[str, ...] = ("wdc-small", "abt-buy", "dblp-acm"),
+) -> dict:
+    """Return per-model sensitivity aggregates, pre and post fine-tuning.
+
+    ``{"zero-shot": {model: std}, "non-transfer": ..., "in-domain": ...,
+    "all": ..., "ft_prompt_best_rate": ...}`` — stds are averaged over the
+    relevant (training set, test set) scenarios.
+    """
+    zero_shot: dict[str, float] = {}
+    non_transfer: dict[str, list[float]] = {m: [] for m in models}
+    in_domain: dict[str, list[float]] = {m: [] for m in models}
+    all_cases: dict[str, list[float]] = {m: [] for m in models}
+    best_rate: dict[str, list[bool]] = {m: [] for m in models}
+
+    for model_name in models:
+        base = zero_shot_model(model_name)
+        zero_shot[model_name] = mean(
+            prompt_sensitivity(base, ds).std for ds in _ALL_DATASETS
+        )
+        for train_set in training_sets:
+            tuned = finetune_model(model_name, train_set).model
+            for ds in _ALL_DATASETS:
+                sens = prompt_sensitivity(tuned, ds)
+                all_cases[model_name].append(sens.std)
+                best_rate[model_name].append(sens.finetuning_prompt_is_best)
+                same_set = ds == train_set or (
+                    train_set.startswith("wdc") and ds.startswith("wdc")
+                )
+                if same_set:
+                    non_transfer[model_name].append(sens.std)
+                elif dataset_domain(ds) == dataset_domain(train_set):
+                    in_domain[model_name].append(sens.std)
+
+    return {
+        "zero-shot": zero_shot,
+        "non-transfer": {m: mean(v) for m, v in non_transfer.items()},
+        "in-domain": {m: mean(v) for m, v in in_domain.items()},
+        "all": {m: mean(v) for m, v in all_cases.items()},
+        "ft_prompt_best_rate": {
+            m: sum(v) / len(v) for m, v in best_rate.items()
+        },
+    }

@@ -1,0 +1,91 @@
+"""Table 2: standard fine-tuning across models, training sets and test sets."""
+
+from __future__ import annotations
+
+from repro.core.finetuning import evaluate_on, finetune_model, zero_shot_model
+from repro.core.transfer import domain_targets, transfer_gain
+from repro.datasets.registry import SCHOLAR_DATASETS, dataset_domain
+
+__all__ = ["compute_table2", "EVAL_DATASETS", "column_key"]
+
+#: Test sets evaluated for every row (paper column order).
+EVAL_DATASETS = [
+    "abt-buy", "amazon-google", "walmart-amazon", "wdc-small",
+    "dblp-acm", "dblp-scholar",
+]
+
+#: Training sets per model (larger models only fine-tune on WDC small).
+TRAINING_SETS = {
+    "llama-3.1-8b": ["abt-buy", "amazon-google", "walmart-amazon", "wdc-small",
+                     "dblp-acm", "dblp-scholar"],
+    "gpt-4o-mini": ["abt-buy", "amazon-google", "walmart-amazon", "wdc-small",
+                    "dblp-acm", "dblp-scholar"],
+    "llama-3.1-70b": ["wdc-small"],
+    "gpt-4o": ["wdc-small"],
+}
+
+
+def column_key(dataset: str) -> str:
+    """Paper column name for a dataset (WDC variants share one column)."""
+    return "wdc" if dataset.startswith("wdc") else dataset
+
+
+def _f1_row(model, datasets=EVAL_DATASETS) -> dict[str, float]:
+    return {
+        column_key(name): result.f1
+        for name, result in evaluate_on(model, datasets).items()
+    }
+
+
+def compute_table2(
+    models: list[str] | None = None,
+) -> dict:
+    """Run the full standard fine-tuning grid.
+
+    Returns ``{"rows": {(model, trainset): {column: f1}},
+    "gains": {(model, trainset): (product_gain, scholar_gain)}}`` where
+    ``trainset`` includes a "zero-shot" row per model and gains are
+    fractions (0.72 = 72%) or None where the paper leaves them undefined.
+    """
+    models = models or list(TRAINING_SETS)
+    rows: dict[tuple[str, str], dict[str, float]] = {}
+
+    for model_name in models:
+        rows[(model_name, "zero-shot")] = _f1_row(zero_shot_model(model_name))
+        for train_set in TRAINING_SETS[model_name]:
+            outcome = finetune_model(model_name, train_set)
+            rows[(model_name, train_set)] = _f1_row(outcome.model)
+
+    gains: dict[tuple[str, str], tuple[float | None, float | None]] = {}
+    for model_name in models:
+        zero = rows[(model_name, "zero-shot")]
+        # gains need the dataset-specialized models of the same persona
+        specialized = {
+            column_key(target): rows.get((model_name, target))
+            for target in TRAINING_SETS[model_name]
+        }
+        for train_set in TRAINING_SETS[model_name]:
+            row = rows[(model_name, train_set)]
+            gains[(model_name, train_set)] = (
+                _gain(row, zero, specialized, "product", train_set),
+                _gain(row, zero, specialized, "scholar", train_set),
+            )
+    return {"rows": rows, "gains": gains}
+
+
+def _gain(row, zero, specialized, domain, source) -> float | None:
+    exclude = source if dataset_domain(source) == domain else None
+    targets = domain_targets(domain, exclude=exclude)
+    target_cols = [column_key(t) for t in targets]
+    if any(specialized.get(c) is None for c in target_cols):
+        return None  # larger models have no specialized target models
+    return transfer_gain(
+        {c: row[c] for c in target_cols},
+        {c: zero[c] for c in target_cols},
+        {c: specialized[c][c] for c in target_cols},
+        target_cols,
+    )
+
+
+def scholar_columns() -> list[str]:
+    return [column_key(d) for d in SCHOLAR_DATASETS]

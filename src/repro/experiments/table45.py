@@ -1,0 +1,130 @@
+"""Tables 4 and 5: training-set selection and generation.
+
+Builds every training-set variant of §5 exactly once (module-level cache):
+
+* ``wdc-small`` / ``wdc-medium`` / ``wdc-large`` — size ablation;
+* ``wdc-s-filter`` — error-based filtering of WDC small;
+* ``wdc-s-filter-rel`` — plus relevancy filtering;
+* ``syn`` — WDC small plus generated examples (all three methods);
+* ``syn-filter`` — generated examples error-filtered, plus unfiltered
+  WDC small (as in the paper);
+* ``syn-filter-rel`` — additionally relevancy-filtered;
+* ``wdc-s-err-sel`` — the iterative error-based selection loop (Llama only).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.error_selection import error_based_selection
+from repro.core.finetuning import finetune_model, zero_shot_model
+from repro.core.generation import generate_examples
+from repro.core.selection import error_based_filter, relevancy_filter
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Split
+from repro.experiments.table2 import TRAINING_SETS, _f1_row, _gain, column_key
+
+__all__ = [
+    "compute_table4",
+    "compute_table5",
+    "training_set_variants",
+    "TABLE5_VARIANTS",
+]
+
+#: Table-5 rows per model (the paper stops fine-tuning GPT-4o-mini early).
+TABLE5_VARIANTS = {
+    "llama-3.1-8b": [
+        "wdc-small", "wdc-medium", "wdc-large", "wdc-s-filter",
+        "wdc-s-filter-rel", "syn-filter", "syn-filter-rel", "wdc-s-err-sel",
+    ],
+    "gpt-4o-mini": ["wdc-small", "wdc-s-filter", "syn-filter"],
+}
+
+
+@lru_cache(maxsize=1)
+def _generated_pool() -> Split:
+    """Generated examples from all three methods over the WDC small seeds."""
+    seeds = load_dataset("wdc-small").train
+    return Split(name="syn-generated", pairs=generate_examples(seeds))
+
+
+@lru_cache(maxsize=None)
+def training_set_variants(name: str) -> Split:
+    """Build one named training-set variant (cached)."""
+    wdc_train = load_dataset("wdc-small").train
+    if name == "wdc-small":
+        return wdc_train
+    if name in ("wdc-medium", "wdc-large"):
+        return load_dataset(name).train
+    if name == "wdc-s-filter":
+        return error_based_filter(wdc_train, name="wdc-s-filter")
+    if name == "wdc-s-filter-rel":
+        return relevancy_filter(
+            training_set_variants("wdc-s-filter"), name="wdc-s-filter-rel"
+        )
+    if name == "syn":
+        return wdc_train.extended(_generated_pool().pairs, name="syn")
+    if name == "syn-filter":
+        filtered = error_based_filter(_generated_pool(), name="syn-filtered-part")
+        return wdc_train.extended(filtered.pairs, name="syn-filter")
+    if name == "syn-filter-rel":
+        filtered = error_based_filter(_generated_pool(), name="syn-filtered-part")
+        relevant = relevancy_filter(filtered, name="syn-filter-rel-part")
+        return wdc_train.extended(relevant.pairs, name="syn-filter-rel")
+    raise ValueError(f"unknown training-set variant {name!r}")
+
+
+def compute_table4() -> dict[str, tuple[int, int, int]]:
+    """Training-set sizes after filtration/generation (Table 4)."""
+    sizes: dict[str, tuple[int, int, int]] = {}
+    for name, label in [
+        ("wdc-small", "WDC-small"),
+        ("wdc-s-filter", "WDC-filtered"),
+        ("wdc-s-filter-rel", "WDC-filtered-rel"),
+        ("syn", "Syn"),
+        ("syn-filter", "Syn-filtered"),
+        ("syn-filter-rel", "Syn-filtered-rel"),
+    ]:
+        split = training_set_variants(name)
+        stats = split.stats
+        sizes[label] = (stats.positives, stats.negatives, stats.total)
+    return sizes
+
+
+def compute_table5(models: list[str] | None = None) -> dict:
+    """Run the selection/generation fine-tuning grid (Table 5)."""
+    models = models or list(TABLE5_VARIANTS)
+    wdc_valid = load_dataset("wdc-small").valid
+    rows: dict[tuple[str, str], dict[str, float]] = {}
+
+    for model_name in models:
+        rows[(model_name, "zero-shot")] = _f1_row(zero_shot_model(model_name))
+        for variant in TABLE5_VARIANTS[model_name]:
+            if variant == "wdc-s-err-sel":
+                result = error_based_selection(model_name)
+                model = result.model
+            elif variant in ("wdc-medium", "wdc-large"):
+                model = finetune_model(model_name, variant).model
+            else:
+                model = finetune_model(
+                    model_name,
+                    training_set_variants(variant),
+                    valid=wdc_valid,
+                    tag=variant,
+                ).model
+            rows[(model_name, variant)] = _f1_row(model)
+
+    gains: dict[tuple[str, str], tuple[float | None, float | None]] = {}
+    for model_name in models:
+        zero = rows[(model_name, "zero-shot")]
+        specialized = {
+            column_key(t): _f1_row(finetune_model(model_name, t).model)
+            for t in TRAINING_SETS[model_name]
+        }
+        for variant in TABLE5_VARIANTS[model_name]:
+            row = rows[(model_name, variant)]
+            gains[(model_name, variant)] = (
+                _gain(row, zero, specialized, "product", "wdc-small"),
+                _gain(row, zero, specialized, "scholar", "wdc-small"),
+            )
+    return {"rows": rows, "gains": gains}

@@ -1,0 +1,36 @@
+"""Simulated LLM substrate.
+
+Replaces the paper's Llama-3.1 / GPT-4o models (see DESIGN.md §2).  A
+:class:`~repro.llm.model.ChatModel` couples:
+
+* a deterministic **pair-feature representation** (:mod:`repro.llm.features`),
+* a persona-specific **representation distortion** and frozen
+  **pretrained prior head** (:mod:`repro.llm.prior`),
+* a trainable **LoRA adapter** (:mod:`repro.llm.adapter`),
+* deterministic temperature-0 **decoding** into natural-language answers
+  (:mod:`repro.llm.decoding`) and the Narayan et al. yes/no
+  **answer parser** (:mod:`repro.llm.parsing`).
+"""
+
+from repro.llm.adapter import LoRAAdapter
+from repro.llm.embeddings import EmbeddingModel
+from repro.llm.features import FEATURE_NAMES, featurize_pair, featurize_pairs
+from repro.llm.incontext import FewShotMatcher
+from repro.llm.model import ChatModel
+from repro.llm.parsing import parse_yes_no
+from repro.llm.registry import MODEL_NAMES, PersonaProfile, get_model, get_persona
+
+__all__ = [
+    "ChatModel",
+    "EmbeddingModel",
+    "FEATURE_NAMES",
+    "FewShotMatcher",
+    "LoRAAdapter",
+    "MODEL_NAMES",
+    "PersonaProfile",
+    "featurize_pair",
+    "featurize_pairs",
+    "get_model",
+    "get_persona",
+    "parse_yes_no",
+]

@@ -1,0 +1,91 @@
+"""Deterministic (temperature-0) answer realization.
+
+Turns a matching decision into the natural-language completion a chat model
+would produce.  Fine-tuned models answer in the exact format they were
+trained on ("Yes." / "No.", optionally followed by an explanation in the
+style present in their training set).  Zero-shot models are wordier, and
+less disciplined personas occasionally hedge on *free* prompts — producing
+an answer with no parseable yes/no, exactly the failure mode Narayan-style
+parsing has to deal with.
+"""
+
+from __future__ import annotations
+
+from repro._util import stable_hash
+from repro.llm.registry import PersonaProfile
+from repro.prompts.templates import PromptTemplate
+
+__all__ = ["realize_answer", "is_hedged"]
+
+_VERBOSE_YES = (
+    "Yes. Both descriptions appear to refer to the same real-world entity: "
+    "the identifying attributes line up despite differences in wording.",
+    "Yes, these two descriptions most likely denote the same entity — the "
+    "key identifiers agree.",
+    "Based on the shared identifying details, yes, the two descriptions "
+    "refer to the same entity.",
+)
+
+_VERBOSE_NO = (
+    "No. The descriptions disagree on identifying attributes, so they refer "
+    "to different entities.",
+    "No, these are different entities — the identifying details do not "
+    "line up.",
+    "The two descriptions differ in decisive attributes; they are not a "
+    "match, no.",
+)
+
+_HEDGES = (
+    "It is hard to tell from the given descriptions alone; additional "
+    "attributes would be needed to decide.",
+    "The descriptions are ambiguous — they could denote the same entity or "
+    "closely related variants.",
+    "Without further context the relationship between the two descriptions "
+    "remains unclear.",
+)
+
+
+def is_hedged(
+    persona: PersonaProfile,
+    template: PromptTemplate,
+    left: str,
+    right: str,
+    fine_tuned: bool,
+) -> bool:
+    """Whether this persona hedges (gives an unparseable answer) here.
+
+    Deterministic per (persona, pair).  Forced prompts and fine-tuned
+    models never hedge — fine-tuning teaches the output format, which is
+    exactly why the paper observes format discipline after fine-tuning.
+    """
+    if fine_tuned or template.forced:
+        return False
+    draw = (
+        stable_hash("hedge", persona.name, left, right) % 10_000
+    ) / 10_000.0
+    return draw >= persona.format_compliance
+
+
+def realize_answer(
+    decision: bool,
+    persona: PersonaProfile,
+    template: PromptTemplate,
+    left: str,
+    right: str,
+    fine_tuned: bool,
+    explanation: str | None = None,
+) -> str:
+    """Render the completion text for one matching decision."""
+    if is_hedged(persona, template, left, right, fine_tuned):
+        pick = stable_hash("hedge-text", persona.name, left, right) % len(_HEDGES)
+        return _HEDGES[pick]
+
+    if fine_tuned or template.forced:
+        answer = "Yes." if decision else "No."
+        if explanation:
+            return f"{answer} {explanation}"
+        return answer
+
+    pool = _VERBOSE_YES if decision else _VERBOSE_NO
+    pick = stable_hash("verbose", persona.name, left, right) % len(pool)
+    return pool[pick]

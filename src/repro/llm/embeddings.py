@@ -1,0 +1,70 @@
+"""Text embedding model (stand-in for the OpenAI embedding space).
+
+Hashed character-trigram term frequencies projected into a dense space with
+a seeded random matrix, then L2-normalized.  The paper only needs the
+embedding space for nearest-neighbour selection (demonstration selection in
+Dimension 2, error-based example selection in §5.3), so any
+locality-preserving embedding exercises the same logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import derive_rng, stable_hash
+from repro.llm.tokenizer import char_ngrams
+
+__all__ = ["EmbeddingModel"]
+
+
+class EmbeddingModel:
+    """Deterministic text → vector model with cosine-similarity search."""
+
+    def __init__(self, dim: int = 64, buckets: int = 512, seed: int = 7) -> None:
+        if dim <= 0 or buckets <= 0:
+            raise ValueError("dim and buckets must be positive")
+        self.dim = dim
+        self._buckets = buckets
+        rng = derive_rng(seed, "embedding-projection")
+        self._projection = rng.standard_normal((buckets, dim)) / np.sqrt(buckets)
+        self._cache: dict[str, np.ndarray] = {}
+
+    def embed(self, text: str) -> np.ndarray:
+        """Return the unit-norm embedding of *text* (cached)."""
+        vec = self._cache.get(text)
+        if vec is None:
+            vec = self._embed_uncached(text)
+            self._cache[text] = vec
+        return vec
+
+    def _embed_uncached(self, text: str) -> np.ndarray:
+        counts = np.zeros(self._buckets)
+        for gram in char_ngrams(text):
+            counts[stable_hash("emb", gram) % self._buckets] += 1.0
+        dense = counts @ self._projection
+        norm = np.linalg.norm(dense)
+        if norm == 0.0:
+            return np.zeros(self.dim)
+        return dense / norm
+
+    def embed_many(self, texts: list[str]) -> np.ndarray:
+        """Embedding matrix (n × dim)."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.stack([self.embed(t) for t in texts])
+
+    @staticmethod
+    def cosine(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity of two (already normalized) embeddings."""
+        return float(np.dot(a, b))
+
+    def nearest(
+        self, query: np.ndarray, corpus: np.ndarray, k: int = 1
+    ) -> list[int]:
+        """Indices of the *k* corpus rows most similar to *query*."""
+        if corpus.shape[0] == 0:
+            return []
+        scores = corpus @ query
+        k = min(k, corpus.shape[0])
+        top = np.argpartition(-scores, k - 1)[:k]
+        return [int(i) for i in top[np.argsort(-scores[top])]]

@@ -1,0 +1,38 @@
+"""Answer parsing following Narayan et al.
+
+The paper evaluates natural-language model responses by "parsing responses
+to contain 'yes' or 'no'".  We implement that rule: scan the response for
+an affirmative or negative marker; when both or neither appear, the earlier
+one wins; a completely unparseable answer returns None (the evaluator
+treats it as a non-match prediction, which matches common practice).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_yes_no"]
+
+_YES_RE = re.compile(r"\b(yes|match(es)?|same (entity|product|real-world))\b", re.I)
+_NO_RE = re.compile(r"\b(no|not? a match|different (entities|products))\b", re.I)
+
+
+def parse_yes_no(response: str) -> bool | None:
+    """Parse a free-form matching answer into True / False / None.
+
+    >>> parse_yes_no("Yes. Both entities refer to ...")
+    True
+    >>> parse_yes_no("No, the model numbers differ.")
+    False
+    >>> parse_yes_no("It is unclear.") is None
+    True
+    """
+    yes = _YES_RE.search(response)
+    no = _NO_RE.search(response)
+    if yes and no:
+        return yes.start() < no.start()
+    if yes:
+        return True
+    if no:
+        return False
+    return None

@@ -1,0 +1,184 @@
+"""Model personas: the four LLMs of the paper as capability profiles.
+
+A persona captures everything that differs between the paper's models
+*before any fine-tuning*:
+
+* how much "pretraining" shaped the prior matching head
+  (``pretrain_pairs``, ``prior_noise``),
+* how faithfully the model perceives subtle evidence such as model-code
+  or software-version differences (``subtle_fidelity`` — this is what makes
+  Amazon-Google unlearnable for Llama-8B but learnable for GPT-4o-mini),
+* per-pair perception noise and per-prompt bias (prompt sensitivity),
+* zero-shot answer-format discipline (``format_compliance``),
+* how destructive fine-tuning is to the frozen prior
+  (``ft_instability`` — large models with strong priors lose more).
+
+The four profiles were calibrated once against the paper's **zero-shot**
+rows of Table 2 (see EXPERIMENTS.md); everything downstream is emergent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PersonaProfile", "PERSONAS", "MODEL_NAMES", "get_persona", "get_model"]
+
+
+@dataclass(frozen=True)
+class PersonaProfile:
+    """Static capability profile of one simulated LLM."""
+
+    name: str
+    display: str
+    #: "open-source" models run locally with LoRA; "hosted" models go through
+    #: the simulated OpenAI-style fine-tuning API (different defaults and
+    #: checkpoint limits).
+    kind: str
+    #: Number of pretraining pairs the prior head was fitted on.
+    pretrain_pairs: int
+    #: Relative weight corruption of the fitted prior head.
+    prior_noise: float
+    #: Observation fidelity on generic features (1 = perfect).
+    generic_fidelity: float
+    #: Observation fidelity on subtle features (codes/versions/editions...).
+    subtle_fidelity: float
+    #: Std-dev of deterministic per-pair logit noise.
+    perception_noise: float
+    #: Std-dev of per-prompt bias (drives zero-shot prompt sensitivity).
+    prompt_bias_sigma: float
+    #: Probability that a zero-shot answer to a *free* prompt is parseable.
+    format_compliance: float
+    #: Interference of fine-tuning with the frozen prior (forgetting).
+    ft_instability: float
+    #: LoRA adapter logit scale relative to the prior (hosted models use the
+    #: provider pipeline, which regularizes harder).
+    adapter_scale: float = 1.0
+    #: per-feature-group multiplier on the fitted prior weights — how well
+    #: the model's pretraining covered that kind of evidence (e.g. the Llama
+    #: models are noticeably weaker on bibliographic data zero-shot).
+    group_skill: dict[str, float] = field(default_factory=dict)
+    #: additive corrections to individual fitted prior weights — systematic
+    #: zero-shot miscalibrations, e.g. a negative shift on ``fielded_both``
+    #: models a persona that under-predicts matches on bibliographic pairs.
+    feature_bias: dict[str, float] = field(default_factory=dict)
+    #: multiplier on perception noise for fielded (bibliographic) records —
+    #: long structured records are easier to read than cryptic product titles.
+    scholar_noise_factor: float = 1.0
+    #: fraction of general-mixture examples the provider's fine-tuning
+    #: pipeline replays alongside the user's training set (hosted providers
+    #: mix in general data to protect broad capabilities; 0 = none).
+    replay_fraction: float = 0.0
+    #: per-group observation-fidelity overrides (take precedence over
+    #: generic_fidelity; subtle features use min(subtle, group override)).
+    group_fidelity: dict[str, float] = field(default_factory=dict)
+    #: per-group multiplier on the prior weight-noise (how *consistently*
+    #: pretraining covered that evidence; < 1 = cleaner than average).
+    group_noise: dict[str, float] = field(default_factory=dict)
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+PERSONAS: dict[str, PersonaProfile] = {
+    "llama-3.1-8b": PersonaProfile(
+        name="llama-3.1-8b",
+        display="Llama 8B",
+        kind="open-source",
+        pretrain_pairs=700,
+        prior_noise=0.38,
+        generic_fidelity=0.92,
+        subtle_fidelity=0.22,
+        perception_noise=0.95,
+        prompt_bias_sigma=1.5,
+        format_compliance=0.985,
+        ft_instability=0.3,
+        adapter_scale=1.0,
+        feature_bias={"fielded_both": -0.3},
+        scholar_noise_factor=2.0,
+        group_fidelity={"scholar": 0.85},
+        group_noise={"scholar": 0.15},
+        seed=81,
+    ),
+    "llama-3.1-70b": PersonaProfile(
+        name="llama-3.1-70b",
+        display="Llama 70B",
+        kind="open-source",
+        pretrain_pairs=4000,
+        prior_noise=0.12,
+        generic_fidelity=0.97,
+        subtle_fidelity=0.85,
+        perception_noise=0.70,
+        prompt_bias_sigma=0.55,
+        format_compliance=0.99,
+        ft_instability=0.3,
+        adapter_scale=0.1,
+        feature_bias={"fielded_both": -3.5},
+        seed=70,
+    ),
+    "gpt-4o-mini": PersonaProfile(
+        name="gpt-4o-mini",
+        display="gpt-4o-m",
+        kind="hosted",
+        pretrain_pairs=6000,
+        prior_noise=0.20,
+        generic_fidelity=0.99,
+        subtle_fidelity=0.72,
+        perception_noise=0.60,
+        prompt_bias_sigma=0.28,
+        format_compliance=1.0,
+        ft_instability=1.6,
+        replay_fraction=0.01,
+        group_skill={"software": 0.45},
+        feature_bias={"fielded_both": -0.65},
+        scholar_noise_factor=0.8,
+        seed=40,
+    ),
+    "gpt-4o": PersonaProfile(
+        name="gpt-4o",
+        display="gpt-4o",
+        kind="hosted",
+        pretrain_pairs=12000,
+        prior_noise=0.07,
+        generic_fidelity=1.0,
+        subtle_fidelity=0.9,
+        perception_noise=0.38,
+        prompt_bias_sigma=0.22,
+        format_compliance=1.0,
+        ft_instability=0.03,
+        adapter_scale=0.25,
+        replay_fraction=0.02,
+        group_skill={"software": 1.0},
+        feature_bias={"fielded_both": -3.5},
+        seed=4,
+    ),
+}
+
+MODEL_NAMES: tuple[str, ...] = tuple(PERSONAS)
+
+#: Aliases matching the paper's exact model identifiers.
+_ALIASES = {
+    "meta-llama-3.1-8b-instruct": "llama-3.1-8b",
+    "meta-llama-3.1-70b-instruct": "llama-3.1-70b",
+    "gpt-4o-mini-2024-07-18": "gpt-4o-mini",
+    "gpt-4o-2024-08-06": "gpt-4o",
+    "llama-8b": "llama-3.1-8b",
+    "llama-70b": "llama-3.1-70b",
+}
+
+
+def get_persona(name: str) -> PersonaProfile:
+    """Look up a persona by canonical name or paper alias."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return PERSONAS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; valid: {', '.join(MODEL_NAMES)}"
+        ) from None
+
+
+def get_model(name: str):
+    """Build (and cache) the zero-shot :class:`~repro.llm.model.ChatModel`."""
+    from repro.llm.model import build_model  # local import avoids a cycle
+
+    return build_model(get_persona(name).name)

@@ -1,0 +1,62 @@
+"""Lightweight tokenizer used by the simulated LLM.
+
+Provides word-level tokens (shared with :mod:`repro._util`), character
+n-grams for fuzzy similarity, and a crude token-count estimate used for
+reporting explanation lengths (the paper reports average explanation
+lengths in tokens).
+"""
+
+from __future__ import annotations
+
+from repro._util import tokenize_simple
+
+__all__ = ["tokenize", "char_ngrams", "count_tokens", "levenshtein"]
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-cased word/number tokens."""
+    return tokenize_simple(text)
+
+
+def char_ngrams(text: str, n: int = 3) -> set[str]:
+    """Set of character n-grams of the normalized text (padded)."""
+    normalized = " ".join(tokenize_simple(text))
+    padded = f"  {normalized}  "
+    if len(padded) < n:
+        return {padded}
+    return {padded[i: i + n] for i in range(len(padded) - n + 1)}
+
+
+def count_tokens(text: str) -> int:
+    """Approximate LLM token count (≈ 0.75 words per token heuristic)."""
+    words = text.split()
+    # Sub-word splitting inflates counts for long/rare words.
+    extra = sum(max(0, (len(w) - 1) // 6) for w in words)
+    return len(words) + extra
+
+
+def levenshtein(a: str, b: str, cap: int | None = None) -> int:
+    """Edit distance between two short strings.
+
+    ``cap`` allows early exit once the distance provably exceeds it
+    (used for the near-model-code feature where only distances ≤ 2 matter).
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if cap is not None and len(b) - len(a) > cap:
+        return cap + 1
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        best = j
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(previous[i] + 1, current[i - 1] + 1, previous[i - 1] + cost)
+            current.append(value)
+            best = min(best, value)
+        if cap is not None and best > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]

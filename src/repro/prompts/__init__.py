@@ -1,0 +1,20 @@
+"""Prompt templates and builders for matching, explanations and generation."""
+
+from repro.prompts.templates import (
+    ALTERNATIVE_PROMPTS,
+    DEFAULT_PROMPT,
+    PROMPTS,
+    PromptTemplate,
+    get_prompt,
+)
+from repro.prompts.builder import build_matching_prompt, extract_entities
+
+__all__ = [
+    "ALTERNATIVE_PROMPTS",
+    "DEFAULT_PROMPT",
+    "PROMPTS",
+    "PromptTemplate",
+    "build_matching_prompt",
+    "extract_entities",
+    "get_prompt",
+]

@@ -1,0 +1,56 @@
+"""Building matching prompts and parsing entity descriptions back out.
+
+The chat interface of the simulated models works on plain prompt strings,
+so the model needs to recover the two entity descriptions (and recognize
+the question wording) from the prompt text — mirroring how a real LLM reads
+the serialized pair out of the prompt.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datasets.schema import EntityPair
+from repro.prompts.templates import DEFAULT_PROMPT, PROMPTS, PromptTemplate
+
+__all__ = ["build_matching_prompt", "extract_entities", "identify_prompt"]
+
+_ENTITY_RE = re.compile(
+    r"Entity 1:\s*(?P<left>.*?)\s*\nEntity 2:\s*(?P<right>.*?)\s*$",
+    re.DOTALL,
+)
+
+
+def build_matching_prompt(
+    pair: EntityPair, template: PromptTemplate = DEFAULT_PROMPT
+) -> str:
+    """Render the matching prompt for one candidate pair."""
+    return template.render(pair.left.description, pair.right.description)
+
+
+def extract_entities(prompt: str) -> tuple[str, str]:
+    """Recover the two entity descriptions from a matching prompt.
+
+    Raises ``ValueError`` when the prompt does not contain the
+    ``Entity 1: ... / Entity 2: ...`` block.
+    """
+    match = _ENTITY_RE.search(prompt)
+    if match is None:
+        raise ValueError(
+            "prompt does not contain 'Entity 1: ...' / 'Entity 2: ...' lines"
+        )
+    return match.group("left"), match.group("right")
+
+
+def identify_prompt(prompt: str) -> PromptTemplate | None:
+    """Identify which known template a prompt was rendered from.
+
+    Returns None for custom wordings (their bias is then derived from the
+    raw question text instead of a template name).
+    """
+    for template in sorted(
+        PROMPTS.values(), key=lambda t: len(t.question), reverse=True
+    ):
+        if template.question in prompt:
+            return template
+    return None

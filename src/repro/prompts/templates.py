@@ -1,0 +1,160 @@
+"""The prompt inventory of the paper.
+
+Matching prompts (§3 and §3.3):
+
+* ``default`` — the fine-tuning prompt of Figure 2 ("Do the two entity
+  descriptions refer to the same real-world product?");
+* ``simple-free`` / ``complex-force`` / ``simple-force`` — the three
+  alternative query prompts of the prompt-sensitivity study.
+
+Plus the instruction prompts used to generate explanations (Dimension 1)
+and training examples, and to filter training sets (Dimension 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PromptTemplate",
+    "PROMPTS",
+    "DEFAULT_PROMPT",
+    "ALTERNATIVE_PROMPTS",
+    "get_prompt",
+    "EXPLANATION_PROMPTS",
+    "GENERATION_PROMPTS",
+    "FILTER_PROMPTS",
+]
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A named matching prompt.
+
+    ``forced`` prompts instruct the model to answer exactly Yes/No;
+    free prompts leave the answer format open (which matters for parsing
+    zero-shot responses of less disciplined models).
+    """
+
+    name: str
+    question: str
+    forced: bool
+
+    def render(self, left: str, right: str) -> str:
+        """Full prompt text for one candidate pair."""
+        return (
+            f'"{self.question}"\n'
+            f"Entity 1: {left}\n"
+            f"Entity 2: {right}"
+        )
+
+
+DEFAULT_PROMPT = PromptTemplate(
+    name="default",
+    question="Do the two entity descriptions refer to the same real-world product?",
+    forced=False,
+)
+
+SIMPLE_FREE = PromptTemplate(
+    name="simple-free",
+    question="Do the two product descriptions match?",
+    forced=False,
+)
+
+COMPLEX_FORCE = PromptTemplate(
+    name="complex-force",
+    question=(
+        "Do the two product descriptions refer to the same real-world "
+        "product? Answer with 'Yes' if they do and 'No' if they do not."
+    ),
+    forced=True,
+)
+
+SIMPLE_FORCE = PromptTemplate(
+    name="simple-force",
+    question=(
+        "Do the two product descriptions match? Answer with 'Yes' if they "
+        "do and 'No' if they do not."
+    ),
+    forced=True,
+)
+
+PROMPTS: dict[str, PromptTemplate] = {
+    p.name: p for p in (DEFAULT_PROMPT, SIMPLE_FREE, COMPLEX_FORCE, SIMPLE_FORCE)
+}
+
+#: The three prompts used to probe sensitivity of models fine-tuned with
+#: the default prompt (§3.3).
+ALTERNATIVE_PROMPTS = (SIMPLE_FREE, COMPLEX_FORCE, SIMPLE_FORCE)
+
+
+def get_prompt(name: str) -> PromptTemplate:
+    """Look up a matching prompt by name."""
+    try:
+        return PROMPTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown prompt {name!r}; valid: {', '.join(PROMPTS)}"
+        ) from None
+
+
+#: Instruction prompts for explanation generation (Dimension 1).  The texts
+#: paraphrase the repository prompts the paper references.
+EXPLANATION_PROMPTS = {
+    "long-textual": (
+        "You labelled the pair above as {label}. Explain in detail why the "
+        "two entity descriptions do or do not refer to the same real-world "
+        "entity."
+    ),
+    "wadhwa": (
+        "Explain concisely why the two entity descriptions {verb} the same "
+        "real-world entity, following the style of the short example "
+        "explanations provided."
+    ),
+    "structured": (
+        "Explain the matching decision in a structured format. For each "
+        "attribute used in the decision output: attribute=<name> "
+        "importance=<0..1> values=<value 1>###<value 2> similarity=<0..1>."
+    ),
+    "no-importance": (
+        "Explain the matching decision in a structured format. For each "
+        "attribute used in the decision output: attribute=<name> "
+        "values=<value 1>###<value 2> similarity=<0..1>."
+    ),
+    "no-imp-sim": (
+        "List the attributes used for the matching decision in a structured "
+        "format: attribute=<name> values=<value 1>###<value 2>."
+    ),
+}
+
+#: Instruction prompts for example generation (§5.2).
+GENERATION_PROMPTS = {
+    "brief": (
+        "Generate three non-matching and one matching product pair similar "
+        "to the seed pair below."
+    ),
+    "detailed": (
+        "You are an expert in entity matching: deciding whether two entity "
+        "descriptions refer to the same real-world entity. Corner cases are "
+        "matching pairs with dissimilar surface forms or non-matching pairs "
+        "with very similar surface forms. Generate three non-matching and "
+        "one matching product pair from the same product category as the "
+        "seed pair, preserving its matching challenges, including corner "
+        "cases."
+    ),
+    "demonstration": (
+        "You are an expert in entity matching. Using the six demonstration "
+        "pairs and the seed pair below, generate three non-matching and one "
+        "matching product pair from the same product category with similar "
+        "matching challenges."
+    ),
+}
+
+#: Instruction prompts for training-set filtration (§5.1).
+FILTER_PROMPTS = {
+    "error-based": COMPLEX_FORCE.question,
+    "relevancy": (
+        "From the training examples below, select only the interesting "
+        "ones."
+    ),
+}

@@ -1,0 +1,130 @@
+"""OpenAI-style asynchronous batch API (simulated).
+
+Requests are submitted as a batch, the job advances through the states
+``validating → in_progress → completed``, and responses come back keyed by
+``custom_id`` — the same shape as the real batch endpoint the paper used
+for the hosted models.  Oversized batches are rejected at validation, and
+malformed prompts produce per-request errors instead of failing the job.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.llm.model import ChatModel
+
+__all__ = ["BatchRequest", "BatchResponse", "BatchJob", "BatchAPI"]
+
+#: Maximum number of requests the endpoint accepts per batch (the real
+#: endpoint caps at 50,000).
+MAX_BATCH_SIZE = 50_000
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One chat completion request inside a batch."""
+
+    custom_id: str
+    prompt: str
+    temperature: float = 0.0
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """The completion (or error) for one request."""
+
+    custom_id: str
+    content: str | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchJob:
+    """A submitted batch moving through the provider's state machine."""
+
+    job_id: str
+    model_name: str
+    requests: list[BatchRequest]
+    status: str = "validating"
+    responses: list[BatchResponse] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def counts(self) -> dict[str, int]:
+        done = len(self.responses)
+        failed = sum(1 for r in self.responses if not r.ok)
+        return {"total": len(self.requests), "completed": done, "failed": failed}
+
+
+class BatchAPI:
+    """Simulated provider endpoint for batched chat completions."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, BatchJob] = {}
+        self._models: dict[str, ChatModel] = {}
+        self._ids = itertools.count(1)
+
+    def register_model(self, model: ChatModel, name: str | None = None) -> str:
+        """Make a model (zero-shot or fine-tuned) addressable by name."""
+        name = name or f"{model.name}:{model.training_set}"
+        self._models[name] = model
+        return name
+
+    def submit(self, model_name: str, requests: list[BatchRequest]) -> BatchJob:
+        """Submit a batch; returns the job in ``validating`` state."""
+        job = BatchJob(
+            job_id=f"batch-{next(self._ids)}",
+            model_name=model_name,
+            requests=list(requests),
+        )
+        self._jobs[job.job_id] = job
+        if model_name not in self._models:
+            job.status = "failed"
+            job.error = f"unknown model {model_name!r}"
+        elif len(requests) > MAX_BATCH_SIZE:
+            job.status = "failed"
+            job.error = f"batch exceeds {MAX_BATCH_SIZE} requests"
+        elif len({r.custom_id for r in requests}) != len(requests):
+            job.status = "failed"
+            job.error = "duplicate custom_id in batch"
+        return job
+
+    def poll(self, job_id: str) -> BatchJob:
+        """Advance the job one state and return it (validating→…→completed)."""
+        job = self._jobs[job_id]
+        if job.status == "validating":
+            job.status = "in_progress"
+        elif job.status == "in_progress":
+            self._execute(job)
+            job.status = "completed"
+        return job
+
+    def run_to_completion(self, job_id: str) -> list[BatchResponse]:
+        """Poll until terminal and return the responses."""
+        job = self._jobs[job_id]
+        while job.status not in ("completed", "failed"):
+            job = self.poll(job_id)
+        if job.status == "failed":
+            raise RuntimeError(f"batch {job_id} failed: {job.error}")
+        return job.responses
+
+    def _execute(self, job: BatchJob) -> None:
+        model = self._models[job.model_name]
+        for request in job.requests:
+            try:
+                content = model.complete(request.prompt)
+            except ValueError as exc:
+                job.responses.append(
+                    BatchResponse(
+                        custom_id=request.custom_id, content=None, error=str(exc)
+                    )
+                )
+            else:
+                job.responses.append(
+                    BatchResponse(custom_id=request.custom_id, content=content)
+                )

@@ -1,0 +1,91 @@
+"""Hosted fine-tuning API (simulated OpenAI fine-tuning endpoint).
+
+Jobs take a training file (prompt/completion pairs), run with the
+provider's default hyperparameters (learning-rate multiplier 1.8, batch
+size 16) and expose **only the final checkpoint plus two intermediate
+ones** — the limitation that restricts validation for the hosted models in
+the paper (§2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import Split
+from repro.llm.model import ChatModel, build_model
+from repro.prompts.templates import DEFAULT_PROMPT, PromptTemplate
+from repro.training.config import hosted_defaults
+from repro.training.trainer import TrainingExample
+
+__all__ = ["FineTuneJob", "FineTuneAPI"]
+
+#: How many trailing checkpoints the provider exposes.
+VISIBLE_CHECKPOINTS = 3
+
+
+@dataclass
+class FineTuneJob:
+    """One hosted fine-tuning job."""
+
+    job_id: str
+    base_model: str
+    status: str = "queued"
+    fine_tuned_model: ChatModel | None = None
+    #: (epoch, valid F1) for the visible checkpoints only
+    visible_checkpoints: list[tuple[int, float | None]] = field(default_factory=list)
+    error: str | None = None
+
+
+class FineTuneAPI:
+    """Simulated provider endpoint for fine-tuning hosted models."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, FineTuneJob] = {}
+        self._ids = itertools.count(1)
+
+    def create(
+        self,
+        base_model: str,
+        training_examples: list[TrainingExample],
+        validation: Split | None = None,
+        template: PromptTemplate = DEFAULT_PROMPT,
+        suffix: str = "custom",
+        seed: int | None = None,
+    ) -> FineTuneJob:
+        """Create a fine-tuning job (validated, then queued)."""
+        job = FineTuneJob(job_id=f"ftjob-{next(self._ids)}", base_model=base_model)
+        self._jobs[job.job_id] = job
+        try:
+            base = build_model(base_model)
+        except ValueError as exc:
+            job.status = "failed"
+            job.error = str(exc)
+            return job
+        if base.persona.kind != "hosted":
+            job.status = "failed"
+            job.error = f"{base_model} is not available for hosted fine-tuning"
+            return job
+        if len(training_examples) < 10:
+            job.status = "failed"
+            job.error = "training file must contain at least 10 examples"
+            return job
+
+        config = hosted_defaults() if seed is None else hosted_defaults(seed)
+        tuned, result = base.fine_tune(
+            training_examples,
+            valid=validation,
+            template=template,
+            config=config,
+            training_set=suffix,
+        )
+        job.fine_tuned_model = tuned
+        job.visible_checkpoints = [
+            (c.epoch, c.valid_f1)
+            for c in result.log.visible(VISIBLE_CHECKPOINTS)
+        ]
+        job.status = "succeeded"
+        return job
+
+    def retrieve(self, job_id: str) -> FineTuneJob:
+        return self._jobs[job_id]

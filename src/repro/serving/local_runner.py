@@ -1,0 +1,42 @@
+"""Local batched inference runner (the Transformers path of the paper).
+
+Runs open-source models locally in micro-batches with deterministic
+(temperature-0) decoding, mirroring how the paper drives the Llama models
+through Hugging Face Transformers on multi-GPU machines.  The batch size
+only controls chunking here, but the interface — and the determinism
+guarantee across batch sizes, which real inference stacks famously violate
+— is part of the library's contract and covered by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.model import ChatModel, build_model
+
+__all__ = ["LocalRunner"]
+
+
+@dataclass
+class LocalRunner:
+    """Batched prompt runner for locally hosted models."""
+
+    model: ChatModel
+    batch_size: int = 32
+
+    @classmethod
+    def for_model(cls, name: str, batch_size: int = 32) -> "LocalRunner":
+        model = build_model(name)
+        if model.persona.kind != "open-source":
+            raise ValueError(f"{name} is a hosted model; use the batch API instead")
+        return cls(model=model, batch_size=batch_size)
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        """Answer every prompt, preserving order."""
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        outputs: list[str] = []
+        for start in range(0, len(prompts), self.batch_size):
+            chunk = prompts[start: start + self.batch_size]
+            outputs.extend(self.model.complete(p) for p in chunk)
+        return outputs

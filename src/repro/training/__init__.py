@@ -1,0 +1,32 @@
+"""Fine-tuning engine: optimizers, losses, trainer loop, checkpoints.
+
+Implements the paper's two fine-tuning setups:
+
+* **open-source** (Llama): LoRA with alpha 16, dropout 0.1, rank 64,
+  learning rate 2e-4, 10 epochs, a checkpoint after every epoch validated
+  with custom callbacks;
+* **hosted** (OpenAI): learning-rate multiplier 1.8, batch size 16,
+  10 epochs, but only the final checkpoint plus two intermediate ones are
+  available for validation (the provider's limitation).
+"""
+
+from repro.training.config import (
+    DEFAULT_SEED,
+    FineTuneConfig,
+    hosted_defaults,
+    open_source_defaults,
+)
+from repro.training.checkpoints import Checkpoint, CheckpointLog
+from repro.training.trainer import FineTuneResult, TrainingExample, fine_tune
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointLog",
+    "DEFAULT_SEED",
+    "FineTuneConfig",
+    "FineTuneResult",
+    "TrainingExample",
+    "fine_tune",
+    "hosted_defaults",
+    "open_source_defaults",
+]

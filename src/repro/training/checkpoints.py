@@ -1,0 +1,61 @@
+"""Per-epoch checkpoints and best-checkpoint selection.
+
+Open-source runs validate every epoch ("custom evaluation callbacks" in the
+paper); hosted runs only expose the final checkpoint plus two intermediate
+ones, which limits validation — both policies are expressed through
+``checkpoint_window``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.adapter import LoRAAdapter
+
+__all__ = ["Checkpoint", "CheckpointLog"]
+
+
+@dataclass
+class Checkpoint:
+    """Adapter snapshot after one epoch."""
+
+    epoch: int
+    adapter: LoRAAdapter
+    train_loss: float
+    valid_f1: float | None = None
+
+
+@dataclass
+class CheckpointLog:
+    """All checkpoints of one fine-tuning run."""
+
+    checkpoints: list[Checkpoint] = field(default_factory=list)
+
+    def add(self, checkpoint: Checkpoint) -> None:
+        self.checkpoints.append(checkpoint)
+
+    def __len__(self) -> int:
+        return len(self.checkpoints)
+
+    def visible(self, window: int | None) -> list[Checkpoint]:
+        """Checkpoints available for validation under a provider window.
+
+        ``window=None`` exposes every epoch (local training); ``window=k``
+        exposes only the trailing *k* (hosted providers).
+        """
+        if window is None:
+            return list(self.checkpoints)
+        return self.checkpoints[-window:]
+
+    def best(self, window: int | None = None) -> Checkpoint:
+        """Highest-validation-F1 checkpoint among the visible ones.
+
+        Falls back to the final checkpoint when no validation scores exist.
+        """
+        candidates = self.visible(window)
+        if not candidates:
+            raise ValueError("no checkpoints recorded")
+        scored = [c for c in candidates if c.valid_f1 is not None]
+        if not scored:
+            return candidates[-1]
+        return max(scored, key=lambda c: (c.valid_f1, c.epoch))

@@ -1,0 +1,102 @@
+"""Fine-tuning hyperparameter defaults.
+
+The paper keeps provider-recommended defaults and does not search
+hyperparameters; we encode both provider profiles verbatim.  ``lr_scale``
+converts the nominal learning rate of a billion-parameter transformer into
+an effective step size for the simulated low-dimensional scoring layer —
+it is a fixed property of the substrate, identical for all experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DEFAULT_SEED",
+    "FineTuneConfig",
+    "open_source_defaults",
+    "hosted_defaults",
+    "defaults_for",
+]
+
+#: The constant random seed used "across all libraries" in the paper.
+DEFAULT_SEED = 42
+
+#: Substrate constant: nominal transformer lr → effective simulator lr.
+LR_SCALE = 40.0
+
+
+@dataclass(frozen=True)
+class FineTuneConfig:
+    """All knobs of one fine-tuning run."""
+
+    epochs: int = 10
+    batch_size: int = 16
+    learning_rate: float = 2e-4
+    #: hosted models express lr as a multiplier of a provider base rate
+    lr_multiplier: float | None = None
+    lora_rank: int = 64
+    lora_alpha: float = 16.0
+    dropout: float = 0.1
+    weight_decay: float = 0.1
+    #: weight of auxiliary explanation losses (0 disables them)
+    aux_weight: float = 0.0
+    #: label smoothing — bounds the optimal logits, preventing runaway
+    #: adapter growth when the training data is (partly) unlearnable
+    label_smoothing: float = 0.02
+    #: how many trailing per-epoch checkpoints are available for validation
+    #: (None = all; hosted providers expose only the last three)
+    checkpoint_window: int | None = None
+    seed: int = DEFAULT_SEED
+
+    @property
+    def effective_lr(self) -> float:
+        """Step size actually used by the simulated optimizer."""
+        if self.lr_multiplier is not None:
+            base = 2e-4 * self.lr_multiplier  # provider base rate × multiplier
+        else:
+            base = self.learning_rate
+        return base * LR_SCALE
+
+    def with_epochs(self, epochs: int) -> "FineTuneConfig":
+        return replace(self, epochs=epochs)
+
+    def with_aux_weight(self, aux_weight: float) -> "FineTuneConfig":
+        return replace(self, aux_weight=aux_weight)
+
+
+def open_source_defaults(seed: int = DEFAULT_SEED) -> FineTuneConfig:
+    """LoRA defaults used for the Llama models (paper §2)."""
+    return FineTuneConfig(
+        epochs=10,
+        batch_size=16,
+        learning_rate=2e-4,
+        lora_rank=64,
+        lora_alpha=16.0,
+        dropout=0.1,
+        checkpoint_window=None,
+        seed=seed,
+    )
+
+
+def hosted_defaults(seed: int = DEFAULT_SEED) -> FineTuneConfig:
+    """OpenAI defaults: lr multiplier 1.8, batch 16, 3 visible checkpoints."""
+    return FineTuneConfig(
+        epochs=10,
+        batch_size=16,
+        lr_multiplier=1.8,
+        lora_rank=64,
+        lora_alpha=16.0,
+        dropout=0.0,
+        checkpoint_window=3,
+        seed=seed,
+    )
+
+
+def defaults_for(kind: str, seed: int = DEFAULT_SEED) -> FineTuneConfig:
+    """Provider defaults for a persona kind ('open-source' or 'hosted')."""
+    if kind == "open-source":
+        return open_source_defaults(seed)
+    if kind == "hosted":
+        return hosted_defaults(seed)
+    raise ValueError(f"unknown persona kind {kind!r}")

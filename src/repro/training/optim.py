@@ -1,0 +1,60 @@
+"""Numpy optimizers for the LoRA parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam", "SGD"]
+
+
+class SGD:
+    """Plain SGD with optional weight decay."""
+
+    def __init__(self, lr: float, weight_decay: float = 0.0) -> None:
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        for name, grad in grads.items():
+            param = params[name]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            param -= self.lr * grad
+
+
+class Adam:
+    """Adam with decoupled weight decay (AdamW-style)."""
+
+    def __init__(
+        self,
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        """In-place update of every parameter that has a gradient."""
+        self._t += 1
+        for name, grad in grads.items():
+            param = params[name]
+            m = self._m.setdefault(name, np.zeros_like(param))
+            v = self._v.setdefault(name, np.zeros_like(param))
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            if self.weight_decay:
+                param -= self.lr * self.weight_decay * param
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,74 @@
+"""Tests for result analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_f1_interval, delta_table, error_breakdown
+from repro.eval.metrics import f1_score
+from repro.llm.model import build_model
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self):
+        rng = np.random.default_rng(0)
+        labels = rng.random(400) < 0.2
+        predictions = labels ^ (rng.random(400) < 0.1)
+        interval = bootstrap_f1_interval(labels, predictions, n_resamples=300)
+        assert interval.lower <= interval.f1 <= interval.upper
+        assert interval.f1 == f1_score(labels, predictions).f1
+
+    def test_more_data_tightens_interval(self):
+        rng = np.random.default_rng(1)
+        small_labels = rng.random(100) < 0.2
+        small_preds = small_labels ^ (rng.random(100) < 0.15)
+        big_labels = rng.random(3000) < 0.2
+        big_preds = big_labels ^ (rng.random(3000) < 0.15)
+        small = bootstrap_f1_interval(small_labels, small_preds, n_resamples=300)
+        big = bootstrap_f1_interval(big_labels, big_preds, n_resamples=300)
+        assert big.width < small.width
+
+    def test_deterministic(self):
+        labels = np.array([True, False, True, False] * 20)
+        preds = np.array([True, False, False, False] * 20)
+        a = bootstrap_f1_interval(labels, preds, n_resamples=100)
+        b = bootstrap_f1_interval(labels, preds, n_resamples=100)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_f1_interval(np.array([]), np.array([]))
+
+    def test_invalid_confidence(self):
+        labels = np.array([True, False])
+        with pytest.raises(ValueError):
+            bootstrap_f1_interval(labels, labels, confidence=1.5)
+
+
+class TestErrorBreakdown:
+    def test_categories_cover_split(self, product_split):
+        model = build_model("llama-3.1-8b")
+        breakdown = error_breakdown(model, product_split)
+        assert set(breakdown) == {"corner", "easy"}
+        total = breakdown["corner"]["pairs"] + breakdown["easy"]["pairs"]
+        assert total == len(product_split)
+
+    def test_corner_cases_are_harder(self, product_split):
+        model = build_model("llama-3.1-8b")
+        breakdown = error_breakdown(model, product_split)
+        corner_err = (breakdown["corner"]["false_negative_rate"]
+                      + breakdown["corner"]["false_positive_rate"])
+        easy_err = (breakdown["easy"]["false_negative_rate"]
+                    + breakdown["easy"]["false_positive_rate"])
+        assert corner_err >= easy_err
+
+
+class TestDeltaTable:
+    def test_cellwise_comparison(self):
+        table = delta_table({"a": 5.0, "b": -2.0}, {"a": 3.0, "b": 1.0})
+        assert table["a"]["delta"] == 2.0
+        assert table["a"]["sign_agrees"] == 1.0
+        assert table["b"]["sign_agrees"] == 0.0
+
+    def test_missing_columns_skipped(self):
+        table = delta_table({"a": 1.0, "c": 2.0}, {"a": 1.0})
+        assert set(table) == {"a"}

@@ -1,0 +1,41 @@
+"""Tests for the Fellegi-Sunter baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fellegi_sunter import FellegiSunterMatcher
+from repro.datasets.schema import Split
+from repro.eval.metrics import f1_score
+
+
+class TestFellegiSunter:
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            FellegiSunterMatcher(features=("not_a_feature",))
+
+    def test_unfitted_raises(self, product_split):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FellegiSunterMatcher().scores(product_split)
+
+    def test_single_class_rejected(self, product_split):
+        positives = Split(
+            name="pos-only", pairs=[p for p in product_split if p.label]
+        )
+        with pytest.raises(ValueError, match="both classes"):
+            FellegiSunterMatcher().fit(positives)
+
+    def test_scores_separate_classes(self, product_split):
+        matcher = FellegiSunterMatcher().fit(product_split)
+        scores = matcher.scores(product_split)
+        labels = np.array(product_split.labels())
+        assert scores[labels].mean() > scores[~labels].mean()
+
+    def test_decent_f1_on_train(self, product_split):
+        matcher = FellegiSunterMatcher().fit(product_split)
+        labels = np.array(product_split.labels())
+        assert f1_score(labels, matcher.predict(product_split)).f1 > 50
+
+    def test_generalizes_to_fresh_split(self, product_split, tiny_dataset):
+        matcher = FellegiSunterMatcher().fit(product_split)
+        labels = np.array(tiny_dataset.test.labels())
+        assert f1_score(labels, matcher.predict(tiny_dataset.test)).f1 > 40

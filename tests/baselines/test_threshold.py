@@ -1,0 +1,27 @@
+"""Tests for the threshold baseline."""
+
+import pytest
+
+from repro.baselines.threshold import ThresholdMatcher
+from repro.eval.metrics import f1_score
+
+import numpy as np
+
+
+class TestThresholdMatcher:
+    def test_unknown_feature_raises(self):
+        with pytest.raises(ValueError):
+            ThresholdMatcher(feature="vibes")
+
+    def test_fit_improves_over_default(self, product_split):
+        labels = np.array(product_split.labels())
+        default = ThresholdMatcher(threshold=0.99)
+        default_f1 = f1_score(labels, default.predict(product_split)).f1
+        fitted = ThresholdMatcher(threshold=0.99).fit(product_split)
+        fitted_f1 = f1_score(labels, fitted.predict(product_split)).f1
+        assert fitted_f1 >= default_f1
+
+    def test_beats_chance(self, product_split):
+        matcher = ThresholdMatcher().fit(product_split)
+        labels = np.array(product_split.labels())
+        assert f1_score(labels, matcher.predict(product_split)).f1 > 40

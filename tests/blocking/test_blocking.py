@@ -1,0 +1,98 @@
+"""Tests for candidate-pair blocking."""
+
+import pytest
+
+from repro.blocking import (
+    BlockingResult,
+    EmbeddingBlocker,
+    TokenBlocker,
+    blocking_quality,
+)
+from repro.datasets.schema import Record
+
+
+def _records(descriptions):
+    return [
+        Record(record_id=f"r{i}", attributes={}, description=d)
+        for i, d in enumerate(descriptions)
+    ]
+
+
+@pytest.fixture(scope="module")
+def collections(product_split):
+    """Left/right record collections with known true matches."""
+    matches = [p for p in product_split if p.label][:30]
+    left = [p.left for p in matches]
+    right = [p.right for p in matches]
+    # distractors on the right side
+    right += [p.right for p in product_split if not p.label][:60]
+    truth = {(i, i) for i in range(len(matches))}
+    return left, right, truth
+
+
+class TestEmbeddingBlocker:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            EmbeddingBlocker(k=0)
+
+    def test_empty_collections(self):
+        result = EmbeddingBlocker().block([], _records(["a"]))
+        assert result.candidates == frozenset()
+
+    def test_finds_most_true_matches(self, collections):
+        left, right, truth = collections
+        result = EmbeddingBlocker(k=5).block(left, right)
+        quality = blocking_quality(result, truth)
+        assert quality["pair_completeness"] > 0.8
+        assert quality["reduction_ratio"] > 0.5
+
+    def test_larger_k_never_reduces_completeness(self, collections):
+        left, right, truth = collections
+        small = blocking_quality(EmbeddingBlocker(k=2).block(left, right), truth)
+        large = blocking_quality(EmbeddingBlocker(k=10).block(left, right), truth)
+        assert large["pair_completeness"] >= small["pair_completeness"]
+
+    def test_min_similarity_prunes(self, collections):
+        left, right, _ = collections
+        loose = EmbeddingBlocker(k=5, min_similarity=0.0).block(left, right)
+        strict = EmbeddingBlocker(k=5, min_similarity=0.9).block(left, right)
+        assert len(strict.candidates) <= len(loose.candidates)
+
+
+class TestTokenBlocker:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TokenBlocker(min_shared=0)
+        with pytest.raises(ValueError):
+            TokenBlocker(max_token_frequency=0.0)
+
+    def test_shared_token_required(self):
+        left = _records(["alpha beta", "gamma delta"])
+        right = _records(["beta epsilon", "zeta eta"])
+        result = TokenBlocker().block(left, right)
+        assert result.contains(0, 0)
+        assert not result.contains(1, 1)
+
+    def test_stop_tokens_excluded(self):
+        left = _records(["widget one", "widget two"])
+        right = _records(["widget three", "widget four"])
+        # 'widget' appears in 100% of records -> stopword at threshold 0.5
+        result = TokenBlocker(max_token_frequency=0.5).block(left, right)
+        assert len(result.candidates) == 0
+
+    def test_completeness_on_benchmark(self, collections):
+        left, right, truth = collections
+        result = TokenBlocker().block(left, right)
+        quality = blocking_quality(result, truth)
+        assert quality["pair_completeness"] > 0.8
+
+
+class TestBlockingQuality:
+    def test_empty_truth_is_complete(self):
+        result = BlockingResult((), (), frozenset())
+        assert blocking_quality(result, set())["pair_completeness"] == 1.0
+
+    def test_reduction_ratio_bounds(self, collections):
+        left, right, _ = collections
+        result = EmbeddingBlocker(k=3).block(left, right)
+        assert 0.0 <= result.reduction_ratio <= 1.0

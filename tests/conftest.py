@@ -1,0 +1,90 @@
+"""Shared fixtures.
+
+Most tests run on tiny synthetic splits built directly through the
+dataset-construction machinery (fast); integration tests load the real
+benchmark datasets, which are cached process-wide by the registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.build import HardnessProfile, build_split
+from repro.datasets.catalog import PaperCatalog, ProductCatalog, SoftwareCatalog
+from repro.datasets.products import _product_renderer, _software_renderer
+from repro.datasets.scholar import _paper_renderer
+from repro.datasets.schema import Dataset
+from repro.training.config import open_source_defaults
+
+
+def make_product_split(name: str, n_pos: int, n_neg: int, seed: int = 99):
+    """Small product split for unit tests."""
+    catalog = ProductCatalog(seed)
+    return build_split(
+        name=name,
+        n_pos=n_pos,
+        n_neg=n_neg,
+        profile=HardnessProfile(label_noise_train=0.0),
+        sample_entity=catalog.sample,
+        sample_sibling=catalog.sibling,
+        render=_product_renderer("test"),
+        seed=seed,
+        is_train=True,
+    )
+
+
+def make_scholar_split(name: str, n_pos: int, n_neg: int, seed: int = 77):
+    """Small scholar split for unit tests."""
+    catalog = PaperCatalog(seed)
+    return build_split(
+        name=name,
+        n_pos=n_pos,
+        n_neg=n_neg,
+        profile=HardnessProfile(label_noise_train=0.0),
+        sample_entity=catalog.sample,
+        sample_sibling=catalog.sibling,
+        render=_paper_renderer({"a": 0.7, "b": 1.0}),
+        seed=seed,
+        is_train=True,
+    )
+
+
+def make_software_split(name: str, n_pos: int, n_neg: int, seed: int = 55):
+    """Small software split for unit tests."""
+    catalog = SoftwareCatalog(seed)
+    return build_split(
+        name=name,
+        n_pos=n_pos,
+        n_neg=n_neg,
+        profile=HardnessProfile(label_noise_train=0.0),
+        sample_entity=catalog.sample,
+        sample_sibling=catalog.sibling,
+        render=_software_renderer(),
+        seed=seed,
+        is_train=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def product_split():
+    return make_product_split("unit-products", n_pos=60, n_neg=140)
+
+
+@pytest.fixture(scope="session")
+def scholar_split():
+    return make_scholar_split("unit-scholar", n_pos=60, n_neg=140)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(product_split) -> Dataset:
+    """A miniature dataset with train/valid/test splits."""
+    train = make_product_split("tiny-train", 60, 140, seed=11)
+    valid = make_product_split("tiny-valid", 40, 100, seed=12)
+    test = make_product_split("tiny-test", 40, 100, seed=13)
+    return Dataset(name="tiny", domain="product", train=train, valid=valid, test=test)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Two-epoch training config to keep fine-tuning tests quick."""
+    return open_source_defaults().with_epochs(2)

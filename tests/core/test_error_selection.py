@@ -1,0 +1,24 @@
+"""Tests for iterative error-based selection (Dimension 2c)."""
+
+import pytest
+
+from repro.core.error_selection import error_based_selection
+
+
+class TestErrorBasedSelection:
+    def test_hosted_model_rejected(self):
+        with pytest.raises(ValueError, match="locally trainable"):
+            error_based_selection("gpt-4o-mini")
+
+    def test_two_round_loop(self):
+        """A short loop on the real datasets exercises the full machinery."""
+        result = error_based_selection(
+            "llama-3.1-8b", rounds=2, extra_per_round=500, epochs_per_round=2
+        )
+        assert result.model.is_fine_tuned
+        assert len(result.round_valid_f1) == 2
+        assert len(result.round_errors) == 2
+        assert result.best_round in (1, 2)
+        assert result.round_valid_f1[result.best_round - 1] == max(
+            result.round_valid_f1
+        )

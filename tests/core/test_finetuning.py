@@ -1,0 +1,83 @@
+"""Tests for fine-tuning orchestration."""
+
+import pytest
+
+from repro.core.finetuning import (
+    clear_finetune_cache,
+    evaluate_on,
+    finetune_model,
+    make_training_examples,
+    zero_shot_model,
+)
+
+
+class TestMakeTrainingExamples:
+    def test_plain_examples(self, product_split):
+        examples = make_training_examples(product_split)
+        assert len(examples) == len(product_split)
+        assert all(ex.aux is None for ex in examples)
+        assert [ex.label for ex in examples] == product_split.labels()
+
+    def test_with_explanations(self, product_split):
+        examples = make_training_examples(
+            product_split.subset(range(10)), explanation_style="structured"
+        )
+        assert all(ex.aux is not None for ex in examples)
+
+
+class TestFinetuneModel:
+    def test_split_input(self, tiny_dataset, fast_config):
+        outcome = finetune_model(
+            "llama-3.1-8b",
+            tiny_dataset.train,
+            valid=tiny_dataset.valid,
+            config=fast_config,
+            tag="unit-tiny",
+            use_cache=False,
+        )
+        assert outcome.model.is_fine_tuned
+        assert outcome.model.training_set == "unit-tiny"
+        assert len(outcome.valid_curve) == fast_config.epochs
+
+    def test_cache_hits(self, tiny_dataset, fast_config):
+        clear_finetune_cache()
+        a = finetune_model(
+            "llama-3.1-8b", tiny_dataset.train, valid=tiny_dataset.valid,
+            config=fast_config, tag="cache-check",
+        )
+        b = finetune_model(
+            "llama-3.1-8b", tiny_dataset.train, valid=tiny_dataset.valid,
+            config=fast_config, tag="cache-check",
+        )
+        assert a is b
+        clear_finetune_cache()
+
+    def test_zero_shot_model_cached(self):
+        assert zero_shot_model("gpt-4o") is zero_shot_model("gpt-4o")
+
+
+class TestEvaluateOn:
+    def test_evaluates_named_datasets(self):
+        model = zero_shot_model("gpt-4o-mini")
+        results = evaluate_on(model, ["abt-buy"])
+        assert set(results) == {"abt-buy"}
+        assert 0 < results["abt-buy"].f1 <= 100
+
+
+class TestCombineTrainingSets:
+    def test_concatenates(self):
+        from repro.core.finetuning import combine_training_sets
+        from repro.datasets.registry import load_dataset
+
+        combined = combine_training_sets(["wdc-small", "dblp-acm"])
+        assert len(combined) == (
+            len(load_dataset("wdc-small").train) + len(load_dataset("dblp-acm").train)
+        )
+        assert combined.name == "wdc-small+dblp-acm"
+
+    def test_empty_raises(self):
+        import pytest
+        from repro.core.finetuning import combine_training_sets
+
+        with pytest.raises(ValueError):
+            combine_training_sets([])

@@ -1,0 +1,77 @@
+"""Tests for example generation (Dimension 2b)."""
+
+import pytest
+
+from repro.core.generation import (
+    GENERATION_METHODS,
+    PROFILES,
+    generate_examples,
+    inspection_report,
+)
+
+
+@pytest.fixture(scope="module")
+def seeds(product_split):
+    return product_split.subset(range(30), name="gen-seeds")
+
+
+@pytest.fixture(scope="module")
+def generated(seeds):
+    return generate_examples(seeds)
+
+
+class TestGenerateExamples:
+    def test_four_per_seed_per_method(self, seeds, generated):
+        assert len(generated) == len(seeds) * 4 * len(GENERATION_METHODS)
+
+    def test_one_match_three_nonmatches(self, seeds, generated):
+        positives = sum(1 for p in generated if p.label)
+        assert positives == len(seeds) * len(GENERATION_METHODS)
+
+    def test_provenance_tags(self, generated):
+        assert all(p.source.startswith("generated:") for p in generated)
+        methods_seen = {p.source.split(":")[1] for p in generated}
+        assert methods_seen == set(GENERATION_METHODS)
+
+    def test_deterministic(self, seeds):
+        a = generate_examples(seeds, methods=("brief",))
+        b = generate_examples(seeds, methods=("brief",))
+        assert [p.key for p in a] == [p.key for p in b]
+
+    def test_unknown_method_raises(self, seeds):
+        with pytest.raises(ValueError, match="unknown generation methods"):
+            generate_examples(seeds, methods=("vibes",))
+
+    def test_brief_matches_are_easier_than_detailed(self, seeds, generated):
+        """Brief generation produces too-similar match strings (paper §5.2)."""
+        from repro.llm.features import featurize_texts, FEATURE_NAMES
+
+        idx = FEATURE_NAMES.index("char3_cosine")
+
+        def mean_match_similarity(method):
+            sims = [
+                featurize_texts(p.left.description, p.right.description)[idx]
+                for p in generated
+                if p.label and p.source.startswith(f"generated:{method}")
+            ]
+            return sum(sims) / len(sims)
+
+        assert mean_match_similarity("brief") > mean_match_similarity("detailed")
+
+
+class TestInspectionReport:
+    def test_report_covers_all_methods(self, generated):
+        report = inspection_report(generated)
+        assert set(report) == set(GENERATION_METHODS)
+
+    def test_mislabel_rates_reflect_profiles(self, seeds):
+        big = generate_examples(
+            seeds.extended(seeds.pairs * 5, name="big-seeds")  # 180 seeds
+        )
+        report = inspection_report(big)
+        assert report["brief"]["mislabeled_rate"] > report["detailed"]["mislabeled_rate"]
+
+    def test_positive_rate_quarter(self, generated):
+        report = inspection_report(generated)
+        for method in GENERATION_METHODS:
+            assert report[method]["positive_rate"] == pytest.approx(0.25)

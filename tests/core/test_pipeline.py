@@ -1,0 +1,33 @@
+"""Tests for the TailorMatch facade."""
+
+import pytest
+
+from repro.core.pipeline import TailorMatch
+
+
+@pytest.fixture(scope="module")
+def tm():
+    return TailorMatch("llama-3.1-8b")
+
+
+class TestTailorMatch:
+    def test_match_returns_bool(self, tm):
+        verdict = tm.match("Jabra Evolve 80 stereo", "jabra evolve-80 stereo headset")
+        assert isinstance(verdict, bool)
+
+    def test_identical_descriptions_match(self, tm):
+        assert TailorMatch("gpt-4o").match(
+            "Sonavik Vault 9a ssd 1tb", "Sonavik Vault 9a ssd 1tb"
+        )
+
+    def test_evaluate_zero_shot(self, tm):
+        result = tm.evaluate(None, "abt-buy")
+        assert 0 < result.f1 < 100
+
+    def test_unknown_selection_raises(self, tm):
+        with pytest.raises(ValueError, match="unknown selection"):
+            tm.fine_tune("wdc-small", selection="astrology")
+
+    def test_training_examples_exposed(self, tm):
+        examples = tm.training_examples("wdc-small")
+        assert len(examples) == 2500

@@ -1,0 +1,59 @@
+"""Tests for training-set filtration (Dimension 2a)."""
+
+from repro.core.selection import error_based_filter, relevancy_filter
+from repro.llm.model import build_model
+
+
+class TestErrorBasedFilter:
+    def test_removes_some_keeps_most(self, product_split):
+        filtered = error_based_filter(product_split)
+        assert 0 < len(filtered) < len(product_split)
+        assert len(filtered) > 0.5 * len(product_split)
+
+    def test_kept_pairs_agree_with_filter_model(self, product_split):
+        from repro.prompts.templates import COMPLEX_FORCE
+
+        model = build_model("gpt-4o-mini")
+        filtered = error_based_filter(product_split, model)
+        preds = model.predict_pairs(filtered.pairs, COMPLEX_FORCE)
+        assert all(bool(pred) == pair.label for pred, pair in zip(preds, filtered))
+
+    def test_filter_name(self, product_split):
+        assert error_based_filter(product_split).name.endswith("-filtered")
+
+    def test_accepts_model_instance(self, product_split):
+        model = build_model("gpt-4o")
+        filtered = error_based_filter(product_split, model)
+        assert len(filtered) > 0
+
+
+class TestRelevancyFilter:
+    def test_smaller_than_error_filter(self, product_split):
+        """Relevancy keeps only corner-like pairs — far fewer (paper: 608 of 2500)."""
+        relevancy = relevancy_filter(product_split)
+        assert len(relevancy) < len(error_based_filter(product_split))
+
+    def test_keeps_similar_pairs(self, product_split):
+        filtered = relevancy_filter(product_split)
+        # kept pairs should be enriched in positives + corner negatives
+        pos_rate_kept = sum(p.label for p in filtered) / max(len(filtered), 1)
+        pos_rate_all = sum(p.label for p in product_split) / len(product_split)
+        assert pos_rate_kept > pos_rate_all
+
+    def test_threshold_extremes(self, product_split):
+        everything = relevancy_filter(
+            product_split, match_threshold=0.0, nonmatch_threshold=0.0
+        )
+        assert len(everything) == len(product_split)
+        nothing = relevancy_filter(
+            product_split, match_threshold=1.01, nonmatch_threshold=1.01
+        )
+        assert len(nothing) == 0
+
+    def test_nonmatches_held_to_higher_bar(self, product_split):
+        filtered = relevancy_filter(product_split)
+        kept_neg = sum(1 for p in filtered if not p.label)
+        total_neg = sum(1 for p in product_split if not p.label)
+        kept_pos = sum(1 for p in filtered if p.label)
+        total_pos = sum(1 for p in product_split if p.label)
+        assert kept_neg / total_neg < kept_pos / total_pos

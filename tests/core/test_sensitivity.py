@@ -1,0 +1,40 @@
+"""Tests for the prompt-sensitivity study."""
+
+import pytest
+
+from repro.core.sensitivity import PromptSensitivity, prompt_sensitivity
+from repro.llm.model import build_model
+
+
+class TestPromptSensitivityDataclass:
+    def test_std_and_best(self):
+        sens = PromptSensitivity(
+            model_name="m", training_set="t", dataset="d",
+            f1_by_prompt={"default": 50.0, "simple-free": 60.0,
+                          "complex-force": 55.0, "simple-force": 55.0},
+        )
+        assert sens.best_prompt == "simple-free"
+        assert not sens.finetuning_prompt_is_best
+        assert sens.std == pytest.approx(3.5355, abs=1e-3)
+
+    def test_finetuning_prompt_best(self):
+        sens = PromptSensitivity(
+            model_name="m", training_set="t", dataset="d",
+            f1_by_prompt={"default": 70.0, "simple-free": 60.0,
+                          "complex-force": 55.0, "simple-force": 55.0},
+        )
+        assert sens.finetuning_prompt_is_best
+
+
+class TestPromptSensitivityMeasurement:
+    def test_covers_four_prompts(self):
+        model = build_model("gpt-4o-mini")
+        sens = prompt_sensitivity(model, "abt-buy")
+        assert set(sens.f1_by_prompt) == {
+            "default", "simple-free", "complex-force", "simple-force"
+        }
+
+    def test_weak_zero_shot_model_is_more_sensitive(self):
+        weak = prompt_sensitivity(build_model("llama-3.1-8b"), "abt-buy")
+        strong = prompt_sensitivity(build_model("gpt-4o"), "abt-buy")
+        assert weak.std > strong.std

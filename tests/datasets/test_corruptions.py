@@ -1,0 +1,82 @@
+"""Tests for surface-form rendering."""
+
+import numpy as np
+
+from repro.datasets.catalog import PaperCatalog, ProductCatalog, SoftwareCatalog
+from repro.datasets.corruptions import (
+    render_paper,
+    render_product,
+    render_software,
+    typo,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestTypo:
+    def test_short_words_untouched(self):
+        assert typo("ab", _rng()) == "ab"
+
+    def test_changes_word(self):
+        word = "cassette"
+        results = {typo(word, _rng(i)) for i in range(20)}
+        assert any(r != word for r in results)
+
+    def test_length_changes_at_most_one(self):
+        for i in range(20):
+            result = typo("headset", _rng(i))
+            assert abs(len(result) - len("headset")) <= 1
+
+
+class TestRenderProduct:
+    def test_contains_identifying_tokens_at_zero_noise(self):
+        entity = ProductCatalog(seed=1).sample()
+        title, attributes = render_product(entity, _rng(), noise=0.0)
+        assert entity.line.lower() in title.lower()
+        assert attributes["brand"] == entity.brand
+        assert attributes["category"] == entity.category
+
+    def test_code_dropout_removes_code(self):
+        entity = ProductCatalog(seed=1).sample()
+        title, _ = render_product(entity, _rng(3), noise=0.0, code_dropout=1.0)
+        assert entity.model_code not in title
+
+    def test_two_renders_differ(self):
+        entity = ProductCatalog(seed=2).sample()
+        a, _ = render_product(entity, _rng(1), noise=0.8)
+        b, _ = render_product(entity, _rng(2), noise=0.8)
+        assert a != b
+
+
+class TestRenderSoftware:
+    def test_version_always_present(self):
+        entity = SoftwareCatalog(seed=1).sample()
+        for i in range(10):
+            title, attributes = render_software(entity, _rng(i), noise=0.5)
+            assert entity.version in title
+            assert attributes["version"] == entity.version
+
+    def test_lowercased(self):
+        entity = SoftwareCatalog(seed=1).sample()
+        title, _ = render_software(entity, _rng(), noise=0.2)
+        assert title == title.lower()
+
+
+class TestRenderPaper:
+    def test_attributes_complete_at_zero_noise(self):
+        entity = PaperCatalog(seed=1).sample()
+        _, attributes = render_paper(entity, _rng(), noise=0.0)
+        assert attributes["title"] == entity.title
+        assert attributes["year"] == str(entity.year)
+        assert attributes["venue"] in (entity.venue_abbrev, entity.venue_full)
+
+    def test_noise_can_drop_fields(self):
+        entity = PaperCatalog(seed=2).sample()
+        dropped_venue = dropped_year = False
+        for i in range(60):
+            _, attributes = render_paper(entity, _rng(i), noise=1.5)
+            dropped_venue |= attributes["venue"] == ""
+            dropped_year |= attributes["year"] == ""
+        assert dropped_venue and dropped_year

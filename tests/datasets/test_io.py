@@ -1,0 +1,48 @@
+"""Tests for JSONL dataset I/O."""
+
+import pytest
+
+from repro.datasets.io import (
+    read_dataset,
+    read_split_jsonl,
+    write_dataset,
+    write_split_jsonl,
+)
+from repro.datasets.schema import Dataset
+
+
+class TestSplitRoundTrip:
+    def test_lossless(self, product_split, tmp_path):
+        path = tmp_path / "split.jsonl"
+        write_split_jsonl(product_split, path)
+        loaded = read_split_jsonl(path)
+        assert len(loaded) == len(product_split)
+        for original, restored in zip(product_split, loaded):
+            assert restored.pair_id == original.pair_id
+            assert restored.label == original.label
+            assert restored.corner_case == original.corner_case
+            assert restored.left.description == original.left.description
+            assert dict(restored.right.attributes) == dict(original.right.attributes)
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"pair_id": "x"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            read_split_jsonl(path)
+
+    def test_blank_lines_skipped(self, product_split, tmp_path):
+        path = tmp_path / "split.jsonl"
+        write_split_jsonl(product_split, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_split_jsonl(path)) == len(product_split)
+
+
+class TestDatasetRoundTrip:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        write_dataset(tiny_dataset, tmp_path / "ds")
+        loaded = read_dataset(tmp_path / "ds")
+        assert isinstance(loaded, Dataset)
+        assert loaded.name == tiny_dataset.name
+        assert loaded.domain == tiny_dataset.domain
+        for split_name in ("train", "valid", "test"):
+            assert len(loaded.split(split_name)) == len(tiny_dataset.split(split_name))

@@ -1,0 +1,70 @@
+"""Tests for the dataset registry (Table 1 statistics are exact)."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PRODUCT_DATASETS,
+    SCHOLAR_DATASETS,
+    dataset_domain,
+    load_dataset,
+)
+
+#: The paper's Table 1, verbatim.
+TABLE1 = {
+    "wdc-small": {"train": (500, 2000), "valid": (500, 2000), "test": (500, 4000)},
+    "wdc-medium": {"train": (1500, 4500), "valid": (500, 3000), "test": (500, 4000)},
+    "wdc-large": {"train": (8471, 11364), "valid": (500, 4000), "test": (500, 4000)},
+    "abt-buy": {"train": (822, 6837), "valid": (206, 1710), "test": (206, 1710)},
+    "amazon-google": {"train": (933, 8234), "valid": (234, 2059), "test": (234, 2059)},
+    "walmart-amazon": {"train": (769, 7424), "valid": (193, 1856), "test": (193, 1856)},
+    "dblp-scholar": {"train": (4277, 18688), "valid": (1070, 4672), "test": (1070, 4672)},
+    "dblp-acm": {"train": (1776, 8114), "valid": (444, 2029), "test": (444, 2029)},
+}
+
+
+class TestRegistry:
+    def test_all_names_listed(self):
+        assert set(TABLE1) == set(DATASET_NAMES)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_split_sizes_match_table1(self, name):
+        dataset = load_dataset(name)
+        for split_name, (pos, neg) in TABLE1[name].items():
+            stats = dataset.split(split_name).stats
+            assert (stats.positives, stats.negatives) == (pos, neg), split_name
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nonexistent")
+
+    def test_caching_returns_same_object(self):
+        assert load_dataset("abt-buy") is load_dataset("abt-buy")
+
+    def test_domains(self):
+        for name in PRODUCT_DATASETS:
+            assert dataset_domain(name) == "product"
+        for name in SCHOLAR_DATASETS:
+            assert dataset_domain(name) == "scholar"
+        with pytest.raises(ValueError):
+            dataset_domain("mystery")
+
+    def test_wdc_sizes_share_test_pairs(self):
+        small = load_dataset("wdc-small").test
+        medium = load_dataset("wdc-medium").test
+        assert [p.key for p in small] == [p.key for p in medium]
+
+    def test_wdc_train_sets_differ(self):
+        small = load_dataset("wdc-small").train
+        medium = load_dataset("wdc-medium").train
+        assert len(small) != len(medium)
+
+    def test_scholar_records_are_fielded(self):
+        dataset = load_dataset("dblp-acm")
+        pair = dataset.test.pairs[0]
+        assert pair.left.description.count(";") >= 3
+
+    def test_amazon_google_is_software(self):
+        dataset = load_dataset("amazon-google")
+        attrs = dataset.test.pairs[0].left.attributes
+        assert "vendor" in attrs and "version" in attrs

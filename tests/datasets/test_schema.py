@@ -1,0 +1,82 @@
+"""Tests for dataset data structures."""
+
+import pytest
+
+from repro.datasets.schema import Dataset, EntityPair, Record, Split
+
+
+def _pair(i: int, label: bool) -> EntityPair:
+    return EntityPair(
+        pair_id=f"p{i}",
+        left=Record(record_id=f"l{i}", attributes={"k": "v"}, description=f"left {i}"),
+        right=Record(record_id=f"r{i}", attributes={}, description=f"right {i}"),
+        label=label,
+    )
+
+
+@pytest.fixture
+def split():
+    return Split(name="s", pairs=[_pair(i, i % 3 == 0) for i in range(9)])
+
+
+class TestRecord:
+    def test_with_description_returns_copy(self):
+        record = Record(record_id="x", attributes={"a": "1"}, description="old")
+        new = record.with_description("new")
+        assert new.description == "new"
+        assert record.description == "old"
+        assert new.record_id == record.record_id
+
+
+class TestEntityPair:
+    def test_key_is_description_pair(self):
+        pair = _pair(0, True)
+        assert pair.key == ("left 0", "right 0")
+
+
+class TestSplit:
+    def test_len_and_iter(self, split):
+        assert len(split) == 9
+        assert len(list(split)) == 9
+
+    def test_stats(self, split):
+        stats = split.stats
+        assert stats.positives == 3
+        assert stats.negatives == 6
+        assert stats.total == 9
+
+    def test_labels(self, split):
+        assert split.labels() == [i % 3 == 0 for i in range(9)]
+
+    def test_subset(self, split):
+        sub = split.subset([0, 2], name="sub")
+        assert len(sub) == 2
+        assert sub.name == "sub"
+        assert sub[0].pair_id == "p0"
+
+    def test_filtered(self, split):
+        kept = split.filtered([p.label for p in split])
+        assert len(kept) == 3
+        assert all(p.label for p in kept)
+
+    def test_filtered_wrong_length_raises(self, split):
+        with pytest.raises(ValueError, match="length"):
+            split.filtered([True])
+
+    def test_extended(self, split):
+        extra = [_pair(100, True)]
+        extended = split.extended(extra)
+        assert len(extended) == 10
+        assert len(split) == 9  # original untouched
+
+
+class TestDataset:
+    def test_split_lookup(self, split):
+        ds = Dataset(name="d", domain="product", train=split, valid=split, test=split)
+        assert ds.split("train") is split
+        with pytest.raises(ValueError, match="unknown split"):
+            ds.split("bogus")
+
+    def test_stats_keys(self, split):
+        ds = Dataset(name="d", domain="product", train=split, valid=split, test=split)
+        assert set(ds.stats()) == {"train", "valid", "test"}

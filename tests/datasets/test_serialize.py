@@ -1,0 +1,33 @@
+"""Tests for record serialization rules."""
+
+import pytest
+
+from repro.datasets.serialize import (
+    serialize_product,
+    serialize_record,
+    serialize_scholar,
+)
+
+
+class TestSerialize:
+    def test_product_uses_title_only(self):
+        assert serialize_product({"brand": "X"}, "the title") == "the title"
+
+    def test_scholar_concatenates_with_semicolons(self):
+        attributes = {
+            "authors": "a. smith",
+            "title": "a title",
+            "venue": "vldb",
+            "year": "2010",
+        }
+        assert serialize_scholar(attributes) == "a. smith; a title; vldb; 2010"
+
+    def test_scholar_missing_fields_stay_positional(self):
+        attributes = {"authors": "a", "title": "t", "venue": "", "year": "1999"}
+        assert serialize_scholar(attributes) == "a; t; ; 1999"
+
+    def test_dispatch(self):
+        assert serialize_record("product", {}, "t") == "t"
+        assert serialize_record("scholar", {"authors": "a"}).startswith("a;")
+        with pytest.raises(ValueError, match="unknown domain"):
+            serialize_record("music", {})

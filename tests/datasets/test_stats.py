@@ -1,0 +1,36 @@
+"""Tests for dataset profiling."""
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Split
+from repro.datasets.stats import profile_split
+
+
+class TestProfileSplit:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            profile_split(Split("empty", []))
+
+    def test_basic_fields(self, product_split):
+        profile = profile_split(product_split)
+        assert profile.pairs == len(product_split)
+        assert 0.0 < profile.positive_rate < 1.0
+        assert 0.0 <= profile.similarity_overlap <= 1.0
+        assert profile.separability == pytest.approx(1 - profile.similarity_overlap)
+
+    def test_matches_more_similar_than_nonmatches(self, product_split):
+        profile = profile_split(product_split)
+        assert profile.match_similarity > profile.nonmatch_similarity
+
+    def test_wdc_cornerier_than_abt_buy(self):
+        wdc = profile_split(load_dataset("wdc-small").test)
+        abt = profile_split(load_dataset("abt-buy").test)
+        assert wdc.corner_rate > abt.corner_rate
+
+    def test_harder_dataset_less_separable(self):
+        """WDC (80% corner cases) overlaps more than Abt-Buy — the
+        similarity structure that drives the zero-shot ordering."""
+        wdc = profile_split(load_dataset("wdc-small").test)
+        abt = profile_split(load_dataset("abt-buy").test)
+        assert wdc.similarity_overlap > abt.similarity_overlap

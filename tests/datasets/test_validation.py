@@ -1,0 +1,54 @@
+"""Tests for dataset integrity validation."""
+
+from repro.datasets.schema import Dataset, EntityPair, Record, Split
+from repro.datasets.validation import validate_dataset, validate_split
+
+
+def _pair(i, label=True, left="left x", right="right y"):
+    return EntityPair(
+        pair_id=f"p{i}",
+        left=Record(record_id=f"l{i}", attributes={}, description=left),
+        right=Record(record_id=f"r{i}", attributes={}, description=right),
+        label=label,
+    )
+
+
+class TestValidateSplit:
+    def test_clean_split_passes(self, product_split):
+        assert validate_split(product_split).ok
+
+    def test_duplicates_detected(self):
+        split = Split("dup", [_pair(0), _pair(1)])
+        report = validate_split(split)
+        assert not report.ok
+        assert "duplicate" in report.problems[0]
+
+    def test_empty_descriptions_detected(self):
+        split = Split("empty", [_pair(0, left="  ")])
+        report = validate_split(split)
+        assert any("empty descriptions" in p for p in report.problems)
+
+    def test_degenerate_labels_detected(self):
+        split = Split("onesided", [_pair(0, left="a b", right="c d"),
+                                   _pair(1, left="e f", right="g h")])
+        report = validate_split(split)
+        assert any("degenerate" in p for p in report.problems)
+
+
+class TestValidateDataset:
+    def test_benchmarks_are_clean(self):
+        from repro.datasets.registry import load_dataset
+
+        report = validate_dataset(load_dataset("abt-buy"))
+        assert report.ok, report.problems
+
+    def test_leakage_detected(self, tiny_dataset):
+        leaky = Dataset(
+            name="leaky",
+            domain="product",
+            train=tiny_dataset.train,
+            valid=tiny_dataset.valid,
+            test=tiny_dataset.train,  # test == train
+        )
+        report = validate_dataset(leaky)
+        assert any("leak" in p for p in report.problems)

@@ -1,0 +1,31 @@
+"""Tests for the model evaluator."""
+
+from repro.eval.evaluator import evaluate_model
+from repro.eval.metrics import f1_score
+from repro.llm.model import build_model
+from repro.prompts.templates import COMPLEX_FORCE
+
+import numpy as np
+
+
+class TestEvaluator:
+    def test_matches_manual_scoring(self, product_split):
+        model = build_model("gpt-4o")
+        result = evaluate_model(model, product_split, COMPLEX_FORCE)
+        preds = model.predict_pairs(product_split.pairs, COMPLEX_FORCE)
+        manual = f1_score(np.array(product_split.labels()), preds)
+        assert result.f1 == manual.f1
+        assert result.scores.precision == manual.precision
+
+    def test_metadata_recorded(self, product_split):
+        model = build_model("gpt-4o")
+        result = evaluate_model(model, product_split)
+        assert result.model_name == "gpt-4o"
+        assert result.training_set == "zero-shot"
+        assert result.prompt_name == "default"
+        assert result.split_name == product_split.name
+
+    def test_strong_model_beats_weak_model(self, product_split):
+        weak = evaluate_model(build_model("llama-3.1-8b"), product_split)
+        strong = evaluate_model(build_model("gpt-4o"), product_split)
+        assert strong.f1 > weak.f1

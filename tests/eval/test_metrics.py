@@ -1,0 +1,50 @@
+"""Tests for matching metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import confusion, f1_score
+
+
+class TestConfusion:
+    def test_counts(self):
+        labels = np.array([True, True, False, False, True])
+        preds = np.array([True, False, True, False, True])
+        assert confusion(labels, preds) == (2, 1, 1, 1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            confusion(np.array([True]), np.array([True, False]))
+
+
+class TestF1:
+    def test_perfect(self):
+        labels = np.array([True, False, True])
+        scores = f1_score(labels, labels)
+        assert scores.f1 == 100.0
+        assert scores.precision == 100.0
+        assert scores.recall == 100.0
+
+    def test_all_negative_predictions(self):
+        labels = np.array([True, False])
+        scores = f1_score(labels, np.array([False, False]))
+        assert scores.f1 == 0.0
+        assert scores.recall == 0.0
+
+    def test_known_values(self):
+        labels = np.array([True] * 10 + [False] * 90)
+        preds = np.array([True] * 5 + [False] * 5 + [True] * 5 + [False] * 85)
+        scores = f1_score(labels, preds)
+        assert scores.precision == pytest.approx(50.0)
+        assert scores.recall == pytest.approx(50.0)
+        assert scores.f1 == pytest.approx(50.0)
+
+    def test_accuracy(self):
+        labels = np.array([True, False, True, False])
+        preds = np.array([True, False, False, False])
+        assert f1_score(labels, preds).accuracy == pytest.approx(75.0)
+
+    def test_counts_stored(self):
+        labels = np.array([True, False])
+        scores = f1_score(labels, np.array([True, True]))
+        assert (scores.tp, scores.fp, scores.fn, scores.tn) == (1, 1, 0, 0)

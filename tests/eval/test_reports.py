@@ -1,0 +1,36 @@
+"""Tests for table rendering."""
+
+from repro.eval.reports import format_delta, format_percent, format_table
+
+
+class TestFormatDelta:
+    def test_with_reference(self):
+        assert format_delta(87.34, 56.57) == "87.34 (+30.77)"
+
+    def test_negative_delta(self):
+        assert format_delta(50.0, 52.5) == "50.00 (-2.50)"
+
+    def test_without_reference(self):
+        assert format_delta(87.34, None) == "87.34"
+
+
+class TestFormatPercent:
+    def test_value(self):
+        assert format_percent(0.72) == "72%"
+
+    def test_negative(self):
+        assert format_percent(-0.83) == "-83%"
+
+    def test_none(self):
+        assert format_percent(None) == "-"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "f1"], [["abt-buy", 87.3], ["x", 1]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all same width
+
+    def test_title(self):
+        assert format_table(["a"], [["1"]], title="T").startswith("T\n")

@@ -1,0 +1,97 @@
+"""Integration tests across modules on the real benchmark datasets.
+
+These assert the *qualitative shapes* the reproduction must preserve
+(who wins, signs of deltas), not exact F1 values.
+"""
+
+import pytest
+
+from repro.core.finetuning import evaluate_on, finetune_model, zero_shot_model
+from repro.core.selection import error_based_filter
+from repro.datasets.registry import load_dataset
+from repro.eval.evaluator import evaluate_model
+
+
+@pytest.fixture(scope="module")
+def wdc():
+    return load_dataset("wdc-small")
+
+
+@pytest.fixture(scope="module")
+def llama_ft(wdc):
+    return finetune_model("llama-3.1-8b", "wdc-small").model
+
+
+class TestZeroShotShape:
+    def test_model_ordering_on_products(self, wdc):
+        """Paper Table 2 zero-shot: gpt-4o ≥ gpt-4o-mini > llama-70b > llama-8b
+        holds in aggregate over the product benchmarks."""
+        names = ["abt-buy", "walmart-amazon", "wdc-small"]
+
+        def avg(model_name):
+            results = evaluate_on(zero_shot_model(model_name), names)
+            return sum(r.f1 for r in results.values()) / len(results)
+
+        assert avg("gpt-4o") > avg("llama-3.1-70b") > avg("llama-3.1-8b")
+        assert avg("gpt-4o-mini") > avg("llama-3.1-8b")
+
+    def test_scholar_easier_than_products_for_weak_model(self):
+        model = zero_shot_model("llama-3.1-8b")
+        results = evaluate_on(model, ["dblp-acm", "wdc-small"])
+        assert results["dblp-acm"].f1 > results["wdc-small"].f1
+
+    def test_amazon_google_is_hardest_product_set(self):
+        model = zero_shot_model("gpt-4o")
+        results = evaluate_on(
+            model, ["abt-buy", "amazon-google", "walmart-amazon", "wdc-small"]
+        )
+        assert results["amazon-google"].f1 == min(r.f1 for r in results.values())
+
+
+class TestFineTuningShape:
+    def test_small_model_gains_big_on_source(self, wdc, llama_ft):
+        zs = evaluate_model(zero_shot_model("llama-3.1-8b"), wdc.test).f1
+        ft = evaluate_model(llama_ft, wdc.test).f1
+        assert ft - zs > 8.0, "Llama-8B must gain substantially from fine-tuning"
+
+    def test_in_domain_transfer_positive(self, llama_ft):
+        """WDC-tuned Llama-8B improves on the other product datasets."""
+        zs = evaluate_on(zero_shot_model("llama-3.1-8b"), ["abt-buy", "walmart-amazon"])
+        ft = evaluate_on(llama_ft, ["abt-buy", "walmart-amazon"])
+        gains = [ft[n].f1 - zs[n].f1 for n in zs]
+        assert sum(gains) / len(gains) > 0.0
+
+    def test_cross_domain_transfer_not_positive(self, llama_ft):
+        """Product fine-tuning does not lift scholar performance (paper §3.2)."""
+        zs = evaluate_on(zero_shot_model("llama-3.1-8b"), ["dblp-acm", "dblp-scholar"])
+        ft = evaluate_on(llama_ft, ["dblp-acm", "dblp-scholar"])
+        gains = [ft[n].f1 - zs[n].f1 for n in zs]
+        assert sum(gains) / len(gains) < 3.0
+
+    def test_llama70b_does_not_benefit_much(self, wdc):
+        """Paper: fine-tuning slightly hurts Llama-70B on WDC."""
+        zs = evaluate_model(zero_shot_model("llama-3.1-70b"), wdc.test).f1
+        ft_model = finetune_model("llama-3.1-70b", "wdc-small").model
+        ft = evaluate_model(ft_model, wdc.test).f1
+        assert ft - zs < 5.0
+
+    def test_finetuned_model_reduces_prompt_sensitivity(self, wdc, llama_ft):
+        from repro.core.sensitivity import prompt_sensitivity
+
+        pre = prompt_sensitivity(zero_shot_model("llama-3.1-8b"), "wdc-small")
+        post = prompt_sensitivity(llama_ft, "wdc-small")
+        assert post.std < pre.std
+
+
+class TestFiltrationShape:
+    def test_error_filter_removes_mislabeled(self, wdc):
+        """Error-based filtering preferentially drops mislabeled pairs."""
+        filtered = error_based_filter(wdc.train)
+        def mislabel_rate(split):
+            return sum(p.source.endswith("mislabeled") for p in split) / len(split)
+        assert mislabel_rate(filtered) < mislabel_rate(wdc.train)
+
+    def test_filtered_size_in_paper_ballpark(self, wdc):
+        """Paper: 2006 of 2500 survive error-based filtering."""
+        filtered = error_based_filter(wdc.train)
+        assert 1500 < len(filtered) < 2450

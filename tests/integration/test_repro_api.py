@@ -1,0 +1,18 @@
+"""Tests for the top-level package API."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_dataset_names_exposed(self):
+        assert "wdc-small" in repro.DATASET_NAMES
+
+    def test_model_names_exposed(self):
+        assert "gpt-4o" in repro.MODEL_NAMES

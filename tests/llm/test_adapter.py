@@ -1,0 +1,56 @@
+"""Tests for the LoRA adapter."""
+
+import numpy as np
+import pytest
+
+from repro.llm.adapter import LoRAAdapter
+
+
+@pytest.fixture
+def adapter():
+    return LoRAAdapter.init(d=10, k=4, rank=8, alpha=16.0, aux_dim=3, seed=1)
+
+
+class TestLoRAAdapter:
+    def test_zero_delta_at_init(self, adapter):
+        assert np.allclose(adapter.delta(), 0.0)
+        assert adapter.update_norm() == 0.0
+
+    def test_scaling_is_alpha_over_rank(self, adapter):
+        assert adapter.scaling == 16.0 / 8
+
+    def test_logit_delta_zero_at_init(self, adapter):
+        x = np.random.default_rng(0).random((5, 10))
+        v = np.ones(4)
+        assert np.allclose(adapter.logit_delta(x, v), 0.0)
+
+    def test_logit_delta_matches_full_delta(self, adapter):
+        rng = np.random.default_rng(1)
+        adapter.B[:] = rng.standard_normal(adapter.B.shape)
+        x = rng.random((5, 10))
+        v = rng.random(4)
+        direct = x @ adapter.delta().T @ v
+        assert np.allclose(adapter.logit_delta(x, v), direct)
+
+    def test_aux_predict_shape(self, adapter):
+        x = np.random.default_rng(0).random((6, 10))
+        assert adapter.aux_predict(x).shape == (6, 3)
+
+    def test_aux_predict_empty_when_no_aux(self):
+        adapter = LoRAAdapter.init(d=10, k=4, rank=8, seed=0)
+        x = np.zeros((2, 10))
+        assert adapter.aux_predict(x).shape == (2, 0)
+
+    def test_copy_is_deep(self, adapter):
+        clone = adapter.copy()
+        clone.B += 1.0
+        assert not np.allclose(clone.B, adapter.B)
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError, match="rank"):
+            LoRAAdapter.init(d=4, k=2, rank=0)
+
+    def test_init_deterministic(self):
+        a = LoRAAdapter.init(d=6, k=2, rank=4, seed=7)
+        b = LoRAAdapter.init(d=6, k=2, rank=4, seed=7)
+        assert np.allclose(a.A, b.A)

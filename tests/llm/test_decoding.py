@@ -1,0 +1,70 @@
+"""Tests for answer realization."""
+
+from repro.llm.decoding import is_hedged, realize_answer
+from repro.llm.parsing import parse_yes_no
+from repro.llm.registry import get_persona
+from repro.prompts.templates import COMPLEX_FORCE, DEFAULT_PROMPT
+
+
+class TestHedging:
+    def test_forced_prompt_never_hedges(self):
+        persona = get_persona("llama-3.1-8b")
+        assert not any(
+            is_hedged(persona, COMPLEX_FORCE, f"l{i}", f"r{i}", fine_tuned=False)
+            for i in range(200)
+        )
+
+    def test_fine_tuned_never_hedges(self):
+        persona = get_persona("llama-3.1-8b")
+        assert not any(
+            is_hedged(persona, DEFAULT_PROMPT, f"l{i}", f"r{i}", fine_tuned=True)
+            for i in range(200)
+        )
+
+    def test_hedge_rate_tracks_compliance(self):
+        persona = get_persona("llama-3.1-8b")
+        hedged = sum(
+            is_hedged(persona, DEFAULT_PROMPT, f"l{i}", f"r{i}", fine_tuned=False)
+            for i in range(2000)
+        )
+        expected = (1 - persona.format_compliance) * 2000
+        assert 0.3 * expected <= hedged <= 3 * expected
+
+    def test_deterministic_per_pair(self):
+        persona = get_persona("llama-3.1-8b")
+        a = is_hedged(persona, DEFAULT_PROMPT, "x", "y", fine_tuned=False)
+        b = is_hedged(persona, DEFAULT_PROMPT, "x", "y", fine_tuned=False)
+        assert a == b
+
+
+class TestRealizeAnswer:
+    def test_fine_tuned_answers_tersely(self):
+        persona = get_persona("gpt-4o-mini")
+        text = realize_answer(True, persona, DEFAULT_PROMPT, "a", "b", fine_tuned=True)
+        assert text == "Yes."
+
+    def test_explanation_appended(self):
+        persona = get_persona("gpt-4o-mini")
+        text = realize_answer(
+            False, persona, DEFAULT_PROMPT, "a", "b", fine_tuned=True,
+            explanation="attribute=x values=a###b",
+        )
+        assert text.startswith("No. attribute=x")
+
+    def test_zero_shot_verbose_but_parseable(self):
+        persona = get_persona("gpt-4o")
+        text = realize_answer(True, persona, DEFAULT_PROMPT, "a", "b", fine_tuned=False)
+        assert len(text.split()) > 3
+        assert parse_yes_no(text) is True
+
+    def test_hedged_answer_is_unparseable(self):
+        persona = get_persona("llama-3.1-8b")
+        # find a pair the persona hedges on
+        for i in range(500):
+            if is_hedged(persona, DEFAULT_PROMPT, f"l{i}", f"r{i}", fine_tuned=False):
+                text = realize_answer(
+                    True, persona, DEFAULT_PROMPT, f"l{i}", f"r{i}", fine_tuned=False
+                )
+                assert parse_yes_no(text) is None
+                return
+        raise AssertionError("no hedged pair found in 500 draws")

@@ -1,0 +1,58 @@
+"""Tests for the embedding model."""
+
+import numpy as np
+import pytest
+
+from repro.llm.embeddings import EmbeddingModel
+
+
+@pytest.fixture(scope="module")
+def embedding():
+    return EmbeddingModel(dim=32, buckets=128, seed=3)
+
+
+class TestEmbeddingModel:
+    def test_unit_norm(self, embedding):
+        vec = embedding.embed("some text here")
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_empty_text_zero_vector(self, embedding):
+        # no n-grams still hashes the padding; norm is finite
+        vec = embedding.embed("")
+        assert vec.shape == (32,)
+
+    def test_deterministic(self):
+        a = EmbeddingModel(dim=16, seed=1).embed("abc")
+        b = EmbeddingModel(dim=16, seed=1).embed("abc")
+        assert np.allclose(a, b)
+
+    def test_seed_changes_projection(self):
+        a = EmbeddingModel(dim=16, seed=1).embed("abc")
+        b = EmbeddingModel(dim=16, seed=2).embed("abc")
+        assert not np.allclose(a, b)
+
+    def test_similar_texts_closer_than_dissimilar(self, embedding):
+        base = embedding.embed("jabra evolve 80 stereo headset")
+        near = embedding.embed("jabra evolve 80 headset stereo")
+        far = embedding.embed("office suite 2007 professional")
+        assert embedding.cosine(base, near) > embedding.cosine(base, far)
+
+    def test_embed_many_stacks(self, embedding):
+        matrix = embedding.embed_many(["a b c", "d e f"])
+        assert matrix.shape == (2, 32)
+
+    def test_embed_many_empty(self, embedding):
+        assert embedding.embed_many([]).shape == (0, 32)
+
+    def test_nearest_returns_self_first(self, embedding):
+        texts = ["alpha beta", "gamma delta", "alpha beta gamma"]
+        corpus = embedding.embed_many(texts)
+        nearest = embedding.nearest(embedding.embed("alpha beta"), corpus, k=2)
+        assert nearest[0] == 0
+
+    def test_nearest_empty_corpus(self, embedding):
+        assert embedding.nearest(embedding.embed("x"), np.zeros((0, 32))) == []
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(dim=0)

@@ -1,0 +1,126 @@
+"""Tests for the pair-feature representation."""
+
+import numpy as np
+import pytest
+
+from repro.llm.features import (
+    FEATURE_GROUPS,
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    clear_feature_cache,
+    featurize_pair,
+    featurize_pairs,
+    featurize_texts,
+)
+
+IDX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+class TestFeatureInventory:
+    def test_groups_cover_expected_values(self):
+        assert set(FEATURE_GROUPS.values()) == {
+            "generic", "product", "software", "scholar", "bias"
+        }
+
+    def test_bias_is_last(self):
+        assert FEATURE_NAMES[-1] == "bias"
+
+
+class TestFeaturizePair:
+    def test_shape_and_range(self):
+        phi = featurize_pair("Jabra Evolve 80 stereo", "jabra evolve 80")
+        assert phi.shape == (NUM_FEATURES,)
+        assert np.all(phi >= 0.0) and np.all(phi <= 1.0)
+
+    def test_bias_always_one(self):
+        assert featurize_pair("", "")[IDX["bias"]] == 1.0
+
+    def test_identical_strings_high_similarity(self):
+        phi = featurize_pair("Sonavik Vault 9a ssd", "Sonavik Vault 9a ssd")
+        assert phi[IDX["token_jaccard"]] == 1.0
+        assert phi[IDX["char3_cosine"]] > 0.99
+        assert phi[IDX["seq_ratio"]] == 1.0
+
+    def test_code_match_through_compound_split(self):
+        phi = featurize_pair("Brixon Zen-239 phone", "Brixon Zen 239 phone")
+        assert phi[IDX["code_match"]] == 1.0
+        assert phi[IDX["code_conflict"]] == 0.0
+
+    def test_near_code_detects_siblings(self):
+        phi = featurize_pair("Brixon Zen 239 phone", "Brixon Zen 238 phone")
+        assert phi[IDX["near_code_match"]] == 1.0
+        assert phi[IDX["code_conflict"]] == 1.0
+
+    def test_sku_isolated_from_token_features(self):
+        bare = featurize_pair("Wolvik Optio y57 camera", "Wolvik Optio y57 camera")
+        with_sku = featurize_pair(
+            "Wolvik Optio y57 camera", "Wolvik Optio y57 camera (8850-5035-4591)"
+        )
+        assert with_sku[IDX["token_jaccard"]] == bare[IDX["token_jaccard"]]
+        assert with_sku[IDX["sku_match"]] == 0.0  # only one side shows it
+
+    def test_sku_match_and_conflict(self):
+        match = featurize_pair("a (123-456-789)", "b (123-456-789)")
+        conflict = featurize_pair("a (123-456-789)", "a (987-654-321)")
+        assert match[IDX["sku_match"]] == 1.0
+        assert conflict[IDX["sku_conflict"]] == 1.0
+
+    def test_version_conflict(self):
+        phi = featurize_pair("office suite 2007 pro", "office suite 2009 pro")
+        assert phi[IDX["version_conflict"]] == 1.0
+        assert phi[IDX["version_match"]] == 0.0
+
+    def test_edition_aliases_canonicalized(self):
+        phi = featurize_pair("draw pro 3.0", "draw professional 3.0")
+        assert phi[IDX["edition_match"]] == 1.0
+        assert phi[IDX["edition_conflict"]] == 0.0
+
+    def test_scholar_fields(self):
+        left = "a. smith, b. jones; query optimization at scale; vldb; 2008"
+        right = "alice smith, bob jones; query optimization at scale; proceedings of the vldb endowment; 2008"
+        phi = featurize_pair(left, right)
+        assert phi[IDX["fielded_both"]] == 1.0
+        assert phi[IDX["author_overlap"]] == 1.0
+        assert phi[IDX["title_field_sim"]] == 1.0
+        assert phi[IDX["venue_compat"]] == 1.0
+        assert phi[IDX["year_field_match"]] == 1.0
+
+    def test_scholar_year_conflict(self):
+        left = "a. smith; a title; vldb; 2008"
+        right = "a. smith; a title; vldb; 2009"
+        phi = featurize_pair(left, right)
+        assert phi[IDX["year_field_conflict"]] == 1.0
+
+    def test_venue_conflict(self):
+        left = "a; t; vldb; 2008"
+        right = "a; t; sigmod; 2008"
+        phi = featurize_pair(left, right)
+        assert phi[IDX["venue_conflict"]] == 1.0
+
+    def test_product_titles_not_fielded(self):
+        phi = featurize_pair("Brixon Zen 239", "Brixon Zen 238")
+        assert phi[IDX["fielded_both"]] == 0.0
+        assert phi[IDX["author_overlap"]] == 0.0
+
+    def test_etal_detected(self):
+        left = "a. smith, et al; title words here; vldb; 2008"
+        phi = featurize_pair(left, left)
+        assert phi[IDX["etal_present"]] == 1.0
+
+
+class TestFeaturizePairs:
+    def test_matrix_shape(self, product_split):
+        phi = featurize_pairs(product_split.pairs[:10])
+        assert phi.shape == (10, NUM_FEATURES)
+
+    def test_empty(self):
+        assert featurize_pairs([]).shape == (0, NUM_FEATURES)
+
+    def test_cache_consistency(self):
+        clear_feature_cache()
+        a = featurize_texts("x y z", "x y")
+        b = featurize_texts("x y z", "x y")
+        assert a is b  # memoized object identity
+        clear_feature_cache()
+        c = featurize_texts("x y z", "x y")
+        assert np.allclose(a, c)

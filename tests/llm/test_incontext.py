@@ -1,0 +1,105 @@
+"""Tests for in-context learning (few-shot matching)."""
+
+import numpy as np
+import pytest
+
+from repro.core.finetuning import make_training_examples
+from repro.datasets.registry import load_dataset
+from repro.eval.metrics import f1_score
+from repro.llm.incontext import FewShotMatcher, build_fewshot_prompt
+from repro.llm.model import build_model
+
+
+@pytest.fixture(scope="module")
+def wdc():
+    return load_dataset("wdc-small")
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("llama-3.1-8b")
+
+
+class TestConstruction:
+    def test_invalid_k(self, model, wdc):
+        with pytest.raises(ValueError, match="k must be positive"):
+            FewShotMatcher(model, wdc.train, k=0)
+
+    def test_unknown_selection(self, model, wdc):
+        with pytest.raises(ValueError, match="selection"):
+            FewShotMatcher(model, wdc.train, selection="psychic")
+
+    def test_small_pool_rejected(self, model, wdc):
+        with pytest.raises(ValueError, match="pool"):
+            FewShotMatcher(model, wdc.train.subset(range(2)), k=6)
+
+    def test_fine_tuned_model_rejected(self, model, wdc):
+        examples = make_training_examples(wdc.train.subset(range(100)))
+        from repro.training.config import open_source_defaults
+
+        tuned, _ = model.fine_tune(
+            examples, config=open_source_defaults().with_epochs(1),
+            training_set="icl-reject",
+        )
+        with pytest.raises(ValueError, match="zero-shot"):
+            FewShotMatcher(tuned, wdc.train)
+
+
+class TestPromptRendering:
+    def test_demos_precede_query(self, model, wdc):
+        matcher = FewShotMatcher(model, wdc.train, k=3)
+        pair = wdc.test.pairs[0]
+        prompt = matcher.prompt_for(pair)
+        assert prompt.count("Answer:") == 4  # 3 demos + query
+        assert prompt.rstrip().endswith("Answer:")
+        assert pair.left.description in prompt
+
+    def test_build_fewshot_prompt_labels(self, wdc):
+        demos = wdc.train.pairs[:2]
+        prompt = build_fewshot_prompt(wdc.test.pairs[0], list(demos))
+        for demo in demos:
+            assert ("Yes." if demo.label else "No.") in prompt
+
+
+class TestFewShotEffect:
+    def test_improves_over_zero_shot(self, model, wdc):
+        """Demonstrations calibrate the threshold (the ICL literature's
+        core effect) — F1 rises over zero-shot on the miscalibrated model."""
+        labels = np.array(wdc.test.labels())
+        zero = f1_score(labels, model.predict_pairs(wdc.test.pairs)).f1
+        few = FewShotMatcher(model, wdc.train, k=6)
+        few_f1 = f1_score(labels, few.predict_pairs(wdc.test.pairs)).f1
+        assert few_f1 > zero
+
+    def test_fewshot_below_finetuning(self, model, wdc):
+        """The paper's motivation: fine-tuning beats in-context learning."""
+        from repro.core.finetuning import finetune_model
+
+        labels = np.array(wdc.test.labels())
+        few = FewShotMatcher(model, wdc.train, k=6)
+        few_f1 = f1_score(labels, few.predict_pairs(wdc.test.pairs)).f1
+        tuned = finetune_model("llama-3.1-8b", "wdc-small").model
+        ft_f1 = f1_score(labels, tuned.predict_pairs(wdc.test.pairs)).f1
+        assert ft_f1 > few_f1
+
+    def test_knn_at_least_matches_random(self, model, wdc):
+        labels = np.array(wdc.test.labels()[:600])
+        pairs = wdc.test.pairs[:600]
+        random_f1 = f1_score(
+            labels, FewShotMatcher(model, wdc.train, k=6).predict_pairs(pairs)
+        ).f1
+        knn_f1 = f1_score(
+            labels,
+            FewShotMatcher(model, wdc.train, k=6, selection="knn").predict_pairs(pairs),
+        ).f1
+        # per-query calibration from 6 neighbours is noisier than one global
+        # shift; both must clearly beat zero-shot, and stay comparable
+        zero_f1 = f1_score(labels, model.predict_pairs(pairs)).f1
+        assert knn_f1 > zero_f1
+        assert knn_f1 >= random_f1 - 4.0
+
+    def test_deterministic(self, model, wdc):
+        few = FewShotMatcher(model, wdc.train, k=6)
+        a = few.predict_pairs(wdc.test.pairs[:50])
+        b = few.predict_pairs(wdc.test.pairs[:50])
+        assert np.array_equal(a, b)

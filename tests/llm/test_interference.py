@@ -1,0 +1,78 @@
+"""Tests for the fine-tuning interference mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.finetuning import make_training_examples
+from repro.datasets.registry import load_dataset
+from repro.llm.model import build_model
+from repro.training.config import open_source_defaults
+
+
+@pytest.fixture(scope="module")
+def product_tuned():
+    """Llama-8B fine-tuned on a small product set (fast config)."""
+    wdc = load_dataset("wdc-small")
+    base = build_model("llama-3.1-8b")
+    examples = make_training_examples(wdc.train.subset(range(600)))
+    tuned, _ = base.fine_tune(
+        examples,
+        valid=wdc.valid,
+        config=open_source_defaults().with_epochs(3),
+        training_set="interference-probe",
+    )
+    return base, tuned
+
+
+class TestForgettingShrinkage:
+    def test_prior_norm_shrinks(self, product_tuned):
+        base, tuned = product_tuned
+        assert np.linalg.norm(tuned.W0) < np.linalg.norm(base.W0)
+
+    def test_unrehearsed_features_fade_more(self, product_tuned):
+        base, tuned = product_tuned
+        from repro.llm.features import FEATURE_NAMES
+
+        ratio = np.linalg.norm(tuned.W0, axis=0) / np.maximum(
+            np.linalg.norm(base.W0, axis=0), 1e-12
+        )
+        scholar_idx = FEATURE_NAMES.index("author_overlap")
+        product_idx = FEATURE_NAMES.index("token_jaccard")
+        assert ratio[scholar_idx] < ratio[product_idx]
+
+    def test_unused_adapter_columns_zeroed(self, product_tuned):
+        _, tuned = product_tuned
+        from repro.llm.features import FEATURE_NAMES
+
+        scholar_idx = FEATURE_NAMES.index("author_overlap")
+        assert np.allclose(tuned.adapter.A[:, scholar_idx], 0.0)
+
+    def test_ood_perception_amplified(self, product_tuned):
+        _, tuned = product_tuned
+        flat, fielded = tuned.prior.perception_scale
+        assert fielded > flat  # product training degrades scholar reading
+
+    def test_miscalibration_survives_finetuning(self, product_tuned):
+        base, tuned = product_tuned
+        assert np.allclose(
+            base.prior.feature_bias_vector(), tuned.prior.feature_bias_vector()
+        )
+
+
+class TestExplanationSharpening:
+    def test_structured_explanations_sharpen_perception(self):
+        wdc = load_dataset("wdc-small")
+        base = build_model("llama-3.1-8b")
+        examples = make_training_examples(
+            wdc.train.subset(range(400)), explanation_style="structured"
+        )
+        tuned, _ = base.fine_tune(
+            examples,
+            config=open_source_defaults().with_epochs(2),
+            training_set="sharpen-probe",
+            explanation_style="structured",
+        )
+        flat, _ = tuned.prior.perception_scale
+        assert flat < 1.0  # in-domain perception sharpened
+        assert tuned.prior.obs_sigma_scale is not None
+        assert tuned.prior.obs_sigma_scale.min() < 1.0

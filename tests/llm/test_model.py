@@ -1,0 +1,127 @@
+"""Tests for the ChatModel facade."""
+
+import numpy as np
+import pytest
+
+from repro.llm.model import build_model
+from repro.llm.parsing import parse_yes_no
+from repro.prompts.templates import COMPLEX_FORCE, DEFAULT_PROMPT, SIMPLE_FREE
+from repro.training.trainer import TrainingExample
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("gpt-4o-mini")
+
+
+@pytest.fixture(scope="module")
+def weak_model():
+    return build_model("llama-3.1-8b")
+
+
+@pytest.fixture(scope="module")
+def tuned(weak_model, tiny_dataset_module):
+    examples = [
+        TrainingExample(pair=p, label=p.label) for p in tiny_dataset_module.train.pairs
+    ]
+    tuned, _ = weak_model.fine_tune(
+        examples, valid=tiny_dataset_module.valid, training_set="tiny"
+    )
+    return tuned
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_module():
+    from tests.conftest import make_product_split
+    from repro.datasets.schema import Dataset
+
+    return Dataset(
+        name="tiny-m",
+        domain="product",
+        train=make_product_split("tiny-m-train", 60, 140, seed=31),
+        valid=make_product_split("tiny-m-valid", 40, 100, seed=32),
+        test=make_product_split("tiny-m-test", 40, 100, seed=33),
+    )
+
+
+class TestZeroShotModel:
+    def test_cached(self):
+        assert build_model("gpt-4o") is build_model("gpt-4o")
+
+    def test_not_fine_tuned(self, model):
+        assert not model.is_fine_tuned
+        assert model.training_set == "zero-shot"
+
+    def test_logits_deterministic(self, model, product_split):
+        a = model.logits(product_split.pairs[:20])
+        b = model.logits(product_split.pairs[:20])
+        assert np.allclose(a, b)
+
+    def test_logits_empty(self, model):
+        assert model.logits([]).shape == (0,)
+
+    def test_prompt_bias_varies_by_prompt(self, model):
+        assert model.prompt_bias(DEFAULT_PROMPT) != model.prompt_bias(SIMPLE_FREE)
+
+    def test_prompt_bias_deterministic(self, model):
+        assert model.prompt_bias(DEFAULT_PROMPT) == model.prompt_bias(DEFAULT_PROMPT)
+
+    def test_complete_answers_parse(self, model, product_split):
+        pair = product_split.pairs[0]
+        prompt = DEFAULT_PROMPT.render(pair.left.description, pair.right.description)
+        response = model.complete(prompt)
+        assert isinstance(response, str) and response
+
+    def test_complete_agrees_with_predict(self, model, product_split):
+        """The chat path and the vectorized path produce the same labels."""
+        pairs = product_split.pairs[:40]
+        vector_preds = model.predict_pairs(pairs, COMPLEX_FORCE)
+        for pair, expected in zip(pairs, vector_preds):
+            prompt = COMPLEX_FORCE.render(pair.left.description, pair.right.description)
+            parsed = parse_yes_no(model.complete(prompt))
+            assert bool(parsed) == bool(expected)
+
+    def test_custom_prompt_wording_supported(self, model):
+        response = model.complete(
+            '"Are these the same item?"\nEntity 1: a\nEntity 2: b'
+        )
+        assert isinstance(response, str)
+
+    def test_malformed_prompt_raises(self, model):
+        with pytest.raises(ValueError, match="Entity 1"):
+            model.complete("just some text")
+
+
+class TestFineTunedModel:
+    def test_immutability(self, weak_model, tuned):
+        model = weak_model
+        assert not model.is_fine_tuned
+        assert tuned.is_fine_tuned
+        assert tuned is not model
+
+    def test_improves_on_training_distribution(
+        self, weak_model, tuned, tiny_dataset_module
+    ):
+        from repro.eval.evaluator import evaluate_model
+
+        zs = evaluate_model(weak_model, tiny_dataset_module.test).f1
+        ft = evaluate_model(tuned, tiny_dataset_module.test).f1
+        assert ft > zs
+
+    def test_describe_mentions_training_set(self, tuned):
+        assert "tiny" in tuned.describe()
+
+    def test_fine_tuned_output_format(self, tuned, product_split):
+        pair = product_split.pairs[0]
+        prompt = DEFAULT_PROMPT.render(pair.left.description, pair.right.description)
+        assert tuned.complete(prompt) in ("Yes.", "No.")
+
+    def test_answer_pair_roundtrip(self, tuned, product_split):
+        for pair in product_split.pairs[:10]:
+            assert tuned.answer_pair(pair) == bool(
+                tuned.predict_pairs([pair])[0]
+            )
+
+    def test_empty_training_set_raises(self, model):
+        with pytest.raises(ValueError, match="empty"):
+            model.fine_tune([], training_set="empty")

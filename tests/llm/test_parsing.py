@@ -1,0 +1,46 @@
+"""Tests for Narayan-style answer parsing."""
+
+import pytest
+
+from repro.llm.parsing import parse_yes_no
+
+
+class TestParseYesNo:
+    @pytest.mark.parametrize(
+        "response",
+        [
+            "Yes.",
+            "Yes, they match.",
+            "yes — same product",
+            "Based on the details, yes, the two descriptions refer to the same entity.",
+            "The two entities are the same entity.",
+        ],
+    )
+    def test_affirmative(self, response):
+        assert parse_yes_no(response) is True
+
+    @pytest.mark.parametrize(
+        "response",
+        [
+            "No.",
+            "No, the model numbers differ.",
+            "These are different products entirely — not a match.",
+        ],
+    )
+    def test_negative(self, response):
+        assert parse_yes_no(response) is False
+
+    @pytest.mark.parametrize(
+        "response",
+        [
+            "It is unclear.",
+            "Cannot be determined from the given text.",
+            "",
+        ],
+    )
+    def test_unparseable(self, response):
+        assert parse_yes_no(response) is None
+
+    def test_earlier_marker_wins(self):
+        assert parse_yes_no("Yes. Although no spec is shown.") is True
+        assert parse_yes_no("No — even though they look the same, yes similar.") is False

@@ -1,0 +1,88 @@
+"""Tests for persona priors and representations."""
+
+import numpy as np
+import pytest
+
+from repro.llm.features import FEATURE_NAMES, NUM_FEATURES, featurize_pairs
+from repro.llm.prior import (
+    SUBTLE_FEATURES,
+    build_prior,
+    pretraining_mixture,
+    representation_matrix,
+)
+from repro.llm.registry import get_persona
+
+
+class TestPretrainingMixture:
+    def test_contains_both_domains(self):
+        mixture = pretraining_mixture()
+        fielded = sum(1 for p in mixture if ";" in p.left.description)
+        assert 0 < fielded < len(mixture)
+
+    def test_cached(self):
+        assert pretraining_mixture() is pretraining_mixture()
+
+
+class TestRepresentationMatrix:
+    def test_shape(self):
+        M = representation_matrix(get_persona("llama-3.1-8b"))
+        assert M.shape == (NUM_FEATURES, NUM_FEATURES)
+
+    def test_bias_untouched(self):
+        M = representation_matrix(get_persona("llama-3.1-8b"))
+        bias_idx = FEATURE_NAMES.index("bias")
+        assert M[bias_idx, bias_idx] == 1.0
+
+    def test_subtle_features_attenuated_for_weak_persona(self):
+        M = representation_matrix(get_persona("llama-3.1-8b"))
+        idx = FEATURE_NAMES.index("near_code_match")
+        assert M[idx, idx] == pytest.approx(0.22)
+
+    def test_gpt4o_sees_nearly_everything(self):
+        M = representation_matrix(get_persona("gpt-4o"))
+        diag = np.diag(M)
+        assert diag.min() >= 0.85
+
+
+class TestPriorHead:
+    def test_cached_by_name(self):
+        assert build_prior("gpt-4o") is build_prior("gpt-4o")
+
+    def test_observe_deterministic(self, product_split):
+        prior = build_prior("llama-3.1-8b")
+        a = prior.observe(product_split.pairs[:5])
+        b = prior.observe(product_split.pairs[:5])
+        assert np.allclose(a, b)
+
+    def test_observe_noise_only_on_degraded_features(self, product_split):
+        prior = build_prior("llama-3.1-8b")
+        phi = featurize_pairs(product_split.pairs[:5])
+        linear = prior.represent(phi)
+        observed = prior.observe(product_split.pairs[:5])
+        bias_idx = FEATURE_NAMES.index("bias")
+        assert np.allclose(observed[:, bias_idx], linear[:, bias_idx])
+        subtle_idx = FEATURE_NAMES.index(SUBTLE_FEATURES[0])
+        assert not np.allclose(observed[:, subtle_idx], linear[:, subtle_idx])
+
+    def test_prior_separates_classes(self, product_split):
+        """Even the weakest persona's prior must carry signal."""
+        prior = build_prior("gpt-4o")
+        logits = prior.logits_for(product_split.pairs)
+        labels = np.array(product_split.labels())
+        assert logits[labels].mean() > logits[~labels].mean()
+
+    def test_perception_noise_deterministic_and_scaled(self, product_split, scholar_split):
+        prior = build_prior("llama-3.1-8b")
+        a = prior.perception_noise(product_split.pairs[:10])
+        b = prior.perception_noise(product_split.pairs[:10])
+        assert np.allclose(a, b)
+        # scholar pairs scale by the persona's scholar_noise_factor
+        factor = prior.persona.scholar_noise_factor
+        scholar_noise = prior.perception_noise(scholar_split.pairs[:80])
+        product_noise = prior.perception_noise(product_split.pairs[:80])
+        ratio = np.abs(scholar_noise).mean() / np.abs(product_noise).mean()
+        assert 0.5 * factor < ratio < 2.0 * factor
+
+    def test_perception_noise_empty(self):
+        prior = build_prior("gpt-4o")
+        assert prior.perception_noise([]).shape == (0,)

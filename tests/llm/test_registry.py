@@ -1,0 +1,35 @@
+"""Tests for the persona registry."""
+
+import pytest
+
+from repro.llm.registry import MODEL_NAMES, PERSONAS, get_persona
+
+
+class TestPersonaRegistry:
+    def test_four_personas(self):
+        assert set(MODEL_NAMES) == {
+            "llama-3.1-8b", "llama-3.1-70b", "gpt-4o-mini", "gpt-4o"
+        }
+
+    def test_paper_aliases_resolve(self):
+        assert get_persona("Meta-Llama-3.1-8B-Instruct").name == "llama-3.1-8b"
+        assert get_persona("gpt-4o-2024-08-06").name == "gpt-4o"
+        assert get_persona("gpt-4o-mini-2024-07-18").name == "gpt-4o-mini"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            get_persona("gpt-5")
+
+    def test_kinds(self):
+        assert get_persona("llama-3.1-8b").kind == "open-source"
+        assert get_persona("gpt-4o").kind == "hosted"
+
+    def test_capability_ordering(self):
+        """Larger/stronger models have cleaner priors and perception."""
+        p8 = PERSONAS["llama-3.1-8b"]
+        mini = PERSONAS["gpt-4o-mini"]
+        big = PERSONAS["gpt-4o"]
+        assert p8.prior_noise > mini.prior_noise > big.prior_noise
+        assert p8.perception_noise > mini.perception_noise > big.perception_noise
+        assert p8.subtle_fidelity < mini.subtle_fidelity <= big.subtle_fidelity
+        assert p8.prompt_bias_sigma > mini.prompt_bias_sigma

@@ -1,0 +1,46 @@
+"""Tests for the lightweight tokenizer."""
+
+from repro.llm.tokenizer import char_ngrams, count_tokens, levenshtein, tokenize
+
+
+class TestCharNgrams:
+    def test_padding_includes_boundaries(self):
+        grams = char_ngrams("ab")
+        assert any(g.startswith(" ") for g in grams)
+
+    def test_same_tokens_same_grams(self):
+        assert char_ngrams("Jabra Evolve") == char_ngrams("jabra, EVOLVE!")
+
+    def test_short_text(self):
+        assert char_ngrams("") != set()
+
+
+class TestCountTokens:
+    def test_scales_with_words(self):
+        assert count_tokens("one two three") >= 3
+
+    def test_long_words_cost_more(self):
+        assert count_tokens("internationalization") > 1
+
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_substitution(self):
+        assert levenshtein("pg-730", "pg-731") == 1
+
+    def test_insertion(self):
+        assert levenshtein("abc", "abxc") == 1
+
+    def test_symmetric(self):
+        assert levenshtein("kitten", "sitting") == levenshtein("sitting", "kitten") == 3
+
+    def test_cap_early_exit(self):
+        assert levenshtein("aaaa", "bbbb", cap=1) == 2  # reported as cap+1
+
+    def test_cap_length_difference(self):
+        assert levenshtein("a", "abcdef", cap=2) == 3

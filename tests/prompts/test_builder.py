@@ -1,0 +1,39 @@
+"""Tests for prompt building and entity extraction."""
+
+import pytest
+
+from repro.prompts.builder import build_matching_prompt, extract_entities, identify_prompt
+from repro.prompts.templates import DEFAULT_PROMPT, SIMPLE_FORCE
+
+
+class TestExtractEntities:
+    def test_roundtrip(self):
+        prompt = DEFAULT_PROMPT.render("Jabra Evolve 80", "jabra evolve-80 stereo")
+        left, right = extract_entities(prompt)
+        assert left == "Jabra Evolve 80"
+        assert right == "jabra evolve-80 stereo"
+
+    def test_multiline_right_description(self):
+        prompt = 'q\nEntity 1: alpha\nEntity 2: beta gamma'
+        assert extract_entities(prompt) == ("alpha", "beta gamma")
+
+    def test_missing_block_raises(self):
+        with pytest.raises(ValueError):
+            extract_entities("no entities here")
+
+
+class TestIdentifyPrompt:
+    def test_known_templates_identified(self):
+        prompt = SIMPLE_FORCE.render("a", "b")
+        assert identify_prompt(prompt) is SIMPLE_FORCE
+
+    def test_unknown_returns_none(self):
+        assert identify_prompt('"Some custom question?"\nEntity 1: a\nEntity 2: b') is None
+
+
+class TestBuildMatchingPrompt:
+    def test_uses_pair_descriptions(self, product_split):
+        pair = product_split.pairs[0]
+        prompt = build_matching_prompt(pair)
+        assert pair.left.description in prompt
+        assert pair.right.description in prompt

@@ -1,0 +1,43 @@
+"""Tests for prompt templates."""
+
+import pytest
+
+from repro.prompts.templates import (
+    ALTERNATIVE_PROMPTS,
+    DEFAULT_PROMPT,
+    PROMPTS,
+    get_prompt,
+)
+
+
+class TestTemplates:
+    def test_four_matching_prompts(self):
+        assert set(PROMPTS) == {
+            "default", "simple-free", "complex-force", "simple-force"
+        }
+
+    def test_paper_wordings(self):
+        assert PROMPTS["simple-free"].question == "Do the two product descriptions match?"
+        assert "Answer with 'Yes'" in PROMPTS["complex-force"].question
+        assert "Answer with 'Yes'" in PROMPTS["simple-force"].question
+        assert DEFAULT_PROMPT.question.startswith("Do the two entity descriptions")
+
+    def test_forced_flags(self):
+        assert not PROMPTS["default"].forced
+        assert not PROMPTS["simple-free"].forced
+        assert PROMPTS["complex-force"].forced
+        assert PROMPTS["simple-force"].forced
+
+    def test_alternatives_exclude_default(self):
+        assert DEFAULT_PROMPT not in ALTERNATIVE_PROMPTS
+        assert len(ALTERNATIVE_PROMPTS) == 3
+
+    def test_render_contains_entities(self):
+        text = DEFAULT_PROMPT.render("left desc", "right desc")
+        assert "Entity 1: left desc" in text
+        assert "Entity 2: right desc" in text
+
+    def test_get_prompt(self):
+        assert get_prompt("default") is DEFAULT_PROMPT
+        with pytest.raises(ValueError, match="unknown prompt"):
+            get_prompt("fancy")

@@ -1,0 +1,88 @@
+"""Tests for the simulated batch API."""
+
+import pytest
+
+from repro.llm.model import build_model
+from repro.prompts.templates import COMPLEX_FORCE
+from repro.serving.batch_api import BatchAPI, BatchRequest
+
+
+@pytest.fixture
+def api():
+    api = BatchAPI()
+    api.register_model(build_model("gpt-4o-mini"), name="gpt-4o-mini")
+    return api
+
+
+def _requests(product_split, n=5):
+    return [
+        BatchRequest(
+            custom_id=f"req-{i}",
+            prompt=COMPLEX_FORCE.render(p.left.description, p.right.description),
+        )
+        for i, p in enumerate(product_split.pairs[:n])
+    ]
+
+
+class TestBatchAPI:
+    def test_state_machine(self, api, product_split):
+        job = api.submit("gpt-4o-mini", _requests(product_split))
+        assert job.status == "validating"
+        job = api.poll(job.job_id)
+        assert job.status == "in_progress"
+        job = api.poll(job.job_id)
+        assert job.status == "completed"
+        assert job.counts["completed"] == 5
+
+    def test_run_to_completion(self, api, product_split):
+        job = api.submit("gpt-4o-mini", _requests(product_split))
+        responses = api.run_to_completion(job.job_id)
+        assert len(responses) == 5
+        assert all(r.ok for r in responses)
+        assert all(r.content for r in responses)
+
+    def test_unknown_model_fails_validation(self, api, product_split):
+        job = api.submit("gpt-9", _requests(product_split))
+        assert job.status == "failed"
+        assert "unknown model" in job.error
+
+    def test_duplicate_custom_id_rejected(self, api, product_split):
+        requests = _requests(product_split)
+        requests.append(requests[0])
+        job = api.submit("gpt-4o-mini", requests)
+        assert job.status == "failed"
+
+    def test_malformed_prompt_is_per_request_error(self, api):
+        job = api.submit(
+            "gpt-4o-mini",
+            [BatchRequest(custom_id="bad", prompt="not a matching prompt")],
+        )
+        responses = api.run_to_completion(job.job_id)
+        assert not responses[0].ok
+        assert responses[0].content is None
+
+    def test_failed_job_raises_on_completion(self, api):
+        job = api.submit("gpt-9", [])
+        with pytest.raises(RuntimeError, match="failed"):
+            api.run_to_completion(job.job_id)
+
+    def test_fine_tuned_model_registration(self, api):
+        model = build_model("gpt-4o-mini")
+        name = api.register_model(model)
+        assert name == "gpt-4o-mini:zero-shot"
+
+
+class TestBatchCounts:
+    def test_counts_track_failures(self, api):
+        from repro.serving.batch_api import BatchRequest
+
+        job = api.submit(
+            "gpt-4o-mini",
+            [
+                BatchRequest(custom_id="good",
+                             prompt='q\nEntity 1: a\nEntity 2: b'),
+                BatchRequest(custom_id="bad", prompt="malformed"),
+            ],
+        )
+        api.run_to_completion(job.job_id)
+        assert job.counts == {"total": 2, "completed": 2, "failed": 1}

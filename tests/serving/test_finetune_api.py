@@ -1,0 +1,48 @@
+"""Tests for the simulated hosted fine-tuning API."""
+
+import pytest
+
+from repro.core.finetuning import make_training_examples
+from repro.serving.finetune_api import FineTuneAPI
+
+
+@pytest.fixture(scope="module")
+def examples(product_split):
+    return make_training_examples(product_split)
+
+
+class TestFineTuneAPI:
+    def test_successful_job(self, examples, tiny_dataset):
+        api = FineTuneAPI()
+        job = api.create("gpt-4o-mini", examples, validation=tiny_dataset.valid)
+        assert job.status == "succeeded"
+        assert job.fine_tuned_model is not None
+        assert job.fine_tuned_model.is_fine_tuned
+
+    def test_only_three_checkpoints_visible(self, examples, tiny_dataset):
+        api = FineTuneAPI()
+        job = api.create("gpt-4o-mini", examples, validation=tiny_dataset.valid)
+        assert len(job.visible_checkpoints) == 3
+        assert [e for e, _ in job.visible_checkpoints] == [8, 9, 10]
+
+    def test_open_source_model_rejected(self, examples):
+        api = FineTuneAPI()
+        job = api.create("llama-3.1-8b", examples)
+        assert job.status == "failed"
+        assert "hosted" in job.error
+
+    def test_tiny_training_file_rejected(self, examples):
+        api = FineTuneAPI()
+        job = api.create("gpt-4o-mini", examples[:5])
+        assert job.status == "failed"
+        assert "at least 10" in job.error
+
+    def test_retrieve(self, examples):
+        api = FineTuneAPI()
+        job = api.create("gpt-4o-mini", examples[:5])
+        assert api.retrieve(job.job_id) is job
+
+    def test_unknown_base_model(self, examples):
+        api = FineTuneAPI()
+        job = api.create("gpt-9000", examples)
+        assert job.status == "failed"

@@ -1,0 +1,40 @@
+"""Tests for the local inference runner."""
+
+import pytest
+
+from repro.prompts.templates import COMPLEX_FORCE
+from repro.serving.local_runner import LocalRunner
+
+
+def _prompts(product_split, n=10):
+    return [
+        COMPLEX_FORCE.render(p.left.description, p.right.description)
+        for p in product_split.pairs[:n]
+    ]
+
+
+class TestLocalRunner:
+    def test_order_preserved(self, product_split):
+        runner = LocalRunner.for_model("llama-3.1-8b", batch_size=3)
+        prompts = _prompts(product_split)
+        outputs = runner.generate(prompts)
+        assert len(outputs) == len(prompts)
+
+    def test_batch_size_does_not_change_outputs(self, product_split):
+        prompts = _prompts(product_split)
+        small = LocalRunner.for_model("llama-3.1-8b", batch_size=1).generate(prompts)
+        large = LocalRunner.for_model("llama-3.1-8b", batch_size=64).generate(prompts)
+        assert small == large
+
+    def test_hosted_model_rejected(self):
+        with pytest.raises(ValueError, match="hosted"):
+            LocalRunner.for_model("gpt-4o")
+
+    def test_invalid_batch_size(self, product_split):
+        runner = LocalRunner.for_model("llama-3.1-70b", batch_size=0)
+        with pytest.raises(ValueError):
+            runner.generate(_prompts(product_split, 2))
+
+    def test_empty_prompts(self):
+        runner = LocalRunner.for_model("llama-3.1-8b")
+        assert runner.generate([]) == []

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_args(self):
+        args = build_parser().parse_args(["match", "a", "b", "--model", "gpt-4o"])
+        assert args.left == "a" and args.model == "gpt-4o"
+
+
+class TestCommands:
+    def test_match(self, capsys):
+        assert main(["match", "Jabra Evolve 80", "Jabra Evolve-80 stereo"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out in ("MATCH", "NO MATCH")
+
+    def test_datasets_prints_table1(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "wdc-small" in out
+        assert "8471" in out  # wdc-large train positives
+
+    def test_zero_shot(self, capsys):
+        assert main(["zero-shot", "--model", "gpt-4o-mini",
+                     "--datasets", "abt-buy"]) == 0
+        assert "abt-buy" in capsys.readouterr().out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", "--dataset", "abt-buy", "--out", str(tmp_path / "d")]) == 0
+        assert (tmp_path / "d" / "train.jsonl").exists()
+
+
+class TestValidateCommand:
+    def test_builtin_dataset_ok(self, capsys):
+        assert main(["validate", "--dataset", "abt-buy"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["validate"]) == 2
+        assert main(["validate", "--dataset", "abt-buy", "--path", "x"]) == 2
+
+    def test_exported_dataset_roundtrip(self, tmp_path, capsys):
+        main(["export", "--dataset", "abt-buy", "--out", str(tmp_path / "d")])
+        capsys.readouterr()
+        assert main(["validate", "--path", str(tmp_path / "d")]) == 0

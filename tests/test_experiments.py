@@ -1,0 +1,81 @@
+"""Tests for the experiment drivers (light paths only)."""
+
+import pytest
+
+from repro.experiments.render import render_results_table, render_size_table
+from repro.experiments.table2 import EVAL_DATASETS, TRAINING_SETS, column_key
+from repro.experiments.table45 import TABLE5_VARIANTS, training_set_variants
+from repro import paper_reference as ref
+
+
+class TestColumnKey:
+    def test_wdc_variants_collapse(self):
+        assert column_key("wdc-small") == "wdc"
+        assert column_key("wdc-large") == "wdc"
+
+    def test_other_names_pass_through(self):
+        assert column_key("abt-buy") == "abt-buy"
+
+
+class TestGridDefinitions:
+    def test_small_models_train_on_all_six(self):
+        assert len(TRAINING_SETS["llama-3.1-8b"]) == 6
+        assert len(TRAINING_SETS["gpt-4o-mini"]) == 6
+
+    def test_large_models_train_on_wdc_only(self):
+        assert TRAINING_SETS["llama-3.1-70b"] == ["wdc-small"]
+        assert TRAINING_SETS["gpt-4o"] == ["wdc-small"]
+
+    def test_eval_datasets_cover_both_domains(self):
+        assert "dblp-acm" in EVAL_DATASETS and "abt-buy" in EVAL_DATASETS
+
+    def test_table5_mini_subset_of_llama(self):
+        assert set(TABLE5_VARIANTS["gpt-4o-mini"]) < set(
+            TABLE5_VARIANTS["llama-3.1-8b"]
+        ) | {"wdc-small"}
+
+
+class TestTrainingSetVariants:
+    def test_wdc_small_passthrough(self):
+        split = training_set_variants("wdc-small")
+        assert len(split) == 2500
+
+    def test_filter_variant_smaller(self):
+        assert len(training_set_variants("wdc-s-filter")) < 2500
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError, match="unknown training-set variant"):
+            training_set_variants("wdc-quantum")
+
+
+class TestPaperReference:
+    def test_table2_rows_cover_models(self):
+        models = {m for m, _ in ref.TABLE2}
+        assert models == {"llama-3.1-8b", "gpt-4o-mini", "llama-3.1-70b", "gpt-4o"}
+
+    def test_every_row_has_six_columns(self):
+        for row in ref.TABLE2.values():
+            assert set(row) == set(ref.EVAL_COLUMNS)
+        for row in ref.TABLE3.values():
+            assert set(row) == set(ref.EVAL_COLUMNS)
+        for row in ref.TABLE5.values():
+            assert set(row) == set(ref.EVAL_COLUMNS)
+
+    def test_table1_matches_registry_reference(self):
+        from repro.datasets.registry import DATASET_NAMES
+
+        assert set(ref.TABLE1) == set(DATASET_NAMES)
+
+
+class TestRender:
+    def test_results_table_includes_paper_rows(self):
+        rows = {("m", "zero-shot"): {"a": 50.0}, ("m", "t"): {"a": 60.0}}
+        text = render_results_table(
+            "T", ["a"], rows, paper_rows={("m", "t"): {"a": 58.0}}
+        )
+        assert "60.00 (+10.00)" in text
+        assert "(paper)" in text and "58.00" in text
+
+    def test_size_table(self):
+        text = render_size_table("T", {"x": (1, 2, 3)}, {"x": (4, 5, 9)})
+        assert "x" in text and "(paper)" in text

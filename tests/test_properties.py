@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro._util import stable_hash, tokenize_simple
+from repro.eval.metrics import confusion, f1_score
+from repro.llm.features import NUM_FEATURES, featurize_pair
+from repro.llm.parsing import parse_yes_no
+from repro.llm.tokenizer import char_ngrams, count_tokens, levenshtein
+
+text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60
+)
+word = st.text(alphabet=st.characters(whitelist_categories=("Ll",)), min_size=0, max_size=12)
+
+
+class TestFeatureProperties:
+    @given(text, text)
+    @settings(max_examples=150, deadline=None)
+    def test_features_bounded(self, a, b):
+        phi = featurize_pair(a, b)
+        assert phi.shape == (NUM_FEATURES,)
+        assert np.all(phi >= 0.0) and np.all(phi <= 1.0)
+        assert phi[-1] == 1.0  # bias
+
+    @given(text)
+    @settings(max_examples=100, deadline=None)
+    def test_self_pair_no_conflicts(self, a):
+        phi = featurize_pair(a, a)
+        names_to_check = ("numeric_conflict", "code_conflict", "version_conflict",
+                          "sku_conflict", "edition_conflict")
+        from repro.llm.features import FEATURE_NAMES
+
+        for name in names_to_check:
+            assert phi[FEATURE_NAMES.index(name)] == 0.0
+
+    @given(text, text)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_match_features(self, a, b):
+        """Match/conflict indicator features are symmetric in the pair."""
+        from repro.llm.features import FEATURE_NAMES
+
+        phi_ab = featurize_pair(a, b)
+        phi_ba = featurize_pair(b, a)
+        for name in ("token_jaccard", "char3_cosine", "numeric_jaccard",
+                      "code_match", "sku_match", "version_conflict"):
+            idx = FEATURE_NAMES.index(name)
+            assert phi_ab[idx] == phi_ba[idx]
+
+
+class TestMetricProperties:
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_confusion_partitions(self, rows):
+        labels = np.array([r[0] for r in rows])
+        preds = np.array([r[1] for r in rows])
+        tp, fp, fn, tn = confusion(labels, preds)
+        assert tp + fp + fn + tn == len(rows)
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_f1_bounds(self, rows):
+        labels = np.array([r[0] for r in rows])
+        preds = np.array([r[1] for r in rows])
+        scores = f1_score(labels, preds)
+        assert 0.0 <= scores.f1 <= 100.0
+        assert 0.0 <= scores.precision <= 100.0
+        assert 0.0 <= scores.recall <= 100.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_predictions_give_perfect_recall(self, labels_list):
+        labels = np.array(labels_list)
+        scores = f1_score(labels, labels)
+        if labels.any():
+            assert scores.f1 == 100.0
+
+
+class TestTokenizerProperties:
+    @given(word, word)
+    @settings(max_examples=100, deadline=None)
+    def test_levenshtein_triangle(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+        assert levenshtein(a, b) <= max(len(a), len(b))
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(text)
+    @settings(max_examples=100, deadline=None)
+    def test_ngrams_deterministic(self, a):
+        assert char_ngrams(a) == char_ngrams(a)
+
+    @given(text)
+    @settings(max_examples=100, deadline=None)
+    def test_count_tokens_nonnegative(self, a):
+        assert count_tokens(a) >= 0
+
+    @given(text)
+    @settings(max_examples=100, deadline=None)
+    def test_tokens_lowercase(self, a):
+        for token in tokenize_simple(a):
+            assert token == token.lower()
+
+
+class TestHashProperties:
+    @given(st.lists(text, min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_stable_hash_deterministic(self, parts):
+        assert stable_hash(*parts) == stable_hash(*parts)
+
+
+class TestParsingProperties:
+    @given(text)
+    @settings(max_examples=150, deadline=None)
+    def test_parse_never_crashes(self, response):
+        assert parse_yes_no(response) in (True, False, None)
+
+    @given(text)
+    @settings(max_examples=100, deadline=None)
+    def test_yes_prefix_parses_true(self, tail):
+        assert parse_yes_no("Yes. " + tail) is True

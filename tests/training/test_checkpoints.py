@@ -1,0 +1,55 @@
+"""Tests for checkpoint logging and selection."""
+
+import pytest
+
+from repro.llm.adapter import LoRAAdapter
+from repro.training.checkpoints import Checkpoint, CheckpointLog
+
+
+def _checkpoint(epoch, f1):
+    return Checkpoint(
+        epoch=epoch,
+        adapter=LoRAAdapter.init(d=4, k=2, rank=2, seed=epoch),
+        train_loss=1.0 / epoch,
+        valid_f1=f1,
+    )
+
+
+@pytest.fixture
+def log():
+    entries = [_checkpoint(e, f1) for e, f1 in enumerate([50, 70, 65, 80, 75], 1)]
+    log = CheckpointLog()
+    for entry in entries:
+        log.add(entry)
+    return log
+
+
+class TestCheckpointLog:
+    def test_best_overall(self, log):
+        assert log.best().epoch == 4
+
+    def test_window_limits_visibility(self, log):
+        # last 3: epochs 3,4,5 → best is 4
+        assert log.best(window=3).epoch == 4
+        # last 1: only epoch 5
+        assert log.best(window=1).epoch == 5
+
+    def test_visible(self, log):
+        assert [c.epoch for c in log.visible(2)] == [4, 5]
+        assert [c.epoch for c in log.visible(None)] == [1, 2, 3, 4, 5]
+
+    def test_ties_prefer_later_epoch(self):
+        log = CheckpointLog()
+        log.add(_checkpoint(1, 80))
+        log.add(_checkpoint(2, 80))
+        assert log.best().epoch == 2
+
+    def test_no_validation_falls_back_to_final(self):
+        log = CheckpointLog()
+        log.add(Checkpoint(1, LoRAAdapter.init(4, 2, 2), 0.5, None))
+        log.add(Checkpoint(2, LoRAAdapter.init(4, 2, 2), 0.4, None))
+        assert log.best().epoch == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            CheckpointLog().best()

@@ -1,0 +1,46 @@
+"""Tests for fine-tuning configuration defaults."""
+
+import pytest
+
+from repro.training.config import (
+    FineTuneConfig,
+    defaults_for,
+    hosted_defaults,
+    open_source_defaults,
+)
+
+
+class TestDefaults:
+    def test_open_source_matches_paper(self):
+        config = open_source_defaults()
+        assert config.epochs == 10
+        assert config.lora_alpha == 16.0
+        assert config.lora_rank == 64
+        assert config.dropout == 0.1
+        assert config.learning_rate == 2e-4
+        assert config.checkpoint_window is None
+
+    def test_hosted_matches_paper(self):
+        config = hosted_defaults()
+        assert config.lr_multiplier == 1.8
+        assert config.batch_size == 16
+        assert config.checkpoint_window == 3
+
+    def test_effective_lr_uses_multiplier_for_hosted(self):
+        assert hosted_defaults().effective_lr == pytest.approx(
+            open_source_defaults().effective_lr * 1.8
+        )
+
+    def test_defaults_for_dispatch(self):
+        assert defaults_for("open-source").dropout == 0.1
+        assert defaults_for("hosted").lr_multiplier == 1.8
+        with pytest.raises(ValueError):
+            defaults_for("quantum")
+
+    def test_with_epochs_is_pure(self):
+        base = open_source_defaults()
+        derived = base.with_epochs(5)
+        assert derived.epochs == 5 and base.epochs == 10
+
+    def test_with_aux_weight(self):
+        assert open_source_defaults().with_aux_weight(2.0).aux_weight == 2.0

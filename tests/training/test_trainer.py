@@ -1,0 +1,97 @@
+"""Tests for the fine-tuning loop."""
+
+import numpy as np
+import pytest
+
+from repro.llm.prior import build_prior
+from repro.training.config import open_source_defaults
+from repro.training.trainer import TrainingExample, fine_tune
+
+
+@pytest.fixture(scope="module")
+def prior():
+    return build_prior("llama-3.1-8b")
+
+
+def _examples(split, aux_dim=0):
+    out = []
+    for i, pair in enumerate(split.pairs):
+        aux = np.full(aux_dim, 0.5) if aux_dim else None
+        out.append(TrainingExample(pair=pair, label=pair.label, aux=aux))
+    return out
+
+
+class TestFineTune:
+    def test_loss_decreases(self, prior, product_split):
+        config = open_source_defaults().with_epochs(5)
+        result = fine_tune(prior, _examples(product_split), config)
+        losses = [c.train_loss for c in result.log.checkpoints]
+        assert losses[-1] < losses[0]
+
+    def test_one_checkpoint_per_epoch(self, prior, product_split, fast_config):
+        result = fine_tune(prior, _examples(product_split), fast_config)
+        assert len(result.log) == fast_config.epochs
+
+    def test_deterministic(self, prior, product_split, fast_config):
+        a = fine_tune(prior, _examples(product_split), fast_config)
+        b = fine_tune(prior, _examples(product_split), fast_config)
+        assert np.allclose(a.adapter.A, b.adapter.A)
+        assert np.allclose(a.adapter.B, b.adapter.B)
+
+    def test_seed_changes_result(self, prior, product_split, fast_config):
+        from dataclasses import replace
+
+        a = fine_tune(prior, _examples(product_split), fast_config)
+        b = fine_tune(prior, _examples(product_split), replace(fast_config, seed=7))
+        assert not np.allclose(a.adapter.B, b.adapter.B)
+
+    def test_validation_selects_best(self, prior, product_split):
+        config = open_source_defaults().with_epochs(4)
+        calls = []
+
+        def validate(adapter):
+            calls.append(adapter)
+            return [10.0, 90.0, 30.0, 40.0][len(calls) - 1]
+
+        result = fine_tune(prior, _examples(product_split), config, validate=validate)
+        assert result.best_epoch == 2
+        assert len(calls) == 4
+
+    def test_checkpoint_window_hides_early_best(self, prior, product_split):
+        from dataclasses import replace
+
+        config = replace(open_source_defaults().with_epochs(4), checkpoint_window=2)
+        scores = iter([95.0, 20.0, 30.0, 40.0])
+        result = fine_tune(
+            prior, _examples(product_split), config,
+            validate=lambda adapter: next(scores),
+        )
+        assert result.best_epoch == 4  # epoch 1 invisible under the window
+
+    def test_empty_raises(self, prior):
+        with pytest.raises(ValueError, match="empty"):
+            fine_tune(prior, [], open_source_defaults())
+
+    def test_aux_targets_train_C(self, prior, product_split):
+        config = open_source_defaults().with_epochs(2).with_aux_weight(1.0)
+        result = fine_tune(prior, _examples(product_split, aux_dim=6), config)
+        assert result.adapter.C.shape[0] == 6
+        assert np.abs(result.adapter.C).sum() > 0
+
+    def test_inconsistent_aux_sizes_raise(self, prior, product_split):
+        examples = _examples(product_split, aux_dim=3)
+        examples[0] = TrainingExample(
+            pair=examples[0].pair, label=examples[0].label, aux=np.zeros(5)
+        )
+        with pytest.raises(ValueError, match="inconsistent"):
+            fine_tune(prior, examples, open_source_defaults().with_epochs(1))
+
+    def test_adapter_separates_classes(self, prior, product_split):
+        config = open_source_defaults().with_epochs(6)
+        result = fine_tune(prior, _examples(product_split), config)
+        x = prior.observe(product_split.pairs)
+        delta = result.adapter.logit_delta(x, prior.v)
+        labels = np.array(product_split.labels())
+        base = x @ (prior.v @ prior.W0)
+        scores = base + delta
+        assert scores[labels].mean() > scores[~labels].mean()
