@@ -1,0 +1,87 @@
+"""Extension: online engine throughput vs the sequential chat loop.
+
+A WDC-style workload with repeated candidate pairs (online matching sees
+the same hot pairs again and again — think head products re-checked on
+every catalog update) is pushed through (a) the plain sequential
+``ChatModel.complete`` loop and (b) the :class:`MatchingEngine` with its
+micro-batching scheduler and result cache.  Reports pairs/sec for both
+paths, the speedup, and the engine's cache hit rate, as text and as JSON.
+"""
+
+import time
+
+from repro._util import derive_rng
+from repro.datasets.registry import load_dataset
+from repro.engine import MatchingEngine
+from repro.eval.reports import format_table
+from repro.llm.model import build_model
+from repro.llm.parsing import parse_yes_no
+from repro.prompts.templates import DEFAULT_PROMPT
+
+from benchmarks._output import emit, emit_json
+
+MODEL = "llama-3.1-8b"
+UNIQUE_PAIRS = 600
+REPEATED_REQUESTS = 600
+
+
+def _workload():
+    """WDC-style online stream: unique pairs plus a hot repeated tail."""
+    base = load_dataset("wdc-small").test.pairs[:UNIQUE_PAIRS]
+    rng = derive_rng(4242, "engine-throughput")
+    repeats = [base[int(i)] for i in
+               rng.integers(0, len(base), size=REPEATED_REQUESTS)]
+    return list(base) + repeats
+
+
+def test_engine_vs_sequential_throughput(benchmark):
+    workload = _workload()
+    model = build_model(MODEL)
+
+    def run():
+        started = time.perf_counter()
+        sequential = [
+            bool(parse_yes_no(model.complete(
+                DEFAULT_PROMPT.render(p.left.description, p.right.description)
+            )))
+            for p in workload
+        ]
+        sequential_seconds = time.perf_counter() - started
+
+        engine = MatchingEngine.for_model(model)
+        started = time.perf_counter()
+        results = engine.match_pairs(workload)
+        engine_seconds = time.perf_counter() - started
+
+        assert [r.decision for r in results] == sequential  # same answers
+        return sequential_seconds, engine_seconds, engine.stats
+
+    sequential_seconds, engine_seconds, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    n = len(workload)
+    sequential_rate = n / sequential_seconds
+    engine_rate = n / engine_seconds
+    payload = {
+        "model": MODEL,
+        "requests": n,
+        "unique_pairs": UNIQUE_PAIRS,
+        "sequential_pairs_per_sec": round(sequential_rate, 1),
+        "engine_pairs_per_sec": round(engine_rate, 1),
+        "speedup": round(engine_rate / sequential_rate, 2),
+        "engine_stats": stats.as_dict(),
+    }
+    emit_json("bench_engine_throughput", payload)
+    emit(
+        "bench_engine_throughput",
+        format_table(
+            ["path", "pairs/sec", "cache hit rate"],
+            [
+                ["sequential complete()", f"{sequential_rate:,.0f}", "—"],
+                ["MatchingEngine", f"{engine_rate:,.0f}",
+                 f"{stats.hit_rate:.1%}"],
+            ],
+            title=f"Online engine throughput ({MODEL}, {n} requests, "
+            f"{UNIQUE_PAIRS} unique)",
+        ),
+    )

@@ -9,6 +9,8 @@ Subcommands::
     repro-em finetune --model NAME --train wdc-small
         [--explanations STYLE] [--selection STRATEGY] [--eval a,b,...]
     repro-em sensitivity --model NAME --dataset NAME
+    repro-em engine (--pairs FILE | --dataset NAME) [--model NAME]
+        [--prompt NAME] [--batch-size N] [--cache-size N] [--stats] [--quiet]
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.datasets.io import write_dataset
 from repro.datasets.registry import DATASET_NAMES, load_dataset, table1_statistics
 from repro.eval.reports import format_table
 from repro.llm.registry import MODEL_NAMES
+from repro.prompts.templates import get_prompt
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +67,26 @@ def build_parser() -> argparse.ArgumentParser:
     val = sub.add_parser("validate", help="integrity-check a dataset")
     val.add_argument("--dataset", help="built-in dataset name")
     val.add_argument("--path", help="directory written by 'repro-em export'")
+
+    eng = sub.add_parser(
+        "engine", help="match a candidate-pair workload through the online engine"
+    )
+    eng.add_argument(
+        "--pairs",
+        help="file of candidate pairs: JSONL objects with left/right "
+        "(either description strings or record objects), or TAB-separated "
+        "'left<TAB>right' lines",
+    )
+    eng.add_argument("--dataset", choices=DATASET_NAMES,
+                     help="match a registered dataset's test split instead")
+    eng.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    eng.add_argument("--prompt", default="default")
+    eng.add_argument("--batch-size", type=int, default=32)
+    eng.add_argument("--cache-size", type=int, default=4096)
+    eng.add_argument("--stats", action="store_true",
+                     help="print engine counters and latency percentiles")
+    eng.add_argument("--quiet", action="store_true",
+                     help="suppress per-pair verdict lines")
     return parser
 
 
@@ -157,6 +180,69 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_pairs_file(path: str) -> list[tuple[str, str]]:
+    """Parse a workload file: JSONL objects or TAB-separated lines."""
+    import json
+
+    pairs: list[tuple[str, str]] = []
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read pairs file {path}: {exc.strerror}")
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip("\n")
+            if not line.strip():
+                continue
+            if line.lstrip().startswith("{"):
+                obj = json.loads(line)
+                left, right = obj["left"], obj["right"]
+                if isinstance(left, dict):  # dataset-export record objects
+                    left = left["description"]
+                if isinstance(right, dict):
+                    right = right["description"]
+            else:
+                try:
+                    left, right = line.split("\t")
+                except ValueError:
+                    raise SystemExit(
+                        f"{path}:{lineno}: expected JSON object or "
+                        f"'left<TAB>right', got {line!r}"
+                    )
+            pairs.append((left, right))
+    return pairs
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.engine import MatchingEngine, ResultCache
+
+    if bool(args.pairs) == bool(args.dataset):
+        print("specify exactly one of --pairs or --dataset")
+        return 2
+    engine = MatchingEngine.for_model(
+        args.model,
+        template=get_prompt(args.prompt),
+        batch_size=args.batch_size,
+        cache=ResultCache(max_size=args.cache_size),
+    )
+    if args.dataset:
+        results = engine.match_split(load_dataset(args.dataset).test)
+    else:
+        results = engine.match_pairs(_read_pairs_file(args.pairs))
+    matches = sum(r.decision for r in results)
+    if not args.quiet:
+        for result in results:
+            verdict = "MATCH" if result.decision else "NO MATCH"
+            print(f"{verdict}\t[{result.source}]\t{result.left}\t{result.right}")
+    print(
+        f"{len(results)} pairs matched through {engine.backend.name}: "
+        f"{matches} matches, {len(results) - matches} non-matches"
+    )
+    if args.stats:
+        print(engine.stats.render())
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.datasets.io import read_dataset
     from repro.datasets.validation import validate_dataset
@@ -192,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sensitivity(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "engine":
+        return _cmd_engine(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

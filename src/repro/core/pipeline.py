@@ -68,6 +68,43 @@ class TailorMatch:
         chat = model or self._zero_shot
         return evaluate_model(chat, load_dataset(dataset).test, template)
 
+    def match_all(
+        self,
+        dataset,
+        model: ChatModel | None = None,
+        prompt: str = "default",
+        engine=None,
+        batch_size: int = 32,
+    ):
+        """Match a whole workload through the online engine.
+
+        *dataset* may be a registered dataset name (its test split is
+        matched), a :class:`~repro.datasets.schema.Split`, a
+        :class:`~repro.blocking.base.BlockingResult` candidate stream, or
+        any sequence of ``EntityPair`` / ``(left, right)`` tuples.  Returns
+        the list of :class:`~repro.engine.MatchResult`; pass your own
+        *engine* to keep its cache and stats across calls (its stats are
+        also reachable as ``engine.stats`` afterwards).
+        """
+        from repro.blocking.base import BlockingResult
+        from repro.engine import MatchingEngine
+
+        if engine is None:
+            engine = MatchingEngine.for_model(
+                model or self._zero_shot,
+                template=get_prompt(prompt),
+                batch_size=batch_size,
+            )
+        if isinstance(dataset, str):
+            workload = load_dataset(dataset).test.pairs
+        elif isinstance(dataset, Split):
+            workload = dataset.pairs
+        elif isinstance(dataset, BlockingResult):
+            return engine.match_blocking(dataset)
+        else:
+            workload = dataset
+        return engine.match_pairs(workload)
+
     # --------------------------------------------------------- fine-tuning
 
     def fine_tune(

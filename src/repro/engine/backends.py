@@ -1,0 +1,137 @@
+"""Backends: the engine's uniform view of the two inference paths.
+
+The paper serves open-source models through local batched Transformers
+inference and hosted models through the asynchronous batch API.  The
+engine sees both through one :class:`Backend` protocol — ``generate``
+answers a list of prompts in order — so scheduling, caching, and retry
+logic are written once.
+
+Transport-level problems surface as :class:`BackendError` (re-exported
+from :mod:`repro.engine.retry`), which is what the retry policy catches.
+Per-request semantic failures inside an otherwise healthy batch (e.g. a
+malformed prompt the provider rejects individually) come back as empty
+strings: the engine parses them to "unparseable", the same convention the
+evaluator applies to hedged answers, instead of failing the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.engine.retry import BackendError
+from repro.llm.model import ChatModel, build_model
+from repro.serving.batch_api import BatchAPI, BatchRequest
+from repro.serving.local_runner import LocalRunner
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BatchAPIBackend",
+    "LocalBackend",
+    "ModelBackend",
+    "make_backend",
+]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can answer a list of prompts, preserving order."""
+
+    name: str
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        """Return one completion per prompt, in input order."""
+        ...
+
+
+@dataclass
+class ModelBackend:
+    """Thinnest backend: drive a :class:`ChatModel` directly in-process."""
+
+    model: ChatModel
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"model:{self.model.name}"
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        return [self.model.complete(p) for p in prompts]
+
+
+@dataclass
+class LocalBackend:
+    """The local batched Transformers path (open-source models)."""
+
+    runner: LocalRunner
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"local:{self.runner.model.name}"
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        try:
+            return self.runner.generate(prompts)
+        except BackendError:
+            raise
+        except Exception as exc:
+            raise BackendError(f"{self.name}: {exc}") from exc
+
+
+@dataclass
+class BatchAPIBackend:
+    """The asynchronous batch-API path (hosted models).
+
+    Each engine micro-batch becomes one provider batch job which is polled
+    to completion.  Responses are re-ordered by ``custom_id``; per-request
+    provider errors become empty completions (see module docstring).
+    """
+
+    api: BatchAPI
+    model_name: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"batch-api:{self.model_name}"
+
+    @classmethod
+    def for_model(cls, model: ChatModel) -> "BatchAPIBackend":
+        api = BatchAPI()
+        registered = api.register_model(model)
+        return cls(api=api, model_name=registered)
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        requests = [
+            BatchRequest(custom_id=f"req-{i}", prompt=prompt)
+            for i, prompt in enumerate(prompts)
+        ]
+        try:
+            job = self.api.submit(self.model_name, requests)
+            responses = self.api.run_to_completion(job.job_id)
+        except BackendError:
+            raise
+        except Exception as exc:
+            raise BackendError(f"{self.name}: {exc}") from exc
+        by_id = {r.custom_id: r for r in responses}
+        if set(by_id) != {r.custom_id for r in requests}:
+            raise BackendError(f"{self.name}: incomplete batch response")
+        return [
+            (by_id[f"req-{i}"].content or "") for i in range(len(prompts))
+        ]
+
+
+def make_backend(model: ChatModel | str, batch_size: int = 32) -> Backend:
+    """Build the paper-faithful backend for a model (or persona name).
+
+    Open-source personas go through :class:`LocalBackend` (the Transformers
+    path); hosted personas go through :class:`BatchAPIBackend` (the OpenAI
+    batch path) — the same routing the paper's experiments use.
+    """
+    if isinstance(model, str):
+        model = build_model(model)
+    if model.persona.kind == "open-source":
+        return LocalBackend(runner=LocalRunner(model=model, batch_size=batch_size))
+    return BatchAPIBackend.for_model(model)

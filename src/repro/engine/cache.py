@@ -1,0 +1,78 @@
+"""Bounded LRU + TTL cache for match results.
+
+Keys are normalized prompt strings; values are whatever the engine stores
+(response text plus parsed decision).  Capacity is bounded: inserting into
+a full cache evicts the least-recently-used entry.  An optional TTL bounds
+staleness: entries older than ``ttl`` seconds (measured by the injected
+clock) are treated as absent and dropped on access.
+
+The clock is injectable so tests control time explicitly; the default is
+``time.monotonic`` (wall-clock jumps must not expire entries).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+__all__ = ["ResultCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class ResultCache(Generic[K, V]):
+    """LRU cache with optional per-entry time-to-live."""
+
+    def __init__(
+        self,
+        max_size: int = 4096,
+        ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self.max_size = max_size
+        self.ttl = ttl
+        self._clock = clock
+        #: key → (value, stored_at); insertion order tracks recency (last = MRU).
+        self._entries: "OrderedDict[K, tuple[V, float]]" = OrderedDict()
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return self.get(key, default=_MISSING, touch=False) is not _MISSING
+
+    def get(self, key: K, default: V | None = None, touch: bool = True):
+        """Return the live value for *key* (refreshing recency) or *default*."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return default
+        value, stored_at = entry
+        if self.ttl is not None and self._clock() - stored_at >= self.ttl:
+            del self._entries[key]
+            self.expirations += 1
+            return default
+        if touch:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh *key*, evicting the LRU entry when over capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, self._clock())
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

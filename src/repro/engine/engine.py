@@ -1,0 +1,296 @@
+"""The online matching engine.
+
+Request lifecycle::
+
+    match request (pair of descriptions)
+      → normalize + render prompt
+      → in-flight dedup (identical prompts share one backend slot)
+      → ResultCache lookup  ──hit──→ answer
+      → Scheduler (micro-batch: flush on size / deadline / drain)
+      → Backend.generate under RetryPolicy + CircuitBreaker
+          ──exhausted / circuit open──→ threshold-baseline fallback
+      → parse answer, fill cache, update EngineStats
+
+The engine accepts ad-hoc description pairs, labelled
+:class:`~repro.datasets.schema.EntityPair` objects, whole splits, and
+candidate streams from :mod:`repro.blocking`.  Descriptions taken from
+``EntityPair`` objects are used verbatim (so the engine path is
+bit-identical to the evaluator's sequential path); raw string input is
+whitespace-normalized first, since online callers send unsanitized text.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines.threshold import ThresholdMatcher
+from repro.blocking.base import BlockingResult
+from repro.datasets.schema import EntityPair, Record, Split
+from repro.engine.backends import Backend, make_backend
+from repro.engine.cache import ResultCache
+from repro.engine.retry import (
+    BackendError,
+    BackendTimeout,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.engine.scheduler import Batch, Scheduler
+from repro.engine.stats import EngineStats
+from repro.llm.model import ChatModel
+from repro.llm.parsing import parse_yes_no
+from repro.prompts.templates import DEFAULT_PROMPT, PromptTemplate
+
+__all__ = ["MatchResult", "MatchingEngine"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """The engine's answer for one candidate pair."""
+
+    left: str
+    right: str
+    #: raw model completion (None when the answer came from the fallback).
+    response: str | None
+    #: parsed matching decision (unparseable answers count as non-matches).
+    decision: bool
+    #: where the answer came from: "backend", "cache", or "fallback".
+    source: str
+
+
+@dataclass(frozen=True)
+class _Pending:
+    """One unique prompt waiting for a backend slot."""
+
+    key: str
+    prompt: str
+    left: str
+    right: str
+
+
+class MatchingEngine:
+    """Cache-, batch-, and failure-aware front end over a model backend."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        template: PromptTemplate = DEFAULT_PROMPT,
+        cache: ResultCache | None = None,
+        scheduler: Scheduler | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        fallback: ThresholdMatcher | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.backend = backend
+        self.template = template
+        self.cache = cache if cache is not None else ResultCache(clock=clock)
+        self.scheduler = (
+            scheduler if scheduler is not None else Scheduler(clock=clock)
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(clock=clock)
+        #: degraded matcher used while the backend is unhealthy.  The
+        #: default threshold is the uncalibrated 0.5 similarity cut — call
+        #: ``fallback.fit(train_split)`` for a calibrated one.
+        self.fallback = fallback if fallback is not None else ThresholdMatcher()
+        self.stats = EngineStats()
+        self._clock = clock
+        self._sleep = sleep
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def for_model(
+        cls,
+        model: ChatModel | str,
+        template: PromptTemplate = DEFAULT_PROMPT,
+        batch_size: int = 32,
+        **kwargs,
+    ) -> "MatchingEngine":
+        """Engine over the paper-faithful backend for *model*.
+
+        Open-source personas run through the local batched runner; hosted
+        personas through the batch API (see :func:`make_backend`).
+        """
+        engine = cls(
+            backend=make_backend(model, batch_size=batch_size),
+            template=template,
+            **kwargs,
+        )
+        engine.scheduler.max_batch_size = batch_size
+        return engine
+
+    # ------------------------------------------------------------- matching
+
+    def match_pair(self, left: str, right: str) -> MatchResult:
+        """Match one ad-hoc pair of entity descriptions."""
+        return self.match_pairs([(left, right)])[0]
+
+    def match_pairs(
+        self,
+        pairs: Sequence[EntityPair | tuple[str, str]] | Iterable,
+    ) -> list[MatchResult]:
+        """Match every candidate pair, preserving input order.
+
+        Duplicate pairs (after normalization) are answered by a single
+        backend request; repeats across calls are served from the cache.
+        """
+        descriptions = [self._descriptions(p) for p in pairs]
+        results: list[MatchResult | None] = [None] * len(descriptions)
+        #: prompt key → indices of requests waiting on that key.
+        waiting: dict[str, list[int]] = {}
+        in_flight: dict[str, _Pending] = {}
+
+        for i, (left, right) in enumerate(descriptions):
+            self.stats.requests += 1
+            prompt = self.template.render(left, right)
+            key = prompt
+            cached = self.cache.get(key)
+            if cached is not None:
+                response, decision = cached
+                self.stats.cache_hits += 1
+                results[i] = MatchResult(left, right, response, decision, "cache")
+                continue
+            self.stats.cache_misses += 1
+            if key in in_flight:
+                self.stats.deduped += 1
+                waiting[key].append(i)
+                continue
+            pending = _Pending(key=key, prompt=prompt, left=left, right=right)
+            in_flight[key] = pending
+            waiting[key] = [i]
+            flushed = self.scheduler.submit(pending)
+            if flushed is None:
+                flushed = self.scheduler.poll()
+            if flushed is not None:
+                self._dispatch(flushed, waiting, results)
+                for item in flushed.items:
+                    del in_flight[item.key]
+
+        flushed = self.scheduler.drain()
+        if flushed is not None:
+            self._dispatch(flushed, waiting, results)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def match_split(self, split: Split) -> list[MatchResult]:
+        """Match every pair of a dataset split."""
+        return self.match_pairs(split.pairs)
+
+    def match_blocking(self, blocking: BlockingResult) -> list[MatchResult]:
+        """Match the candidate stream produced by a blocker.
+
+        Candidates are visited in sorted (left_index, right_index) order so
+        runs are reproducible regardless of set iteration order.
+        """
+        pairs = [
+            (blocking.left[i].description, blocking.right[j].description)
+            for i, j in sorted(blocking.candidates)
+        ]
+        return self.match_pairs(pairs)
+
+    def predict_split(self, split: Split) -> np.ndarray:
+        """Boolean predictions for a split (the evaluator's engine path)."""
+        return np.array(
+            [r.decision for r in self.match_split(split)], dtype=bool
+        )
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _descriptions(pair: EntityPair | tuple[str, str]) -> tuple[str, str]:
+        """Left/right descriptions; raw strings are whitespace-normalized."""
+        if isinstance(pair, EntityPair):
+            return pair.left.description, pair.right.description
+        left, right = pair
+        return " ".join(left.split()), " ".join(right.split())
+
+    def _dispatch(
+        self,
+        batch: Batch[_Pending],
+        waiting: dict[str, list[int]],
+        results: list[MatchResult | None],
+    ) -> None:
+        """Run one micro-batch through retry/breaker; fall back on failure."""
+        self.stats.record_batch(batch.reason, len(batch))
+        prompts = [item.prompt for item in batch.items]
+
+        def on_retry(attempt: int, exc: Exception) -> None:
+            self.stats.retries += 1
+            if isinstance(exc, BackendTimeout):
+                self.stats.timeouts += 1
+
+        opened_before = self.breaker.times_opened
+        started = self._clock()
+        try:
+            responses = run_with_retry(
+                lambda: self.backend.generate(prompts),
+                self.retry,
+                breaker=self.breaker,
+                clock=self._clock,
+                sleep=self._sleep,
+                on_retry=on_retry,
+            )
+        except (BackendError, CircuitOpenError) as exc:
+            self.stats.failures += 1
+            if isinstance(exc, BackendTimeout):
+                self.stats.timeouts += 1
+            self.stats.circuit_opens += self.breaker.times_opened - opened_before
+            self._fallback_batch(batch, waiting, results)
+            return
+        self.stats.circuit_opens += self.breaker.times_opened - opened_before
+        elapsed = self._clock() - started
+        if len(responses) != len(prompts):
+            # A misbehaving backend that drops answers is a failure too.
+            self.stats.failures += 1
+            self._fallback_batch(batch, waiting, results)
+            return
+        self.stats.record_latency(elapsed, requests=len(prompts))
+        for item, response in zip(batch.items, responses):
+            decision = bool(parse_yes_no(response))
+            self.cache.put(item.key, (response, decision))
+            for index in waiting.pop(item.key):
+                results[index] = MatchResult(
+                    item.left, item.right, response, decision, "backend"
+                )
+
+    def _fallback_batch(
+        self,
+        batch: Batch[_Pending],
+        waiting: dict[str, list[int]],
+        results: list[MatchResult | None],
+    ) -> None:
+        """Answer a failed batch with the degraded threshold matcher.
+
+        Fallback answers are *not* cached: once the backend recovers, the
+        same pair should get a real model answer again.
+        """
+        pairs = [
+            EntityPair(
+                pair_id=f"fallback-{i}",
+                left=Record(record_id=f"fb-{i}-l", attributes={},
+                            description=item.left),
+                right=Record(record_id=f"fb-{i}-r", attributes={},
+                             description=item.right),
+                label=False,
+            )
+            for i, item in enumerate(batch.items)
+        ]
+        decisions = self.fallback.predict(Split(name="fallback", pairs=pairs))
+        for item, decision in zip(batch.items, decisions):
+            self.stats.fallbacks += len(waiting[item.key])
+            for index in waiting.pop(item.key):
+                results[index] = MatchResult(
+                    item.left, item.right, None, bool(decision), "fallback"
+                )

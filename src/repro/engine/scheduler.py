@@ -1,0 +1,85 @@
+"""Dynamic micro-batching: flush on batch size or wait deadline.
+
+The scheduler accumulates pending items (unique prompt keys in the
+engine's case) and decides *when* a batch should go to the backend:
+
+* **size** — the pending set reached ``max_batch_size``;
+* **deadline** — the oldest pending item has waited ``max_wait`` seconds;
+* **drain** — the caller is out of input and flushes the remainder.
+
+It is a pure data structure: no threads, no callbacks.  Callers feed it
+via :meth:`submit`, check :meth:`poll` when time passes, and finish with
+:meth:`drain` — which makes its behaviour fully deterministic under the
+injected clock and easy to drive from tests and from the synchronous
+engine alike.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+__all__ = ["Batch", "Scheduler"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Batch(Generic[T]):
+    """One flushed micro-batch and the reason it was flushed."""
+
+    items: tuple[T, ...]
+    reason: str  # "size" | "deadline" | "drain"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class Scheduler(Generic[T]):
+    """Accumulate items; emit batches on size or deadline."""
+
+    max_batch_size: int = 32
+    #: seconds the oldest item may wait before a deadline flush.
+    max_wait: float = 0.02
+    clock: Callable[[], float] = time.monotonic
+
+    _pending: list[T] = field(default_factory=list, init=False)
+    _oldest_enqueued_at: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit(self, item: T) -> Batch[T] | None:
+        """Enqueue *item*; return a batch when the size threshold is hit."""
+        if not self._pending:
+            self._oldest_enqueued_at = self.clock()
+        self._pending.append(item)
+        if len(self._pending) >= self.max_batch_size:
+            return self._flush("size")
+        return None
+
+    def poll(self) -> Batch[T] | None:
+        """Return a deadline-expired batch, if the oldest item waited enough."""
+        if self._pending and self.clock() - self._oldest_enqueued_at >= self.max_wait:
+            return self._flush("deadline")
+        return None
+
+    def drain(self) -> Batch[T] | None:
+        """Flush whatever is pending (end of input)."""
+        if self._pending:
+            return self._flush("drain")
+        return None
+
+    def _flush(self, reason: str) -> Batch[T]:
+        batch = Batch(items=tuple(self._pending), reason=reason)
+        self._pending.clear()
+        return batch

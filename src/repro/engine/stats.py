@@ -1,0 +1,117 @@
+"""Engine observability: counters and latency percentiles.
+
+One :class:`EngineStats` object accompanies a :class:`MatchingEngine` for
+its lifetime.  Counters are plain integers (cheap to bump on the hot
+path); latencies are collected per backend dispatch and summarized into
+percentiles on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters and latency samples for one engine instance."""
+
+    #: match requests accepted (before dedup/caching).
+    requests: int = 0
+    #: requests answered from the result cache.
+    cache_hits: int = 0
+    #: requests that missed the cache and went to the scheduler.
+    cache_misses: int = 0
+    #: requests folded into an identical request within the same call.
+    deduped: int = 0
+    #: micro-batches flushed to a backend.
+    batches: int = 0
+    #: unique prompts dispatched inside those batches.
+    batched_requests: int = 0
+    #: flush reasons ("size" / "deadline" / "drain") → count.
+    flush_reasons: dict[str, int] = field(default_factory=dict)
+    #: backend attempts beyond the first for any batch.
+    retries: int = 0
+    #: attempts that exceeded the per-request timeout budget.
+    timeouts: int = 0
+    #: batches whose backend attempts were exhausted (or short-circuited).
+    failures: int = 0
+    #: requests answered by the degraded threshold-baseline path.
+    fallbacks: int = 0
+    #: closed→open transitions of the circuit breaker.
+    circuit_opens: int = 0
+    #: per-request backend latency samples, seconds.
+    latencies: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------- recording
+
+    def record_batch(self, reason: str, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def record_latency(self, seconds: float, requests: int = 1) -> None:
+        """Record one dispatch latency, attributed to *requests* requests."""
+        self.latencies.extend([seconds] * max(requests, 1))
+
+    # ------------------------------------------------------------- summaries
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over all cache lookups (0.0 when nothing was looked up)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def latency_percentiles(self, qs: tuple[int, ...] = (50, 95, 99)) -> dict[str, float]:
+        """``{"p50": ..., ...}`` over recorded latencies (empty dict if none)."""
+        if not self.latencies:
+            return {}
+        values = np.percentile(np.asarray(self.latencies), qs)
+        return {f"p{q}": float(v) for q, v in zip(qs, values)}
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot (used by benchmarks and the CLI)."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "deduped": self.deduped,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "flush_reasons": dict(self.flush_reasons),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "fallbacks": self.fallbacks,
+            "circuit_opens": self.circuit_opens,
+            "latency": self.latency_percentiles(),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary for ``repro-em engine --stats``."""
+        lines = ["engine stats:"]
+        for key, value in self.as_dict().items():
+            if key == "latency":
+                if value:
+                    formatted = ", ".join(
+                        f"{name}={seconds * 1e3:.2f}ms"
+                        for name, seconds in value.items()
+                    )
+                    lines.append(f"  latency        {formatted}")
+            elif key == "flush_reasons":
+                if value:
+                    formatted = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+                    lines.append(f"  flush_reasons  {formatted}")
+            elif key == "hit_rate":
+                lines.append(f"  hit_rate       {value:.2%}")
+            else:
+                lines.append(f"  {key:<14} {value}")
+        return "\n".join(lines)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -10,6 +11,9 @@ from repro.datasets.schema import Split
 from repro.eval.metrics import MatchingScores, f1_score
 from repro.llm.model import ChatModel
 from repro.prompts.templates import DEFAULT_PROMPT, PromptTemplate
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from repro.engine.engine import MatchingEngine
 
 __all__ = ["EvaluationResult", "evaluate_model"]
 
@@ -33,15 +37,28 @@ def evaluate_model(
     model: ChatModel,
     split: Split,
     template: PromptTemplate = DEFAULT_PROMPT,
+    engine: "MatchingEngine | None" = None,
 ) -> EvaluationResult:
     """Prompt *model* with every pair of *split*, parse answers, score.
 
-    Uses the vectorized prediction path (identical in outcome to prompting
-    pair-by-pair through :meth:`ChatModel.complete`; the agreement of the
-    two paths is covered by tests).
+    By default uses the vectorized prediction path (identical in outcome to
+    prompting pair-by-pair through :meth:`ChatModel.complete`; the agreement
+    of the two paths is covered by tests).  When *engine* is given, pairs
+    are routed through the online :class:`~repro.engine.MatchingEngine`
+    instead — batched, cached, retry-hardened — which is test-verified to
+    produce pair-for-pair identical predictions when the engine wraps the
+    same model and prompt template.
     """
     labels = np.array(split.labels(), dtype=bool)
-    predictions = model.predict_pairs(split.pairs, template)
+    if engine is not None:
+        if engine.template.name != template.name:
+            raise ValueError(
+                f"engine renders prompt {engine.template.name!r} but the "
+                f"evaluation requested {template.name!r}"
+            )
+        predictions = engine.predict_split(split)
+    else:
+        predictions = model.predict_pairs(split.pairs, template)
     return EvaluationResult(
         model_name=model.name,
         training_set=model.training_set,

@@ -38,8 +38,8 @@ _VERBOSE_NO = (
 _HEDGES = (
     "It is hard to tell from the given descriptions alone; additional "
     "attributes would be needed to decide.",
-    "The descriptions are ambiguous — they could denote the same entity or "
-    "closely related variants.",
+    "The descriptions are ambiguous — they could plausibly denote a single "
+    "entity or two closely related variants.",
     "Without further context the relationship between the two descriptions "
     "remains unclear.",
 )

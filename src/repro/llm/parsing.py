@@ -13,8 +13,22 @@ import re
 
 __all__ = ["parse_yes_no"]
 
-_YES_RE = re.compile(r"\b(yes|match(es)?|same (entity|product|real-world))\b", re.I)
-_NO_RE = re.compile(r"\b(no|not? a match|different (entities|products))\b", re.I)
+# Affirmative / negative markers.  Negative phrasings that *contain* an
+# affirmative word ("not a match", "does not match") start earlier in the
+# response than the embedded affirmative, so the existing first-occurrence
+# tie-break resolves them correctly without look-around tricks.
+_YES_RE = re.compile(
+    r"\b(yes|true|match(es|ed|ing)?|identical|equivalent"
+    r"|same (entity|entities|product|products|item|items|record|records"
+    r"|real-world))\b",
+    re.I,
+)
+_NO_RE = re.compile(
+    r"\b(no|false|not? a match(ing)?|mismatch(es|ed)?"
+    r"|do(es)? not match|don'?t match|not the same"
+    r"|different (entit(y|ies)|products?|items?|records?))\b",
+    re.I,
+)
 
 
 def parse_yes_no(response: str) -> bool | None:

@@ -15,8 +15,13 @@ from repro.prompts.templates import DEFAULT_PROMPT, PROMPTS, PromptTemplate
 
 __all__ = ["build_matching_prompt", "extract_entities", "identify_prompt"]
 
+# The captures keep the exact surface form (including leading/trailing
+# whitespace inside a description): everything the model "perceives" —
+# observation noise, hedging — is keyed on the description string, so a
+# lossy round-trip would make the chat path disagree with the vectorized
+# path on records whose serialization ends in whitespace.
 _ENTITY_RE = re.compile(
-    r"Entity 1:\s*(?P<left>.*?)\s*\nEntity 2:\s*(?P<right>.*?)\s*$",
+    r"Entity 1: ?(?P<left>.*?)\nEntity 2: ?(?P<right>.*?)\n?$",
     re.DOTALL,
 )
 

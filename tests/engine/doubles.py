@@ -1,0 +1,104 @@
+"""Test doubles for the engine suite: fake clock, flaky/slow backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import derive_rng
+from repro.engine.backends import Backend, BackendError
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class RecordingSleep:
+    """Sleep stand-in that records requested delays instead of waiting."""
+
+    def __init__(self, clock: FakeClock | None = None) -> None:
+        self.calls: list[float] = []
+        self.clock = clock
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(seconds)
+        if self.clock is not None:
+            self.clock.advance(seconds)
+
+
+@dataclass
+class EchoBackend:
+    """Healthy backend answering 'Yes.' to every prompt (no model needed)."""
+
+    name: str = "echo"
+    answer: str = "Yes."
+    calls: int = 0
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        self.calls += 1
+        return [self.answer for _ in prompts]
+
+
+@dataclass
+class FlakyBackend:
+    """Fault-injecting wrapper: fail-N-then-succeed and/or a failure rate.
+
+    ``fail_first`` calls raise :class:`BackendError` unconditionally; after
+    that each call fails with probability ``failure_rate`` (seeded, so runs
+    are reproducible).  Counts every injected failure for assertions.
+    """
+
+    inner: Backend
+    fail_first: int = 0
+    failure_rate: float = 0.0
+    seed: int = 0
+    name: str = ""
+    calls: int = field(default=0, init=False)
+    failures_injected: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"flaky:{self.inner.name}"
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            self.failures_injected += 1
+            raise BackendError(f"injected failure #{self.calls}")
+        if self.failure_rate > 0.0:
+            draw = derive_rng(self.seed, "flaky", self.calls).random()
+            if draw < self.failure_rate:
+                self.failures_injected += 1
+                raise BackendError(f"injected random failure #{self.calls}")
+        return self.inner.generate(prompts)
+
+
+@dataclass
+class SlowBackend:
+    """Backend that consumes fake-clock time per call (for timeout tests)."""
+
+    inner: Backend
+    clock: FakeClock = None  # type: ignore[assignment]
+    #: seconds consumed by each of the first ``slow_calls`` calls.
+    delay: float = 1.0
+    slow_calls: int = 1
+    name: str = ""
+    calls: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"slow:{self.inner.name}"
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        self.calls += 1
+        if self.calls <= self.slow_calls:
+            self.clock.advance(self.delay)
+        return self.inner.generate(prompts)

@@ -1,0 +1,180 @@
+"""Tests for the MatchingEngine: dedup, caching, stats, and agreement.
+
+The agreement tests are the contract that lets experiments switch to the
+engine path: on registered benchmarks, engine-backed evaluation must
+produce predictions identical pair-for-pair to the sequential path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import TailorMatch
+from repro.datasets.registry import load_dataset
+from repro.engine import (
+    BatchAPIBackend,
+    LocalBackend,
+    MatchingEngine,
+    ModelBackend,
+    make_backend,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.scheduler import Scheduler
+from repro.eval.evaluator import evaluate_model
+from repro.llm.model import build_model
+from repro.prompts.templates import SIMPLE_FREE, get_prompt
+
+from tests.engine.doubles import EchoBackend, FakeClock
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("llama-3.1-8b")
+
+
+class TestAgreementWithSequentialPath:
+    """Acceptance: pair-for-pair identical predictions on ≥2 benchmarks."""
+
+    @pytest.mark.parametrize("dataset_name", ["abt-buy", "dblp-acm"])
+    def test_engine_predictions_match_sequential(self, model, dataset_name):
+        split = load_dataset(dataset_name).test
+        engine = MatchingEngine.for_model(model)
+        engine_preds = engine.predict_split(split)
+        sequential_preds = model.predict_pairs(split.pairs)
+        assert np.array_equal(engine_preds, sequential_preds)
+
+    @pytest.mark.parametrize("dataset_name", ["abt-buy", "dblp-acm"])
+    def test_engine_backed_evaluation_identical(self, model, dataset_name):
+        split = load_dataset(dataset_name).test
+        engine = MatchingEngine.for_model(model)
+        plain = evaluate_model(model, split)
+        engined = evaluate_model(model, split, engine=engine)
+        assert engined.scores == plain.scores
+        assert engined.f1 == plain.f1
+
+    def test_template_mismatch_rejected(self, model, product_split):
+        engine = MatchingEngine.for_model(model, template=SIMPLE_FREE)
+        with pytest.raises(ValueError, match="prompt"):
+            evaluate_model(model, product_split, get_prompt("default"),
+                           engine=engine)
+
+
+class TestCachingAndDedup:
+    def test_duplicate_workload_hits_cache(self):
+        engine = MatchingEngine(backend=EchoBackend())
+        workload = [("a1 widget", "a1 widget gadget"),
+                    ("b2 gizmo", "c3 sprocket")]
+        engine.match_pairs(workload)
+        results = engine.match_pairs(workload)  # same pairs again
+        assert all(r.source == "cache" for r in results)
+        assert engine.stats.cache_hits == 2
+        assert engine.stats.cache_hits > 0  # the acceptance criterion
+        assert engine.backend.calls == 1    # second call was free
+
+    def test_in_flight_dedup_within_one_call(self):
+        backend = EchoBackend()
+        engine = MatchingEngine(backend=backend)
+        results = engine.match_pairs([("x", "y")] * 5)
+        assert len(results) == 5
+        assert engine.stats.deduped == 4
+        assert engine.stats.batched_requests == 1  # one unique prompt sent
+        assert len({r.decision for r in results}) == 1
+
+    def test_normalization_folds_whitespace_variants(self):
+        engine = MatchingEngine(backend=EchoBackend())
+        engine.match_pairs([("acme  router", "acme router v2")])
+        results = engine.match_pairs([(" acme router ", "acme   router v2")])
+        assert results[0].source == "cache"
+
+    def test_cache_respects_ttl(self):
+        clock = FakeClock()
+        engine = MatchingEngine(
+            backend=EchoBackend(),
+            cache=ResultCache(max_size=64, ttl=60.0, clock=clock),
+            scheduler=Scheduler(clock=clock),
+            clock=clock,
+            sleep=lambda s: None,
+        )
+        engine.match_pairs([("p", "q")])
+        clock.advance(61.0)
+        results = engine.match_pairs([("p", "q")])
+        assert results[0].source == "backend"  # expired → re-asked
+
+    def test_entity_pair_descriptions_used_verbatim(self, product_split):
+        engine = MatchingEngine(backend=EchoBackend())
+        results = engine.match_pairs(product_split.pairs[:3])
+        for result, pair in zip(results, product_split.pairs):
+            assert result.left == pair.left.description
+            assert result.right == pair.right.description
+
+
+class TestSchedulingAndStats:
+    def test_micro_batches_flush_on_size(self):
+        engine = MatchingEngine(
+            backend=EchoBackend(), scheduler=Scheduler(max_batch_size=4)
+        )
+        workload = [(f"left {i}", f"right {i}") for i in range(10)]
+        engine.match_pairs(workload)
+        assert engine.stats.batches == 3  # 4 + 4 + drain(2)
+        assert engine.stats.flush_reasons == {"size": 2, "drain": 1}
+        assert engine.stats.mean_batch_size == pytest.approx(10 / 3)
+
+    def test_stats_snapshot_round_trips_to_dict(self):
+        engine = MatchingEngine(backend=EchoBackend())
+        engine.match_pairs([("a", "b"), ("a", "b")])
+        snapshot = engine.stats.as_dict()
+        assert snapshot["requests"] == 2
+        assert snapshot["deduped"] == 1
+        assert set(snapshot["latency"]) == {"p50", "p95", "p99"}
+        rendered = engine.stats.render()
+        assert "hit_rate" in rendered and "batches" in rendered
+
+    def test_reset_stats(self):
+        engine = MatchingEngine(backend=EchoBackend())
+        engine.match_pairs([("a", "b")])
+        engine.reset_stats()
+        assert engine.stats.requests == 0
+
+
+class TestBackends:
+    def test_make_backend_routes_open_source_locally(self):
+        assert isinstance(make_backend("llama-3.1-8b"), LocalBackend)
+
+    def test_make_backend_routes_hosted_through_batch_api(self):
+        assert isinstance(make_backend("gpt-4o-mini"), BatchAPIBackend)
+
+    def test_batch_api_backend_answers_in_order(self, product_split):
+        engine = MatchingEngine.for_model("gpt-4o-mini")
+        direct = MatchingEngine(backend=ModelBackend(build_model("gpt-4o-mini")))
+        pairs = product_split.pairs[:12]
+        via_batch = [r.decision for r in engine.match_pairs(pairs)]
+        via_model = [r.decision for r in direct.match_pairs(pairs)]
+        assert via_batch == via_model
+
+
+class TestPipelineIntegration:
+    def test_match_all_accepts_dataset_name(self):
+        tm = TailorMatch("llama-3.1-8b")
+        engine = MatchingEngine.for_model(tm.zero_shot)
+        results = tm.match_all("abt-buy", engine=engine)
+        split = load_dataset("abt-buy").test
+        assert len(results) == len(split)
+        sequential = tm.zero_shot.predict_pairs(split.pairs)
+        assert [r.decision for r in results] == list(map(bool, sequential))
+        assert engine.stats.requests == len(split)
+
+    def test_match_all_accepts_pair_sequence(self, product_split):
+        tm = TailorMatch("llama-3.1-8b")
+        results = tm.match_all(product_split.pairs[:5])
+        assert len(results) == 5
+
+    def test_match_all_accepts_blocking_result(self, product_split):
+        from repro.blocking.token import TokenBlocker
+
+        left = tuple(p.left for p in product_split.pairs[:15])
+        right = tuple(p.right for p in product_split.pairs[:15])
+        blocking = TokenBlocker().block(left, right)
+        tm = TailorMatch("llama-3.1-8b")
+        engine = MatchingEngine.for_model(tm.zero_shot)
+        results = tm.match_all(blocking, engine=engine)
+        assert len(results) == len(blocking.candidates)
+        assert engine.stats.requests == len(blocking.candidates)

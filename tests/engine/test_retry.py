@@ -1,0 +1,140 @@
+"""Tests for retry policy, backoff, and the circuit breaker."""
+
+import pytest
+
+from repro.engine.retry import (
+    BackendError,
+    BackendTimeout,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    run_with_retry,
+)
+
+from tests.engine.doubles import FakeClock, RecordingSleep
+
+
+class TestBackoff:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             max_backoff=0.3, jitter=0.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.3)  # capped
+        assert policy.backoff(5) == pytest.approx(0.3)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5, seed=7)
+        delays = [policy.backoff(i) for i in range(5)]
+        assert delays == [policy.backoff(i) for i in range(5)]  # reproducible
+        for attempt, delay in enumerate(delays):
+            nominal = min(0.1 * 2.0**attempt, policy.max_backoff)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestRunWithRetry:
+    def test_success_needs_no_retry(self):
+        sleep = RecordingSleep()
+        result = run_with_retry(lambda: 42, RetryPolicy(), sleep=sleep)
+        assert result == 42 and sleep.calls == []
+
+    def test_failures_absorbed_then_success(self):
+        attempts = []
+
+        def fn():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise BackendError("transient")
+            return "ok"
+
+        sleep = RecordingSleep()
+        retries = []
+        result = run_with_retry(
+            fn, RetryPolicy(max_attempts=3, jitter=0.0), sleep=sleep,
+            on_retry=lambda attempt, exc: retries.append((attempt, str(exc))),
+        )
+        assert result == "ok"
+        assert len(attempts) == 3 and len(sleep.calls) == 2
+        assert [a for a, _ in retries] == [0, 1]
+
+    def test_exhaustion_reraises_last_error(self):
+        def fn():
+            raise BackendError("permanent")
+
+        with pytest.raises(BackendError, match="permanent"):
+            run_with_retry(fn, RetryPolicy(max_attempts=2), sleep=lambda s: None)
+
+    def test_slow_attempt_counts_as_timeout(self):
+        clock = FakeClock()
+
+        def slow():
+            clock.advance(0.5)
+            return "late"
+
+        policy = RetryPolicy(max_attempts=2, timeout=0.1, jitter=0.0)
+        with pytest.raises(BackendTimeout):
+            run_with_retry(slow, policy, clock=clock, sleep=lambda s: None)
+
+    def test_fast_attempt_passes_timeout(self):
+        clock = FakeClock()
+
+        def fast():
+            clock.advance(0.05)
+            return "in time"
+
+        policy = RetryPolicy(max_attempts=1, timeout=0.1)
+        assert run_with_retry(fast, policy, clock=clock) == "in time"
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.1)
+        assert breaker.allow()  # half-open trial
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, cooldown=10.0, clock=clock)
+        breaker.state = "open"
+        breaker.opened_at = clock()
+        breaker.times_opened = 1
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()  # trial failed → straight back to open
+        assert breaker.state == "open" and breaker.times_opened == 2
+
+    def test_run_with_retry_respects_open_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=100.0,
+                                 clock=FakeClock())
+        breaker.record_failure()
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            run_with_retry(lambda: calls.append(1), RetryPolicy(),
+                           breaker=breaker, sleep=lambda s: None)
+        assert calls == []  # failed fast, backend never touched

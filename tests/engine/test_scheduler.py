@@ -1,0 +1,71 @@
+"""Tests for the dynamic micro-batching scheduler."""
+
+import pytest
+
+from repro.engine.scheduler import Scheduler
+
+from tests.engine.doubles import FakeClock
+
+
+class TestSizeFlush:
+    def test_flushes_at_max_batch_size(self):
+        sched = Scheduler(max_batch_size=3)
+        assert sched.submit("a") is None
+        assert sched.submit("b") is None
+        batch = sched.submit("c")
+        assert batch is not None
+        assert batch.items == ("a", "b", "c")
+        assert batch.reason == "size"
+        assert sched.pending == 0
+
+    def test_batches_preserve_order_across_flushes(self):
+        sched = Scheduler(max_batch_size=2)
+        flushed = [sched.submit(i) for i in range(5)]
+        batches = [b for b in flushed if b is not None]
+        assert [b.items for b in batches] == [(0, 1), (2, 3)]
+        assert sched.pending == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(max_batch_size=0)
+        with pytest.raises(ValueError):
+            Scheduler(max_wait=-1.0)
+
+
+class TestDeadlineFlush:
+    def test_poll_flushes_after_max_wait(self):
+        clock = FakeClock()
+        sched = Scheduler(max_batch_size=100, max_wait=0.5, clock=clock)
+        sched.submit("a")
+        clock.advance(0.4)
+        assert sched.poll() is None
+        clock.advance(0.2)
+        batch = sched.poll()
+        assert batch is not None and batch.reason == "deadline"
+        assert batch.items == ("a",)
+
+    def test_deadline_tracks_oldest_item(self):
+        clock = FakeClock()
+        sched = Scheduler(max_batch_size=100, max_wait=1.0, clock=clock)
+        sched.submit("old")
+        clock.advance(0.9)
+        sched.submit("new")  # does not reset the oldest item's deadline
+        clock.advance(0.2)
+        batch = sched.poll()
+        assert batch is not None and batch.items == ("old", "new")
+
+    def test_empty_scheduler_never_due(self):
+        clock = FakeClock()
+        sched = Scheduler(max_wait=0.0, clock=clock)
+        assert sched.poll() is None
+
+
+class TestDrain:
+    def test_drain_flushes_remainder(self):
+        sched = Scheduler(max_batch_size=10)
+        sched.submit("a")
+        sched.submit("b")
+        batch = sched.drain()
+        assert batch is not None
+        assert batch.items == ("a", "b") and batch.reason == "drain"
+        assert sched.drain() is None

@@ -44,3 +44,56 @@ class TestParseYesNo:
     def test_earlier_marker_wins(self):
         assert parse_yes_no("Yes. Although no spec is shown.") is True
         assert parse_yes_no("No — even though they look the same, yes similar.") is False
+
+
+class TestExtendedPhrasings:
+    """Table-driven coverage of common free-form phrasings."""
+
+    @pytest.mark.parametrize(
+        ("response", "expected"),
+        [
+            # bare verdict words
+            ("Match", True),
+            ("match.", True),
+            ("Not a match", False),
+            ("not a match.", False),
+            ("True", True),
+            ("false", False),
+            ("True.", True),
+            ("False — see the model numbers.", False),
+            # verb forms
+            ("These two descriptions match.", True),
+            ("The records matched on every attribute.", True),
+            ("A matching pair.", True),
+            ("They do not match.", False),
+            ("The titles does not match here.", False),
+            ("They don't match.", False),
+            ("Mismatch: the brands differ.", False),
+            ("This is not a matching pair.", False),
+            # equivalence phrasings
+            ("The two are identical.", True),
+            ("Equivalent products.", True),
+            ("Same product, different packaging description.", True),
+            ("These are the same items listed twice.", True),
+            ("They are not the same product.", False),
+            ("Different items from different brands.", False),
+            ("Two different records entirely.", False),
+            ("Clearly a different entity.", False),
+            # first-occurrence tie-breaks with the new patterns
+            ("Not a match — though the names are identical.", False),
+            ("False. They may look like a match but are not.", False),
+            ("True: this is not a trick, they match.", True),
+        ],
+    )
+    def test_verdict(self, response, expected):
+        assert parse_yes_no(response) is expected
+
+    @pytest.mark.parametrize(
+        "response",
+        [
+            "Possibly related variants.",
+            "The evidence is inconclusive either way.",
+        ],
+    )
+    def test_still_unparseable(self, response):
+        assert parse_yes_no(response) is None

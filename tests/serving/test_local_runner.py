@@ -26,6 +26,25 @@ class TestLocalRunner:
         large = LocalRunner.for_model("llama-3.1-8b", batch_size=64).generate(prompts)
         assert small == large
 
+    def test_determinism_across_batch_sizes_1_7_32(self, product_split):
+        """The docstring's determinism guarantee, pinned batch by batch.
+
+        Real inference stacks famously violate this (batch-dependent kernel
+        selection); the library contract is that chunking is invisible —
+        the same prompt list yields byte-identical completions whether it
+        is processed 1, 7, or 32 prompts at a time.
+        """
+        prompts = _prompts(product_split, n=40)
+        outputs = {
+            size: LocalRunner.for_model("llama-3.1-8b",
+                                        batch_size=size).generate(prompts)
+            for size in (1, 7, 32)
+        }
+        assert outputs[1] == outputs[7] == outputs[32]
+        # repeat runs are stable too (no hidden cross-call state)
+        again = LocalRunner.for_model("llama-3.1-8b", batch_size=7).generate(prompts)
+        assert again == outputs[7]
+
     def test_hosted_model_rejected(self):
         with pytest.raises(ValueError, match="hosted"):
             LocalRunner.for_model("gpt-4o")

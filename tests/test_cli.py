@@ -50,3 +50,45 @@ class TestValidateCommand:
         main(["export", "--dataset", "abt-buy", "--out", str(tmp_path / "d")])
         capsys.readouterr()
         assert main(["validate", "--path", str(tmp_path / "d")]) == 0
+
+
+class TestEngineCommand:
+    def _workload(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text(
+            "Jabra Evolve 80 headset\tJabra Evolve-80 stereo headset\n"
+            '{"left": "sony wh-1000xm4", "right": "vextara gps watch"}\n'
+            # a repeated pair, so the cache gets at least one hit
+            "Jabra Evolve 80 headset\tJabra Evolve-80 stereo headset\n"
+        )
+        return str(path)
+
+    def test_matches_pairs_file(self, tmp_path, capsys):
+        assert main(["engine", "--pairs", self._workload(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("MATCH") >= 3  # one verdict line per pair
+        assert "3 pairs matched" in out
+
+    def test_stats_flag_surfaces_engine_counters(self, tmp_path, capsys):
+        assert main(["engine", "--pairs", self._workload(tmp_path),
+                     "--stats", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "hit_rate" in out and "batches" in out
+
+    def test_dataset_workload(self, capsys):
+        assert main(["engine", "--dataset", "abt-buy", "--quiet",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "1916 pairs matched" in out
+
+    def test_requires_exactly_one_workload(self, capsys):
+        assert main(["engine"]) == 2
+        capsys.readouterr()
+        assert main(["engine", "--pairs", "x", "--dataset", "abt-buy"]) == 2
+
+    def test_malformed_line_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("only one column\n")
+        with pytest.raises(SystemExit, match="expected JSON"):
+            main(["engine", "--pairs", str(path)])
