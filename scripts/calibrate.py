@@ -6,7 +6,7 @@ from repro.llm.features import featurize_pairs
 from repro.eval.metrics import f1_score
 from repro.llm.prior import _fit_logistic
 
-t0 = time.time()
+t0 = time.perf_counter()
 names = ["abt-buy", "amazon-google", "walmart-amazon", "wdc-small", "dblp-acm", "dblp-scholar"]
 
 print("== oracle: logistic regression on raw features, own train -> test ==")
@@ -16,4 +16,4 @@ for n in names:
     Xte = featurize_pairs(ds.test.pairs);  yte = np.array(ds.test.labels(), bool)
     w = _fit_logistic(Xtr, ytr, l2=1e-4, epochs=3000, lr=2.0, seed=1)
     s = f1_score(yte, Xte @ w > 0)
-    print(f"{n:16s} oracle F1={s.f1:5.1f}  P={s.precision:5.1f} R={s.recall:5.1f}  ({time.time()-t0:.0f}s)")
+    print(f"{n:16s} oracle F1={s.f1:5.1f}  P={s.precision:5.1f} R={s.recall:5.1f}  ({time.perf_counter()-t0:.0f}s)")

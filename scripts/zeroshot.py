@@ -5,7 +5,7 @@ from repro.llm.model import build_model
 from repro.datasets import load_dataset
 from repro.eval.evaluator import evaluate_model
 
-t0 = time.time()
+t0 = time.perf_counter()
 names = ["abt-buy", "amazon-google", "walmart-amazon", "wdc-small", "dblp-acm", "dblp-scholar"]
 targets = {
     "llama-3.1-8b":  [56.6, 49.2, 42.0, 53.4, 85.5, 67.7],
@@ -14,7 +14,7 @@ targets = {
     "gpt-4o":        [92.2, 63.5, 70.7, 81.6, 87.2, 74.6],
 }
 datasets = {n: load_dataset(n) for n in names}
-print(f"datasets {time.time()-t0:.0f}s")
+print(f"datasets {time.perf_counter()-t0:.0f}s")
 print(f"{'persona':14s} " + " ".join(f"{n[:9]:>11s}" for n in names))
 for persona, tgt in targets.items():
     model = build_model(persona)
@@ -22,4 +22,4 @@ for persona, tgt in targets.items():
     for n, t in zip(names, tgt):
         r = evaluate_model(model, datasets[n].test)
         row.append(f"{r.f1:5.1f}/{t:5.1f}")
-    print(f"{persona:14s} " + " ".join(row) + f"  {time.time()-t0:.0f}s")
+    print(f"{persona:14s} " + " ".join(row) + f"  {time.perf_counter()-t0:.0f}s")

@@ -30,6 +30,9 @@ class TokenBlocker:
     def _index(self, records: list[Record]) -> dict[str, set[int]]:
         index: dict[str, set[int]] = defaultdict(set)
         for i, record in enumerate(records):
+            # repro-lint: disable=set-iteration — order-insensitive: builds
+            # an inverted index of sets; downstream consumes it via counts
+            # and a frozenset of candidates only.
             for token in set(tokenize(record.description)):
                 index[token].add(i)
         # at least one record per token must survive, or tiny

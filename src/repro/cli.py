@@ -11,6 +11,8 @@ Subcommands::
     repro-em sensitivity --model NAME --dataset NAME
     repro-em engine (--pairs FILE | --dataset NAME) [--model NAME]
         [--prompt NAME] [--batch-size N] [--cache-size N] [--stats] [--quiet]
+    repro-em lint [PATHS ...] [--rule ID ...] [--format text|json]
+        [--list-rules]
 """
 
 from __future__ import annotations
@@ -87,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print engine counters and latency percentiles")
     eng.add_argument("--quiet", action="store_true",
                      help="suppress per-pair verdict lines")
+
+    lint = sub.add_parser(
+        "lint", help="check repro-specific invariants (determinism, "
+        "marker safety, round-trips, engine hygiene)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro, scripts, "
+        "benchmarks)",
+    )
+    lint.add_argument(
+        "--rule", action="append", dest="rules", metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
     return parser
 
 
@@ -181,8 +200,16 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _read_pairs_file(path: str) -> list[tuple[str, str]]:
-    """Parse a workload file: JSONL objects or TAB-separated lines."""
+    """Parse a workload file: JSONL objects or TAB-separated lines.
+
+    Every malformed line exits with a one-line ``path:lineno: reason``
+    message instead of a traceback, so shell pipelines can surface the
+    offending line directly.
+    """
     import json
+
+    def bad_line(lineno: int, reason: str) -> SystemExit:
+        return SystemExit(f"{path}:{lineno}: {reason}")
 
     pairs: list[tuple[str, str]] = []
     try:
@@ -195,20 +222,35 @@ def _read_pairs_file(path: str) -> list[tuple[str, str]]:
             if not line.strip():
                 continue
             if line.lstrip().startswith("{"):
-                obj = json.loads(line)
-                left, right = obj["left"], obj["right"]
-                if isinstance(left, dict):  # dataset-export record objects
-                    left = left["description"]
-                if isinstance(right, dict):
-                    right = right["description"]
-            else:
                 try:
-                    left, right = line.split("\t")
-                except ValueError:
-                    raise SystemExit(
-                        f"{path}:{lineno}: expected JSON object or "
-                        f"'left<TAB>right', got {line!r}"
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise bad_line(lineno, f"invalid JSON: {exc.msg}") from None
+                try:
+                    left, right = obj["left"], obj["right"]
+                except KeyError as exc:
+                    raise bad_line(
+                        lineno, f"JSON object is missing key {exc.args[0]!r}"
+                    ) from None
+                if isinstance(left, dict):  # dataset-export record objects
+                    left = left.get("description")
+                if isinstance(right, dict):
+                    right = right.get("description")
+                if not isinstance(left, str) or not isinstance(right, str):
+                    raise bad_line(
+                        lineno,
+                        "left/right must be strings or records with a "
+                        "'description' field",
                     )
+            else:
+                fields = line.split("\t")
+                if len(fields) != 2:
+                    raise bad_line(
+                        lineno,
+                        "expected JSON object or 'left<TAB>right', got "
+                        f"{len(fields) - 1} tab(s): {line!r}",
+                    )
+                left, right = fields
             pairs.append((left, right))
     return pairs
 
@@ -241,6 +283,25 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     if args.stats:
         print(engine.stats.render())
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import RULES, format_json, format_text, run_lint
+
+    if args.list_rules:
+        for rule in sorted(RULES.values(), key=lambda r: (r.family, r.id)):
+            print(f"{rule.id:18s} [{rule.family}] {rule.description}")
+        return 0
+    try:
+        findings = run_lint(".", paths=args.paths or None, rules=args.rules)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -280,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

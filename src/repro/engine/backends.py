@@ -76,6 +76,8 @@ class LocalBackend:
             return self.runner.generate(prompts)
         except BackendError:
             raise
+        # repro-lint: disable=broad-except — transport boundary: any runner
+        # failure must surface as BackendError for the retry policy to see.
         except Exception as exc:
             raise BackendError(f"{self.name}: {exc}") from exc
 
@@ -113,6 +115,8 @@ class BatchAPIBackend:
             responses = self.api.run_to_completion(job.job_id)
         except BackendError:
             raise
+        # repro-lint: disable=broad-except — transport boundary: any batch-API
+        # failure must surface as BackendError for the retry policy to see.
         except Exception as exc:
             raise BackendError(f"{self.name}: {exc}") from exc
         by_id = {r.custom_id: r for r in responses}

@@ -144,7 +144,9 @@ def run_with_retry(
         started = clock()
         try:
             result = fn()
-        except Exception as exc:  # noqa: BLE001 — every failure is retryable here
+        # repro-lint: disable=broad-except — retry boundary by design:
+        # every failure of the wrapped call is treated as retryable.
+        except Exception as exc:  # noqa: BLE001
             last_error = exc
         else:
             elapsed = clock() - started

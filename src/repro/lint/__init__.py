@@ -1,0 +1,37 @@
+"""repro.lint — AST-based invariant linter for the reproduction.
+
+Static analysis specialized to this repository's correctness contracts:
+determinism (no ambient randomness, clocks, or salted ordering in library
+code), parseable-marker safety (emitted answer phrases classify as their
+declared intent under the real parser), round-trip contracts (prompt
+rendering is losslessly invertible), and engine hygiene (typed excepts,
+no fallback answers in the result cache, no float ``==`` in metrics).
+
+Usage::
+
+    from repro.lint import run_lint
+    findings = run_lint(".")            # whole default tree
+    findings = run_lint(".", rules=["unseeded-rng"], paths=["scripts"])
+
+or from the command line: ``repro-em lint [--rule ID ...] [--format json]``.
+
+Suppress a finding in place with ``# repro-lint: disable=<rule>`` (same
+line) or on the line above a statement (covers the whole block); always
+include a justification after the rule list.
+"""
+
+from repro.lint.findings import Finding, format_json, format_text
+from repro.lint.registry import RULES, Rule, rule
+from repro.lint.walker import DEFAULT_ROOTS, iter_python_files, run_lint
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "rule",
+    "run_lint",
+    "iter_python_files",
+    "DEFAULT_ROOTS",
+    "format_text",
+    "format_json",
+]

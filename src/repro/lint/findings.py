@@ -1,0 +1,64 @@
+"""Structured lint findings and their text/JSON renderings.
+
+A finding pins one invariant violation to a source location.  Findings are
+plain data so the CLI, CI, and tests all consume the same objects; the two
+renderers are the only place formatting lives.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "SEVERITIES", "format_text", "format_json"]
+
+#: Recognized severities, most severe first.  Both fail the lint run; the
+#: distinction only signals how direct the evidence is ("error" = the rule
+#: proved the violation, "warning" = a heuristic match that needs a human
+#: eye or a suppression).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    #: concrete remediation ("seed the generator", "wrap in sorted(...)").
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+
+def format_text(findings: list[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = []
+    for f in sorted(findings, key=Finding.sort_key):
+        lines.append(f"{f.path}:{f.line}: {f.severity}: [{f.rule}] {f.message}")
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    n = len(findings)
+    lines.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding]) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "findings": [
+            asdict(f) for f in sorted(findings, key=Finding.sort_key)
+        ],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,133 @@
+"""Rule registry and the per-file context rules run against.
+
+A rule is a named checker with a scope:
+
+* ``file`` rules receive a :class:`FileContext` (path + source + AST) and
+  run once per linted file;
+* ``repo`` rules receive the repository root and run once per lint
+  invocation — they introspect declared artifacts (prompt templates,
+  response phrase tables) rather than walking syntax.
+
+Registration is declarative via :func:`rule`; the CLI's ``--rule`` filter
+and the test suite both enumerate :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.lint.findings import Finding
+
+__all__ = ["FileContext", "Rule", "RULES", "rule", "iter_rules"]
+
+
+@dataclass
+class FileContext:
+    """Everything a file-scoped rule needs to inspect one source file."""
+
+    path: Path
+    #: path relative to the repo root, POSIX-style — rules scope on this.
+    relpath: str
+    source: str
+    tree: ast.Module
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str, path: Path | None = None) -> "FileContext":
+        tree = ast.parse(source)
+        ctx = cls(
+            path=path if path is not None else Path(relpath),
+            relpath=relpath.replace("\\", "/"),
+            source=source,
+            tree=tree,
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx._parents[child] = parent
+        return ctx
+
+    # ------------------------------------------------------------- helpers
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def enclosing_function(self, node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def in_package(self, *fragments: str) -> bool:
+        """Whether this file lives under any of the given path fragments."""
+        return any(fragment in self.relpath for fragment in fragments)
+
+    def finding(
+        self,
+        rule_id: str,
+        severity: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=rule_id,
+            severity=severity,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            message=message,
+            hint=hint,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant checker."""
+
+    id: str
+    family: str
+    scope: str  # "file" | "repo"
+    description: str
+    check: Callable[..., Iterable[Finding]]
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("file", "repo"):
+            raise ValueError(f"scope must be 'file' or 'repo', got {self.scope!r}")
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(id: str, family: str, scope: str, description: str):
+    """Register the decorated checker under *id*."""
+
+    def decorate(fn: Callable[..., Iterable[Finding]]):
+        if id in RULES:
+            raise ValueError(f"duplicate rule id {id!r}")
+        RULES[id] = Rule(
+            id=id, family=family, scope=scope, description=description, check=fn
+        )
+        return fn
+
+    return decorate
+
+
+def iter_rules(ids: Iterable[str] | None = None) -> Iterator[Rule]:
+    """Yield the selected rules (all when *ids* is None).
+
+    Raises ``ValueError`` for an unknown id so the CLI can report a usage
+    error instead of silently linting nothing.
+    """
+    if ids is None:
+        yield from RULES.values()
+        return
+    for rule_id in ids:
+        try:
+            yield RULES[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(RULES))
+            raise ValueError(f"unknown rule {rule_id!r}; known rules: {known}") from None

@@ -1,0 +1,123 @@
+"""Round-trip contracts between prompt rendering and entity extraction.
+
+The chat inference path recovers the two entity descriptions from the
+rendered prompt text (:func:`repro.prompts.builder.extract_entities`);
+the vectorized path consumes the descriptions directly.  Observation
+noise, hedging, and cache keys are all derived from the description
+strings, so the two paths agree only if rendering is *losslessly
+invertible* — PR 1's ``_ENTITY_RE`` trailing-whitespace bug broke exactly
+this and surfaced as unexplained engine/sequential disagreement.
+
+This rule exercises every registered ``PromptTemplate`` against an
+adversarial fixture set (trailing/leading whitespace, embedded newlines,
+``Entity 1:``-shaped payloads) and reports any pair the round trip loses.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+__all__ = ["ADVERSARIAL_PAIRS", "roundtrip_failure"]
+
+#: description pairs chosen to break lossy or ambiguous round trips.
+ADVERSARIAL_PAIRS: tuple[tuple[str, str], ...] = (
+    ("Jabra Evolve 80", "jabra evolve-80 stereo"),
+    ("trailing space ", "plain"),
+    ("plain", "trailing space "),
+    (" leading space", "  two leading"),
+    ("ends with tab\t", "tab\tinside"),
+    ("line one\nline two", "plain"),
+    ("plain", "ends with newline\n"),
+    ("Entity 1: payload", "Entity 2: payload"),
+    ("left\nEntity 2: decoy", "real right"),
+    ("left", "right\nEntity 1: decoy"),
+    ("", "empty left"),
+    ("empty right", ""),
+    ('has "quotes"', "has back\\slash"),
+)
+
+
+def roundtrip_failure(
+    render: Callable[[str, str], str],
+    extract: Callable[[str], tuple[str, str]],
+    left: str,
+    right: str,
+) -> str | None:
+    """Describe how the render→extract round trip loses *left*/*right*.
+
+    Returns None when the pair survives exactly.
+    """
+    prompt = render(left, right)
+    try:
+        recovered = extract(prompt)
+    except Exception as exc:
+        return f"extract raised {type(exc).__name__}: {exc}"
+    if recovered != (left, right):
+        return (
+            f"recovered {recovered!r} != original {(left, right)!r}"
+        )
+    return None
+
+
+def _template_lines(root: Path) -> dict[str, int]:
+    """Map template name → definition line in prompts/templates.py."""
+    path = root / "src" / "repro" / "prompts" / "templates.py"
+    lines: dict[str, int] = {}
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return lines
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "PromptTemplate"
+        ):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "name"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                lines[keyword.value.value] = node.lineno
+    return lines
+
+
+@rule(
+    "prompt-roundtrip",
+    family="contracts",
+    scope="repo",
+    description="every PromptTemplate must render losslessly: "
+    "extract_entities(render(l, r)) == (l, r)",
+)
+def check_prompt_roundtrip(root: Path) -> Iterator[Finding]:
+    from repro.prompts.builder import extract_entities
+    from repro.prompts.templates import PROMPTS
+
+    lines = _template_lines(root)
+    relpath = "src/repro/prompts/templates.py"
+    for name, template in sorted(PROMPTS.items()):
+        for left, right in ADVERSARIAL_PAIRS:
+            failure = roundtrip_failure(
+                template.render, extract_entities, left, right
+            )
+            if failure is None:
+                continue
+            yield Finding(
+                rule="prompt-roundtrip",
+                severity="error",
+                path=relpath,
+                line=lines.get(name, 1),
+                message=(
+                    f"template {name!r} loses {(left, right)!r}: {failure}"
+                ),
+                hint="render/extract must escape description text so the "
+                "Entity 1/Entity 2 block stays unambiguous",
+            )
+            break  # one failing fixture per template keeps the report readable

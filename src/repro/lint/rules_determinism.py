@@ -1,0 +1,213 @@
+"""Determinism rules.
+
+Every number in the reproduction (F1, transfer gains, sensitivity stds)
+is only meaningful if two runs of the same command produce the same bits.
+These rules flag the ambient-state entry points that silently break that:
+process-global RNGs, wall-clock reads, salted ``hash``/set ordering, and
+environment lookups outside the config layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, rule
+
+__all__ = []
+
+#: stdlib ``random`` module functions that draw from the process-global,
+#: time-seeded generator.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "getrandbits", "gauss", "normalvariate",
+    "betavariate", "expovariate", "triangular", "vonmisesvariate",
+}
+
+#: legacy numpy global-state draws (``np.random.rand`` etc.).  Seeded
+#: ``default_rng(seed)`` / ``Generator`` objects are the sanctioned path.
+_NUMPY_GLOBAL_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "seed", "standard_normal",
+    "binomial", "beta", "poisson", "exponential",
+}
+
+_AMBIENT_CLOCK_RE = re.compile(
+    r"^(?:time\.time"
+    r"|(?:datetime\.)?(?:datetime|date)\.(?:now|utcnow|today))$"
+)
+
+
+def _func_source(node: ast.Call) -> str:
+    try:
+        return ast.unparse(node.func)
+    except Exception:  # pragma: no cover - unparse failures are cosmetic
+        return ""
+
+
+def _calls(ctx: FileContext) -> Iterator[ast.Call]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@rule(
+    "unseeded-rng",
+    family="determinism",
+    scope="file",
+    description="process-global or unseeded random number generation",
+)
+def check_unseeded_rng(ctx: FileContext) -> Iterator[Finding]:
+    for node in _calls(ctx):
+        src = _func_source(node)
+        # random.Random() / np.random.RandomState() / np.random.default_rng()
+        # with no seed argument fall back to OS entropy.
+        if (
+            src in ("random.Random", "random.SystemRandom")
+            or src.endswith("random.RandomState")
+            or src.endswith("random.default_rng")
+        ):
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    "unseeded-rng", "error", node,
+                    f"{src}() without a seed draws from OS entropy",
+                    hint="pass an explicit seed (see repro._util.derive_rng)",
+                )
+            continue
+        # module-level stdlib random draws share one time-seeded generator.
+        if isinstance(node.func, ast.Attribute):
+            value = node.func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "random"
+                and node.func.attr in _GLOBAL_RANDOM_FNS
+            ):
+                yield ctx.finding(
+                    "unseeded-rng", "error", node,
+                    f"random.{node.func.attr}() uses the process-global RNG",
+                    hint="use a seeded random.Random(seed) or "
+                    "repro._util.derive_rng instead",
+                )
+                continue
+            # np.random.<fn> legacy global state.
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+                and node.func.attr in _NUMPY_GLOBAL_FNS
+            ):
+                yield ctx.finding(
+                    "unseeded-rng", "error", node,
+                    f"{src}() mutates numpy's global RNG state",
+                    hint="use np.random.default_rng(seed) / "
+                    "repro._util.derive_rng",
+                )
+
+
+@rule(
+    "ambient-clock",
+    family="determinism",
+    scope="file",
+    description="wall-clock reads (time.time / datetime.now) in library code",
+)
+def check_ambient_clock(ctx: FileContext) -> Iterator[Finding]:
+    for node in _calls(ctx):
+        src = _func_source(node)
+        if _AMBIENT_CLOCK_RE.match(src):
+            yield ctx.finding(
+                "ambient-clock", "error", node,
+                f"{src}() reads the wall clock",
+                hint="measure elapsed time with time.monotonic()/"
+                "time.perf_counter(); inject a clock callable for logic",
+            )
+
+
+@rule(
+    "salted-hash",
+    family="determinism",
+    scope="file",
+    description="builtin hash() is salted per process",
+)
+def check_salted_hash(ctx: FileContext) -> Iterator[Finding]:
+    for node in _calls(ctx):
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            yield ctx.finding(
+                "salted-hash", "error", node,
+                "builtin hash() output changes across processes "
+                "(PYTHONHASHSEED salting)",
+                hint="use repro._util.stable_hash",
+            )
+
+
+@rule(
+    "set-iteration",
+    family="determinism",
+    scope="file",
+    description="direct iteration over a set feeding possibly-ordered output",
+)
+def check_set_iteration(ctx: FileContext) -> Iterator[Finding]:
+    """Flag ``for x in set(...)`` / comprehensions iterating a set.
+
+    Set iteration order is salted; when the loop's results feed anything
+    ordered (a list, a file, prompt text) two runs diverge.  Loops whose
+    effect is genuinely order-insensitive (pure aggregation into counts or
+    sets) should carry a suppression with the justification spelled out.
+    """
+    def is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        )
+
+    for node in ast.walk(ctx.tree):
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters = [gen.iter for gen in node.generators]
+        for it in iters:
+            if is_set_expr(it):
+                yield ctx.finding(
+                    "set-iteration", "warning", node,
+                    "iterating a set directly: order is salted per process",
+                    hint="wrap in sorted(...), or suppress with a comment "
+                    "justifying order-insensitivity",
+                )
+
+
+@rule(
+    "environ-read",
+    family="determinism",
+    scope="file",
+    description="os.environ reads outside config modules",
+)
+def check_environ_read(ctx: FileContext) -> Iterator[Finding]:
+    if re.search(r"(^|/)config[^/]*\.py$|/config/", ctx.relpath):
+        return
+    for node in ast.walk(ctx.tree):
+        flagged = None
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "environ"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+        ):
+            flagged = "os.environ"
+        elif isinstance(node, ast.Call):
+            src = _func_source(node)
+            if src in ("os.getenv", "getenv"):
+                flagged = f"{src}()"
+        if flagged:
+            yield ctx.finding(
+                "environ-read", "error", node,
+                f"{flagged} read outside a config module makes behaviour "
+                "depend on ambient process state",
+                hint="read the environment once in a config module and pass "
+                "values explicitly",
+            )

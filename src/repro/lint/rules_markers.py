@@ -1,0 +1,101 @@
+"""Parseable-marker safety for declared answer-phrase artifacts.
+
+The evaluator trusts :func:`repro.llm.parsing.parse_yes_no` to classify
+model responses.  Response text the simulator *emits* therefore carries an
+implicit contract: hedge phrases must contain no parseable yes/no marker,
+affirmative phrases must parse affirmative, negative phrases negative.
+PR 1 shipped a hedge ("...denote the same entity...") that parsed as
+"yes" and silently skewed every zero-shot F1 — this rule re-checks that
+contract on every declared phrase table, at lint time, with the *actual*
+parser.
+
+Detection is by declaration-name intent: module-level assignments in
+``repro.llm`` / ``repro.prompts`` whose name contains ``HEDGE`` must hold
+strings that parse to None; names with a ``YES`` (``NO``) component must
+parse True (False).  Strings inside calls (e.g. ``re.compile`` patterns)
+are not answer text and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, rule
+
+__all__ = ["intent_for_name"]
+
+_SCOPES = ("repro/llm", "repro/prompts")
+
+
+def intent_for_name(name: str) -> tuple[bool, bool | None]:
+    """(is_answer_table, expected parse) for an assignment target name."""
+    parts = set(name.upper().replace("-", "_").split("_"))
+    if "HEDGE" in parts or "HEDGES" in parts:
+        return True, None
+    if "YES" in parts:
+        return True, True
+    if "NO" in parts:
+        return True, False
+    return False, None
+
+
+def _string_constants(value: ast.expr) -> Iterator[ast.Constant]:
+    """String literals directly inside a declared table (not inside calls)."""
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        yield value
+    elif isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        for element in value.elts:
+            yield from _string_constants(element)
+    elif isinstance(value, ast.Dict):
+        for element in value.values:
+            if element is not None:
+                yield from _string_constants(element)
+
+
+def _describe(expected: bool | None) -> str:
+    return {None: "no marker (hedge)", True: "'yes'", False: "'no'"}[expected]
+
+
+@rule(
+    "marker-safety",
+    family="markers",
+    scope="file",
+    description="declared answer phrases must classify as their intent "
+    "under parse_yes_no",
+)
+def check_marker_safety(ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.in_package(*_SCOPES):
+        return
+    from repro.llm.parsing import parse_yes_no
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            is_table, expected = intent_for_name(target.id)
+            if not is_table:
+                continue
+            for constant in _string_constants(value):
+                got = parse_yes_no(constant.value)
+                if got is expected:
+                    continue
+                excerpt = constant.value.replace("\n", " ")
+                if len(excerpt) > 60:
+                    excerpt = excerpt[:57] + "..."
+                yield ctx.finding(
+                    "marker-safety", "error", constant,
+                    f"{target.id} entry parses as {_describe(got)} but its "
+                    f"name declares {_describe(expected)}: {excerpt!r}",
+                    hint="reword the phrase (or rename the table) so "
+                    "parse_yes_no agrees with the declared intent",
+                )

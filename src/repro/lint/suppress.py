@@ -1,0 +1,121 @@
+"""Suppression comments: ``# repro-lint: disable=<rule>[,<rule>...]``.
+
+Two placements are honoured:
+
+* **same line** — a trailing comment suppresses the named rules on that
+  physical line only::
+
+      except Exception as exc:  # repro-lint: disable=broad-except — boundary
+
+  Text after the rule list (conventionally introduced by an em dash or
+  ``--``) is the justification; the linter keeps it out of the match but
+  humans should always write one.
+
+* **own line (block)** — a standalone comment suppresses the named rules
+  for the whole statement that starts on the next code line (including a
+  multi-line statement body)::
+
+      # repro-lint: disable=set-iteration — inverted index is order-insensitive
+      for token in set(tokenize(text)):
+          ...
+
+``disable=all`` disables every rule at that placement.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize as _tokenize
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+_ALL = "all"
+
+
+def _parse_rules(comment: str) -> frozenset[str] | None:
+    match = _DIRECTIVE_RE.search(comment)
+    if match is None:
+        return None
+    return frozenset(r.strip() for r in match.group(1).split(","))
+
+
+class SuppressionIndex:
+    """Maps line numbers to the set of rules disabled there."""
+
+    def __init__(self, disabled_by_line: dict[int, frozenset[str]]) -> None:
+        self._by_line = disabled_by_line
+
+    @classmethod
+    def from_source(cls, source: str, tree: ast.AST | None = None) -> "SuppressionIndex":
+        """Build the index from source text (and its parsed tree, if handy)."""
+        if tree is None:
+            tree = ast.parse(source)
+        by_line: dict[int, set[str]] = {}
+        standalone: list[tuple[int, frozenset[str]]] = []
+        try:
+            tokens = list(
+                _tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except _tokenize.TokenError:
+            tokens = []
+        # Track, per line, whether any non-comment code token appears —
+        # that decides same-line vs. block placement.
+        code_lines: set[int] = set()
+        comments: list[tuple[int, frozenset[str]]] = []
+        for tok in tokens:
+            if tok.type == _tokenize.COMMENT:
+                rules = _parse_rules(tok.string)
+                if rules is not None:
+                    comments.append((tok.start[0], rules))
+            elif tok.type not in (
+                _tokenize.NL,
+                _tokenize.NEWLINE,
+                _tokenize.INDENT,
+                _tokenize.DEDENT,
+                _tokenize.ENDMARKER,
+                _tokenize.ENCODING,
+            ):
+                code_lines.add(tok.start[0])
+        for line, rules in comments:
+            if line in code_lines:
+                by_line.setdefault(line, set()).update(rules)
+            else:
+                standalone.append((line, rules))
+        # A standalone directive covers the full span of the statement
+        # beginning on the next code line after the comment.
+        if standalone:
+            # ExceptHandler is not an ast.stmt but starts a suppressible
+            # block of its own (`except ...:`), so include it.
+            statements = sorted(
+                (
+                    (node.lineno, getattr(node, "end_lineno", node.lineno))
+                    for node in ast.walk(tree)
+                    if isinstance(node, (ast.stmt, ast.ExceptHandler))
+                ),
+            )
+            for line, rules in standalone:
+                span = next(
+                    (
+                        (start, end)
+                        for start, end in statements
+                        if start > line
+                    ),
+                    None,
+                )
+                if span is None:
+                    continue
+                for covered in range(span[0], span[1] + 1):
+                    by_line.setdefault(covered, set()).update(rules)
+        return cls({line: frozenset(rules) for line, rules in by_line.items()})
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        disabled = self._by_line.get(line)
+        if not disabled:
+            return False
+        return rule in disabled or _ALL in disabled

@@ -1,0 +1,129 @@
+"""Repo walker: collect files, run rules, apply suppressions.
+
+:func:`run_lint` is the single entry point the CLI, CI, and tests share.
+File-scoped rules walk each source file's AST; repo-scoped rules
+introspect declared artifacts once per invocation.  Findings landing on a
+line covered by a ``# repro-lint: disable=...`` directive are dropped
+(including findings from repo-scoped rules, which also resolve to
+file:line locations).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+# Importing the rule modules registers them.
+import repro.lint.rules_contracts  # noqa: F401
+import repro.lint.rules_determinism  # noqa: F401
+import repro.lint.rules_engine  # noqa: F401
+import repro.lint.rules_markers  # noqa: F401
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, iter_rules
+from repro.lint.suppress import SuppressionIndex
+
+__all__ = ["DEFAULT_ROOTS", "iter_python_files", "run_lint"]
+
+#: linted by default: the library itself plus the executable side trees.
+DEFAULT_ROOTS = ("src/repro", "scripts", "benchmarks")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(
+    root: Path, paths: Iterable[str] | None = None
+) -> Iterator[Path]:
+    """Yield python files under *paths* (default roots when omitted).
+
+    Missing explicit paths raise ``FileNotFoundError`` — a typo'd path
+    silently linting nothing would defeat the CI gate.
+    """
+    targets = list(paths) if paths else list(DEFAULT_ROOTS)
+    explicit = paths is not None and len(list(targets)) > 0
+    seen: set[Path] = set()
+    for target in targets:
+        candidate = Path(target)
+        if not candidate.is_absolute():
+            candidate = root / candidate
+        if candidate.is_file():
+            if candidate.suffix == ".py" and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+        elif candidate.is_dir():
+            for path in sorted(candidate.rglob("*.py")):
+                if set(path.parts) & _SKIP_DIRS:
+                    continue
+                if path not in seen:
+                    seen.add(path)
+                    yield path
+        elif explicit and paths:
+            raise FileNotFoundError(f"lint target does not exist: {target}")
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    root: Path | str = ".",
+    paths: Iterable[str] | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint the repository; returns unsuppressed findings, sorted.
+
+    ``rules`` filters by rule id (``ValueError`` on unknown ids).  Files
+    that fail to parse produce a non-suppressible ``syntax-error`` finding.
+    """
+    root = Path(root)
+    selected = list(iter_rules(rules))
+    file_rules = [r for r in selected if r.scope == "file"]
+    repo_rules = [r for r in selected if r.scope == "repo"]
+
+    findings: list[Finding] = []
+    suppressions: dict[str, SuppressionIndex] = {}
+
+    for path in iter_python_files(root, paths):
+        relpath = _relpath(path, root)
+        source = path.read_text(encoding="utf-8")
+        try:
+            ctx = FileContext.from_source(source, relpath, path=path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    severity="error",
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        index = SuppressionIndex.from_source(source, ctx.tree)
+        suppressions[relpath] = index
+        for file_rule in file_rules:
+            for finding in file_rule.check(ctx):
+                if not index.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    for repo_rule in repo_rules:
+        for finding in repo_rule.check(root):
+            index = suppressions.get(finding.path)
+            if index is None:
+                target = root / finding.path
+                if target.is_file():
+                    try:
+                        index = SuppressionIndex.from_source(
+                            target.read_text(encoding="utf-8")
+                        )
+                    except SyntaxError:
+                        index = SuppressionIndex({})
+                else:
+                    index = SuppressionIndex({})
+                suppressions[finding.path] = index
+            if not index.is_suppressed(finding.rule, finding.line):
+                findings.append(finding)
+
+    return sorted(findings, key=Finding.sort_key)

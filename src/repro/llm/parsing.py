@@ -14,9 +14,10 @@ import re
 __all__ = ["parse_yes_no"]
 
 # Affirmative / negative markers.  Negative phrasings that *contain* an
-# affirmative word ("not a match", "does not match") start earlier in the
-# response than the embedded affirmative, so the existing first-occurrence
-# tie-break resolves them correctly without look-around tricks.
+# affirmative word ("not a match", "does not match", "cannot match") start
+# earlier in the response than the embedded affirmative, so the existing
+# first-occurrence tie-break resolves them correctly without look-around
+# tricks.
 _YES_RE = re.compile(
     r"\b(yes|true|match(es|ed|ing)?|identical|equivalent"
     r"|same (entity|entities|product|products|item|items|record|records"
@@ -26,9 +27,25 @@ _YES_RE = re.compile(
 _NO_RE = re.compile(
     r"\b(no|false|not? a match(ing)?|mismatch(es|ed)?"
     r"|do(es)? not match|don'?t match|not the same"
+    r"|can(not|'?t)( possibly)?( be)?( a)? match(ed|ing)?"
+    r"|can(not|'?t)( possibly)? be the same"
+    r"|unmatched|non-?match(es|ed|ing)?"
     r"|different (entit(y|ies)|products?|items?|records?))\b",
     re.I,
 )
+
+# Idioms that contain a marker word without carrying its meaning: "no
+# doubt they match" is an *affirmative* answer, but "\bno\b" would match
+# first and flip it.  They are blanked (offset-preserving) before the
+# marker scan so the tie-break below only sees genuine markers.
+_IDIOM_RE = re.compile(
+    r"\b(there (is|'s) )?no (doubt|question)\b|\bwithout (a |any )?doubt\b",
+    re.I,
+)
+
+
+def _blank_idioms(response: str) -> str:
+    return _IDIOM_RE.sub(lambda m: " " * len(m.group(0)), response)
 
 
 def parse_yes_no(response: str) -> bool | None:
@@ -41,6 +58,7 @@ def parse_yes_no(response: str) -> bool | None:
     >>> parse_yes_no("It is unclear.") is None
     True
     """
+    response = _blank_idioms(response)
     yes = _YES_RE.search(response)
     no = _NO_RE.search(response)
     if yes and no:

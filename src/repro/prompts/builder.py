@@ -11,7 +11,12 @@ from __future__ import annotations
 import re
 
 from repro.datasets.schema import EntityPair
-from repro.prompts.templates import DEFAULT_PROMPT, PROMPTS, PromptTemplate
+from repro.prompts.templates import (
+    DEFAULT_PROMPT,
+    PROMPTS,
+    PromptTemplate,
+    unescape_description,
+)
 
 __all__ = ["build_matching_prompt", "extract_entities", "identify_prompt"]
 
@@ -19,7 +24,10 @@ __all__ = ["build_matching_prompt", "extract_entities", "identify_prompt"]
 # whitespace inside a description): everything the model "perceives" —
 # observation noise, hedging — is keyed on the description string, so a
 # lossy round-trip would make the chat path disagree with the vectorized
-# path on records whose serialization ends in whitespace.
+# path on records whose serialization ends in whitespace.  Rendered
+# descriptions are newline-escaped (see ``escape_description``), which
+# makes the ``\nEntity 2:`` separator unambiguous even for descriptions
+# that themselves contain ``Entity 1:``/``Entity 2:``-shaped payloads.
 _ENTITY_RE = re.compile(
     r"Entity 1: ?(?P<left>.*?)\nEntity 2: ?(?P<right>.*?)\n?$",
     re.DOTALL,
@@ -44,7 +52,10 @@ def extract_entities(prompt: str) -> tuple[str, str]:
         raise ValueError(
             "prompt does not contain 'Entity 1: ...' / 'Entity 2: ...' lines"
         )
-    return match.group("left"), match.group("right")
+    return (
+        unescape_description(match.group("left")),
+        unescape_description(match.group("right")),
+    )
 
 
 def identify_prompt(prompt: str) -> PromptTemplate | None:

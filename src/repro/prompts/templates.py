@@ -13,10 +13,13 @@ and training examples, and to filter training sets (Dimension 2).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 __all__ = [
     "PromptTemplate",
+    "escape_description",
+    "unescape_description",
     "PROMPTS",
     "DEFAULT_PROMPT",
     "ALTERNATIVE_PROMPTS",
@@ -41,12 +44,41 @@ class PromptTemplate:
     forced: bool
 
     def render(self, left: str, right: str) -> str:
-        """Full prompt text for one candidate pair."""
+        """Full prompt text for one candidate pair.
+
+        Descriptions are escaped (:func:`escape_description`) so the
+        ``Entity 1: / Entity 2:`` block is unambiguous and the round trip
+        through :func:`repro.prompts.builder.extract_entities` is exact —
+        the chat path and the vectorized path key all behaviour on the
+        description strings, so rendering must be losslessly invertible
+        (checked by the ``prompt-roundtrip`` lint rule).
+        """
         return (
             f'"{self.question}"\n'
-            f"Entity 1: {left}\n"
-            f"Entity 2: {right}"
+            f"Entity 1: {escape_description(left)}\n"
+            f"Entity 2: {escape_description(right)}"
         )
+
+
+_UNESCAPE_RE = re.compile(r"\\(n|\\)")
+
+
+def escape_description(text: str) -> str:
+    """Make a description newline-free for embedding in a prompt block.
+
+    Plain text (no backslashes or newlines — every built-in dataset
+    serialization) renders unchanged; otherwise backslashes double and
+    newlines become the two characters ``\\n``, keeping the mapping
+    injective.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def unescape_description(text: str) -> str:
+    """Exact inverse of :func:`escape_description` (single left-to-right pass)."""
+    return _UNESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else "\\", text
+    )
 
 
 DEFAULT_PROMPT = PromptTemplate(

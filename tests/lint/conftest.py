@@ -1,0 +1,31 @@
+"""Shared helpers for the lint test suite."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.registry import RULES, FileContext
+from repro.lint.suppress import SuppressionIndex
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_rule(rule_id: str, source: str, relpath: str = "src/repro/example.py"):
+    """Compile *source* (dedented) and run one file-scoped rule over it,
+    honouring suppression comments — the same path the walker takes."""
+    rule = RULES[rule_id]
+    assert rule.scope == "file", f"{rule_id} is not file-scoped"
+    source = textwrap.dedent(source)
+    ctx = FileContext.from_source(source, relpath)
+    index = SuppressionIndex.from_source(source, ctx.tree)
+    return [
+        finding
+        for finding in rule.check(ctx)
+        if not index.is_suppressed(finding.rule, finding.line)
+    ]
+
+
+@pytest.fixture()
+def repo_root():
+    return REPO_ROOT

@@ -1,0 +1,19 @@
+"""Known-bad lint fixture: deliberately violates several invariants.
+
+Never imported — ``repro-em lint`` must exit non-zero on this file.
+Kept out of the default lint roots (tests/ is not linted).
+"""
+
+import random
+import time
+
+
+def unstable_pipeline(tokens):
+    started = time.time()
+    random.shuffle(tokens)
+    order = [t for t in set(tokens)]
+    try:
+        key = hash(tuple(order))
+    except:
+        key = 0
+    return key, time.time() - started

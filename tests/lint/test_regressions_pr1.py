@@ -1,0 +1,81 @@
+"""Regression fixtures: the two PR 1 bug classes must each trip a rule.
+
+PR 1 shipped (and later fixed, while chasing engine/sequential
+disagreement) two latent bugs:
+
+* a hedge template containing "...the same entity...", which
+  ``parse_yes_no`` happily classified as "yes" — the hedge silently
+  counted as an affirmative answer;
+* ``_ENTITY_RE`` swallowing trailing whitespace of the captured entity
+  descriptions, so the chat path keyed behaviour on different strings
+  than the vectorized path.
+
+These tests pin each bug's *pre-fix form* and assert the corresponding
+lint rule catches it mechanically.
+"""
+
+import re
+
+from repro.lint.rules_contracts import ADVERSARIAL_PAIRS, roundtrip_failure
+from repro.prompts.templates import DEFAULT_PROMPT
+
+from tests.lint.conftest import run_rule
+
+
+class TestHedgeMarkerBug:
+    #: the PR 1 hedge wording: hedged (unparseable) by intent, yet it
+    #: contains the affirmative marker "the same entity".
+    PRE_FIX_HEDGE = (
+        "The descriptions are ambiguous — they could plausibly denote "
+        "the same entity or two closely related variants."
+    )
+
+    def test_pre_fix_hedge_trips_marker_rule(self):
+        findings = run_rule(
+            "marker-safety",
+            f"_HEDGES = ({self.PRE_FIX_HEDGE!r},)\n",
+            relpath="src/repro/llm/decoding.py",
+        )
+        assert len(findings) == 1
+        assert "'yes'" in findings[0].message
+
+    def test_current_hedges_are_clean(self):
+        import repro.llm.decoding as decoding
+        from repro.llm.parsing import parse_yes_no
+
+        for hedge in decoding._HEDGES:
+            assert parse_yes_no(hedge) is None, hedge
+
+
+class TestEntityWhitespaceBug:
+    #: the PR 1 extractor: ``\s*`` before the separator and anchor strips
+    #: trailing whitespace off both captured descriptions.
+    PRE_FIX_RE = re.compile(
+        r"Entity 1: ?(?P<left>.*?)\s*\nEntity 2: ?(?P<right>.*?)\s*$",
+        re.DOTALL,
+    )
+
+    def lossy_extract(self, prompt):
+        match = self.PRE_FIX_RE.search(prompt)
+        assert match is not None
+        return match.group("left"), match.group("right")
+
+    def test_pre_fix_extractor_fails_roundtrip_contract(self):
+        failures = [
+            (left, right)
+            for left, right in ADVERSARIAL_PAIRS
+            if roundtrip_failure(
+                DEFAULT_PROMPT.render, self.lossy_extract, left, right
+            )
+        ]
+        assert ("trailing space ", "plain") in failures
+        assert ("plain", "trailing space ") in failures
+
+    def test_current_extractor_passes_all_adversarial_pairs(self):
+        from repro.prompts.builder import extract_entities
+
+        for left, right in ADVERSARIAL_PAIRS:
+            failure = roundtrip_failure(
+                DEFAULT_PROMPT.render, extract_entities, left, right
+            )
+            assert failure is None, f"{(left, right)}: {failure}"

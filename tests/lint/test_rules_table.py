@@ -1,0 +1,174 @@
+"""Table-driven bad/good snippet pairs for every file-scoped lint rule.
+
+Each rule gets at least one known-bad snippet (must produce a finding)
+and one known-good snippet (must stay silent); scoped rules additionally
+prove they ignore files outside their scope.
+"""
+
+import pytest
+
+from repro.lint.registry import RULES
+
+from tests.lint.conftest import run_rule
+
+ENGINE = "src/repro/engine/example.py"
+EVAL = "src/repro/eval/example.py"
+LLM = "src/repro/llm/example.py"
+
+#: (rule, snippet, relpath) triples that MUST produce at least one finding.
+BAD = [
+    ("unseeded-rng", "import random\nx = random.random()\n", None),
+    ("unseeded-rng", "import random\nrandom.shuffle(items)\n", None),
+    ("unseeded-rng", "import random\nr = random.Random()\n", None),
+    ("unseeded-rng", "import numpy as np\nrng = np.random.default_rng()\n", None),
+    ("unseeded-rng", "import numpy as np\nnp.random.seed(0)\n", None),
+    ("ambient-clock", "import time\nstamp = time.time()\n", None),
+    (
+        "ambient-clock",
+        "from datetime import datetime\nnow = datetime.now()\n",
+        None,
+    ),
+    ("ambient-clock", "import datetime\nd = datetime.date.today()\n", None),
+    ("salted-hash", "key = hash(('left', 'right'))\n", None),
+    ("set-iteration", "items = [t for t in set(tokens)]\n", None),
+    ("set-iteration", "for t in {1, 2, 3}:\n    emit(t)\n", None),
+    ("set-iteration", "for t in frozenset(tokens):\n    emit(t)\n", None),
+    ("environ-read", "import os\nmode = os.environ['MODE']\n", None),
+    ("environ-read", "import os\nmode = os.getenv('MODE')\n", None),
+    ("untyped-except", "try:\n    work()\nexcept:\n    pass\n", None),
+    (
+        "broad-except",
+        "try:\n    work()\nexcept Exception:\n    pass\n",
+        ENGINE,
+    ),
+    (
+        "broad-except",
+        "try:\n    work()\nexcept (ValueError, BaseException):\n    pass\n",
+        ENGINE,
+    ),
+    (
+        "fallback-cache",
+        """
+        class Engine:
+            def _fallback_batch(self, batch):
+                self.cache.put("key", "value")
+        """,
+        ENGINE,
+    ),
+    ("float-eq", "exact = f1 == 100.0\n", EVAL),
+    ("float-eq", "exact = 0.0 != precision\n", EVAL),
+    (
+        "marker-safety",
+        '_HEDGES = ("They are likely the same entity.",)\n',
+        LLM,
+    ),
+    (
+        "marker-safety",
+        '_VERBOSE_YES = ("Hard to say either way.",)\n',
+        LLM,
+    ),
+    (
+        "marker-safety",
+        '_VERBOSE_NO = ("Yes, they match.",)\n',
+        LLM,
+    ),
+]
+
+#: (rule, snippet, relpath) triples that MUST stay silent.
+GOOD = [
+    ("unseeded-rng", "import random\nr = random.Random(7)\n", None),
+    (
+        "unseeded-rng",
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        None,
+    ),
+    (
+        "unseeded-rng",
+        "rng = derive_rng(seed, 'namespace')\nx = rng.random()\n",
+        None,
+    ),
+    (
+        "ambient-clock",
+        "import time\nt0 = time.perf_counter()\nt1 = time.monotonic()\n",
+        None,
+    ),
+    ("salted-hash", "key = stable_hash('left', 'right')\n", None),
+    ("set-iteration", "for t in sorted(set(tokens)):\n    emit(t)\n", None),
+    ("set-iteration", "ok = x in set(tokens)\n", None),
+    (
+        "environ-read",
+        "import os\nmode = os.environ['MODE']\n",
+        "src/repro/training/config.py",
+    ),
+    ("untyped-except", "try:\n    work()\nexcept ValueError:\n    pass\n", None),
+    (
+        "broad-except",
+        "try:\n    work()\nexcept BackendError:\n    pass\n",
+        ENGINE,
+    ),
+    # broad except outside the engine is out of scope for this rule
+    (
+        "broad-except",
+        "try:\n    work()\nexcept Exception:\n    pass\n",
+        "src/repro/datasets/example.py",
+    ),
+    (
+        "fallback-cache",
+        """
+        class Engine:
+            def _dispatch(self, batch):
+                self.cache.put("key", "value")
+
+            def _fallback_batch(self, batch):
+                return [False for _ in batch]
+        """,
+        ENGINE,
+    ),
+    ("float-eq", "close = abs(f1 - 100.0) < 1e-9\n", EVAL),
+    ("float-eq", "exact = count == 0\n", EVAL),
+    # float == outside eval code is out of scope for this rule
+    ("float-eq", "exact = f1 == 100.0\n", "src/repro/analysis/example.py"),
+    (
+        "marker-safety",
+        '_HEDGES = ("Hard to tell from the descriptions alone.",)\n',
+        LLM,
+    ),
+    (
+        "marker-safety",
+        '_VERBOSE_YES = ("Yes, these records line up.",)\n',
+        LLM,
+    ),
+    # answer tables outside repro/llm & repro/prompts are out of scope
+    (
+        "marker-safety",
+        '_HEDGES = ("They are likely the same entity.",)\n',
+        "src/repro/datasets/example.py",
+    ),
+]
+
+
+@pytest.mark.parametrize(("rule", "source", "relpath"), BAD)
+def test_bad_snippet_trips_rule(rule, source, relpath):
+    findings = run_rule(rule, source, **({"relpath": relpath} if relpath else {}))
+    assert findings, f"{rule} missed a known-bad snippet"
+    assert all(f.rule == rule for f in findings)
+    assert all(f.line >= 1 and f.message for f in findings)
+
+
+@pytest.mark.parametrize(("rule", "source", "relpath"), GOOD)
+def test_good_snippet_stays_clean(rule, source, relpath):
+    findings = run_rule(rule, source, **({"relpath": relpath} if relpath else {}))
+    assert findings == [], f"{rule} false-positived on a known-good snippet"
+
+
+def test_every_file_rule_is_covered():
+    file_rules = {r.id for r in RULES.values() if r.scope == "file"}
+    covered_bad = {rule for rule, _, _ in BAD}
+    covered_good = {rule for rule, _, _ in GOOD}
+    assert file_rules == covered_bad, "every file rule needs a bad snippet"
+    assert file_rules == covered_good, "every file rule needs a good snippet"
+
+
+def test_findings_carry_hints():
+    findings = run_rule("unseeded-rng", "import random\nx = random.random()\n")
+    assert findings[0].hint

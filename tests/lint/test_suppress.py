@@ -1,0 +1,121 @@
+"""Suppression-comment semantics."""
+
+import textwrap
+
+from repro.lint.suppress import SuppressionIndex
+
+from tests.lint.conftest import run_rule
+
+
+def index_of(source: str) -> SuppressionIndex:
+    return SuppressionIndex.from_source(textwrap.dedent(source))
+
+
+class TestSameLine:
+    def test_suppresses_named_rule_on_that_line(self):
+        findings = run_rule(
+            "ambient-clock",
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=ambient-clock — display only\n",
+        )
+        assert findings == []
+
+    def test_other_lines_unaffected(self):
+        findings = run_rule(
+            "ambient-clock",
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=ambient-clock — display only\n"
+            "b = time.time()\n",
+        )
+        assert [f.line for f in findings] == [3]
+
+    def test_wrong_rule_name_does_not_suppress(self):
+        findings = run_rule(
+            "ambient-clock",
+            "import time\nt = time.time()  # repro-lint: disable=unseeded-rng\n",
+        )
+        assert len(findings) == 1
+
+    def test_disable_all(self):
+        findings = run_rule(
+            "ambient-clock",
+            "import time\nt = time.time()  # repro-lint: disable=all\n",
+        )
+        assert findings == []
+
+    def test_comma_separated_rules(self):
+        source = (
+            "import time, random\n"
+            "t = time.time() + random.random()"
+            "  # repro-lint: disable=ambient-clock,unseeded-rng\n"
+        )
+        assert run_rule("ambient-clock", source) == []
+        assert run_rule("unseeded-rng", source) == []
+
+
+class TestBlock:
+    def test_standalone_comment_covers_next_statement(self):
+        findings = run_rule(
+            "set-iteration",
+            """
+            # repro-lint: disable=set-iteration — order-insensitive aggregation
+            for token in set(tokens):
+                counts[token] += 1
+            """,
+        )
+        assert findings == []
+
+    def test_covers_whole_multiline_statement(self):
+        findings = run_rule(
+            "set-iteration",
+            """
+            # repro-lint: disable=set-iteration — order-insensitive aggregation
+            for record in records:
+                for token in set(tokens):
+                    counts[token] += 1
+            """,
+        )
+        assert findings == []
+
+    def test_covers_except_handler(self):
+        # ExceptHandler is not an ast.stmt; the directive above an
+        # `except` line must still cover it.
+        findings = run_rule(
+            "broad-except",
+            """
+            try:
+                work()
+            # repro-lint: disable=broad-except — translation boundary
+            except Exception:
+                pass
+            """,
+            relpath="src/repro/engine/example.py",
+        )
+        assert findings == []
+
+    def test_does_not_leak_past_the_statement(self):
+        findings = run_rule(
+            "set-iteration",
+            """
+            # repro-lint: disable=set-iteration — justified here
+            for token in set(tokens):
+                counts[token] += 1
+            for token in set(tokens):
+                emit(token)
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
+
+class TestParsing:
+    def test_non_directive_comments_ignored(self):
+        index = index_of("x = 1  # a plain comment\n")
+        assert not index.is_suppressed("ambient-clock", 1)
+
+    def test_justification_text_after_rule_list_is_allowed(self):
+        index = index_of(
+            "x = 1  # repro-lint: disable=ambient-clock — why: display only\n"
+        )
+        assert index.is_suppressed("ambient-clock", 1)
+        assert not index.is_suppressed("unseeded-rng", 1)

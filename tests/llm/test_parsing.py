@@ -97,3 +97,43 @@ class TestExtendedPhrasings:
     )
     def test_still_unparseable(self, response):
         assert parse_yes_no(response) is None
+
+
+class TestNearMissPhrasings:
+    """Word-boundary corpus: phrasings one marker-regex slip away from a
+    mis-parse.  These exact strings also anchor the lint marker rule's
+    notion of 'classifies correctly'."""
+
+    @pytest.mark.parametrize(
+        ("response", "expected"),
+        [
+            # negation embedded before the affirmative word
+            ("cannot match", False),
+            ("They cannot match given the brands.", False),
+            ("These can't match.", False),
+            ("The records cannot be matched.", False),
+            ("They cannot possibly be a match.", False),
+            ("The two cannot be the same entity.", False),
+            ("They can't be the same product.", False),
+            # derived negative forms with no standalone 'no'
+            ("unmatched", False),
+            ("The pair remains unmatched.", False),
+            ("A non-matching pair.", False),
+            ("Non-match: the specs differ.", False),
+            # idioms that contain a negative word but answer affirmatively
+            ("no doubt they match", True),
+            ("No doubt these refer to the same product.", True),
+            ("There is no doubt they match.", True),
+            ("Without a doubt, the same item.", True),
+            ("There's no question these records match.", True),
+            # idiom plus a genuine negative still parses negative
+            ("There is no doubt they do not match.", False),
+            ("No doubt about the verdict: not a match.", False),
+        ],
+    )
+    def test_corpus(self, response, expected):
+        assert parse_yes_no(response) is expected
+
+    def test_cannot_alone_stays_unparseable(self):
+        # "Cannot be determined" hedges; it must not read as a negative.
+        assert parse_yes_no("Cannot be determined from the given text.") is None

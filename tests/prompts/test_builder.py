@@ -3,7 +3,13 @@
 import pytest
 
 from repro.prompts.builder import build_matching_prompt, extract_entities, identify_prompt
-from repro.prompts.templates import DEFAULT_PROMPT, SIMPLE_FORCE
+from repro.prompts.templates import (
+    DEFAULT_PROMPT,
+    PROMPTS,
+    SIMPLE_FORCE,
+    escape_description,
+    unescape_description,
+)
 
 
 class TestExtractEntities:
@@ -20,6 +26,40 @@ class TestExtractEntities:
     def test_missing_block_raises(self):
         with pytest.raises(ValueError):
             extract_entities("no entities here")
+
+    @pytest.mark.parametrize(
+        ("left", "right"),
+        [
+            ("trailing space ", "plain"),
+            (" leading", "  double lead"),
+            ("line one\nline two", "plain"),
+            ("plain", "ends with newline\n"),
+            ("left\nEntity 2: decoy", "real right"),
+            ("Entity 1: payload", "Entity 2: payload"),
+            ("back\\slash", "literal \\n sequence"),
+            ("", ""),
+        ],
+    )
+    def test_adversarial_roundtrip_is_exact(self, left, right):
+        """render → extract must be lossless for every template (the
+        prompt-roundtrip lint rule checks the same contract)."""
+        for template in PROMPTS.values():
+            assert extract_entities(template.render(left, right)) == (left, right)
+
+
+class TestEscapeDescription:
+    @pytest.mark.parametrize(
+        "text",
+        ["plain", "a\nb", "a\\nb", "a\\\\nb", "ends\\", "\n", "", "a\\\nb"],
+    )
+    def test_unescape_inverts_escape(self, text):
+        assert unescape_description(escape_description(text)) == text
+
+    def test_plain_text_renders_unchanged(self):
+        assert escape_description("Jabra Evolve 80 ") == "Jabra Evolve 80 "
+
+    def test_newline_becomes_two_characters(self):
+        assert escape_description("a\nb") == "a\\nb"
 
 
 class TestIdentifyPrompt:

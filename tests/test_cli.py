@@ -92,3 +92,22 @@ class TestEngineCommand:
         path.write_text("only one column\n")
         with pytest.raises(SystemExit, match="expected JSON"):
             main(["engine", "--pairs", str(path)])
+
+    @pytest.mark.parametrize(
+        ("content", "match"),
+        [
+            ("{not json}\n", r"bad\.txt:1: invalid JSON"),
+            ('{"left": "x"}\n', r"bad\.txt:1: JSON object is missing key 'right'"),
+            ('{"left": "x", "right": 7}\n', r"bad\.txt:1: left/right must be strings"),
+            ('{"left": {"name": "x"}, "right": "y"}\n',
+             r"bad\.txt:1: left/right must be strings"),
+            ("a\tb\tc\n", r"bad\.txt:1: expected JSON object .* got 2 tab\(s\)"),
+            ("ok\tfine\nsecond line no tab\n", r"bad\.txt:2: expected JSON"),
+        ],
+    )
+    def test_malformed_lines_get_located_errors(self, tmp_path, content, match):
+        """Every malformed --pairs line exits with path:lineno, no traceback."""
+        path = tmp_path / "bad.txt"
+        path.write_text(content)
+        with pytest.raises(SystemExit, match=match):
+            main(["engine", "--pairs", str(path)])
