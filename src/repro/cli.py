@@ -12,7 +12,7 @@ Subcommands::
     repro-em engine (--pairs FILE | --dataset NAME) [--model NAME]
         [--prompt NAME] [--batch-size N] [--cache-size N] [--stats] [--quiet]
     repro-em lint [PATHS ...] [--rule ID ...] [--format text|json]
-        [--list-rules]
+        [--list-rules] [--deep] [--baseline FILE] [--update-baseline]
 """
 
 from __future__ import annotations
@@ -106,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program analyzer (symbol table, call "
+        "graph, taint/lock/exception rules) over src/repro",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="accepted-findings file; only non-baseline findings fail "
+        "(default: lint-baseline.json when it exists, --deep only)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings and "
+        "exit 0 (ratchet: review the diff — it should only shrink)",
+    )
     return parser
 
 
@@ -286,19 +301,57 @@ def _cmd_engine(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.lint import RULES, format_json, format_text, run_lint
+    from repro.lint.deep import run_deep
 
     if args.list_rules:
+        # Importing the deep runner above registers project-scoped rules.
         for rule in sorted(RULES.values(), key=lambda r: (r.family, r.id)):
-            print(f"{rule.id:18s} [{rule.family}] {rule.description}")
+            print(f"{rule.id:24s} [{rule.family}/{rule.scope}] "
+                  f"{rule.description}")
         return 0
+    if not args.deep:
+        if args.rules and any(
+            RULES[r].scope == "project" for r in args.rules if r in RULES
+        ):
+            print("lint: project-scoped rules require --deep", file=sys.stderr)
+            return 2
+        if args.update_baseline:
+            print("lint: --update-baseline requires --deep", file=sys.stderr)
+            return 2
     try:
         findings = run_lint(".", paths=args.paths or None, rules=args.rules)
     except (ValueError, FileNotFoundError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+    summary = None
+    if args.deep:
+        try:
+            deep_findings, summary = run_deep(".", rules=args.rules)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        findings = sorted(findings + deep_findings, key=lambda f: f.sort_key())
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(
+        "lint-baseline.json"
+    )
+    if args.update_baseline:
+        from repro.lint.baseline import write_baseline
+
+        payload = write_baseline(findings, baseline_path)
+        print(f"lint: baseline updated: {payload['count']} accepted "
+              f"finding(s) -> {baseline_path}")
+        return 0
+    if args.deep and (args.baseline or baseline_path.is_file()):
+        from repro.lint.baseline import filter_baselined, load_baseline
+
+        findings = filter_baselined(findings, load_baseline(baseline_path))
+
     if args.format == "json":
-        print(format_json(findings))
+        print(format_json(findings, summary=summary))
     else:
         print(format_text(findings))
     return 1 if findings else 0

@@ -1,0 +1,46 @@
+"""Machine-checkable concurrency annotations.
+
+The lock-discipline analyzer (``repro-em lint --deep``) needs to know
+which fields a lock protects.  The convention is declarative: a class
+declares each guarded field at class level with :func:`guarded_by` inside
+``typing.Annotated``::
+
+    class ResultCache:
+        _entries: Annotated[OrderedDict, guarded_by("_lock")]
+        evictions: Annotated[int, guarded_by("_lock")]
+
+        def __init__(self) -> None:
+            self._lock = threading.RLock()
+            ...
+
+The analyzer then enforces, across the whole program:
+
+* every read/write of a guarded field happens inside ``with self._lock``
+  (``__init__``/``__post_init__`` are exempt — construction happens-before
+  publication);
+* no blocking call (sleep, backend I/O, model inference) is made while a
+  lock is held;
+* the set of "acquire B while holding A" edges is acyclic (no potential
+  deadlock ordering).
+
+The annotation is metadata only — it has no runtime effect beyond being
+introspectable via ``typing.get_type_hints(..., include_extras=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GuardedBy", "guarded_by"]
+
+
+@dataclass(frozen=True)
+class GuardedBy:
+    """Marker: the annotated field must only be touched under *lock_attr*."""
+
+    lock_attr: str
+
+
+def guarded_by(lock_attr: str) -> GuardedBy:
+    """Declare that a field is protected by ``self.<lock_attr>``."""
+    return GuardedBy(lock_attr)

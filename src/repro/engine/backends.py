@@ -57,7 +57,15 @@ class ModelBackend:
             self.name = f"model:{self.model.name}"
 
     def generate(self, prompts: list[str]) -> list[str]:
-        return [self.model.complete(p) for p in prompts]
+        try:
+            return [self.model.complete(p) for p in prompts]
+        except BackendError:
+            raise
+        # repro-lint: disable=broad-except — transport boundary: any model
+        # failure (e.g. ValueError on a malformed prompt) must surface as
+        # BackendError for the retry policy to see, like the other backends.
+        except Exception as exc:
+            raise BackendError(f"{self.name}: {exc}") from exc
 
 
 @dataclass
@@ -119,12 +127,19 @@ class BatchAPIBackend:
         # failure must surface as BackendError for the retry policy to see.
         except Exception as exc:
             raise BackendError(f"{self.name}: {exc}") from exc
+        # Re-order by custom_id with an explicit missing-key check: a bare
+        # ``by_id[...]`` here could leak KeyError across the Backend
+        # boundary, which the engine's typed handlers would not catch.
         by_id = {r.custom_id: r for r in responses}
-        if set(by_id) != {r.custom_id for r in requests}:
-            raise BackendError(f"{self.name}: incomplete batch response")
-        return [
-            (by_id[f"req-{i}"].content or "") for i in range(len(prompts))
-        ]
+        out: list[str] = []
+        for i in range(len(prompts)):
+            response = by_id.get(f"req-{i}")
+            if response is None:
+                raise BackendError(
+                    f"{self.name}: incomplete batch response (missing req-{i})"
+                )
+            out.append(response.content or "")
+        return out
 
 
 def make_backend(model: ChatModel | str, batch_size: int = 32) -> Backend:

@@ -1,4 +1,4 @@
-"""Bounded LRU + TTL cache for match results.
+"""Bounded LRU + TTL cache for match results (thread-safe).
 
 Keys are normalized prompt strings; values are whatever the engine stores
 (response text plus parsed decision).  Capacity is bounded: inserting into
@@ -8,13 +8,21 @@ clock) are treated as absent and dropped on access.
 
 The clock is injectable so tests control time explicitly; the default is
 ``time.monotonic`` (wall-clock jumps must not expire entries).
+
+Every access to the entry map happens under one re-entrant lock, so the
+cache may be shared by any number of engine threads.  The guarded fields
+are declared with :func:`repro.concurrency.guarded_by`, which the deep
+linter checks against the actual lock regions.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Generic, Hashable, TypeVar
+from typing import Annotated, Callable, Generic, Hashable, TypeVar
+
+from repro.concurrency import guarded_by
 
 __all__ = ["ResultCache"]
 
@@ -26,6 +34,11 @@ _MISSING = object()
 
 class ResultCache(Generic[K, V]):
     """LRU cache with optional per-entry time-to-live."""
+
+    #: key → (value, stored_at); insertion order tracks recency (last = MRU).
+    _entries: Annotated["OrderedDict[K, tuple[V, float]]", guarded_by("_lock")]
+    evictions: Annotated[int, guarded_by("_lock")]
+    expirations: Annotated[int, guarded_by("_lock")]
 
     def __init__(
         self,
@@ -40,39 +53,43 @@ class ResultCache(Generic[K, V]):
         self.max_size = max_size
         self.ttl = ttl
         self._clock = clock
-        #: key → (value, stored_at); insertion order tracks recency (last = MRU).
-        self._entries: "OrderedDict[K, tuple[V, float]]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._entries = OrderedDict()
         self.evictions = 0
         self.expirations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: K) -> bool:
         return self.get(key, default=_MISSING, touch=False) is not _MISSING
 
     def get(self, key: K, default: V | None = None, touch: bool = True):
         """Return the live value for *key* (refreshing recency) or *default*."""
-        entry = self._entries.get(key)
-        if entry is None:
-            return default
-        value, stored_at = entry
-        if self.ttl is not None and self._clock() - stored_at >= self.ttl:
-            del self._entries[key]
-            self.expirations += 1
-            return default
-        if touch:
-            self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return default
+            value, stored_at = entry
+            if self.ttl is not None and self._clock() - stored_at >= self.ttl:
+                del self._entries[key]
+                self.expirations += 1
+                return default
+            if touch:
+                self._entries.move_to_end(key)
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Insert/refresh *key*, evicting the LRU entry when over capacity."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (value, self._clock())
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, self._clock())
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

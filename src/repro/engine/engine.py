@@ -1,15 +1,16 @@
-"""The online matching engine.
+"""The online matching engine (safe under concurrent callers).
 
 Request lifecycle::
 
     match request (pair of descriptions)
       → normalize + render prompt
-      → in-flight dedup (identical prompts share one backend slot)
       → ResultCache lookup  ──hit──→ answer
+      → in-flight dedup (identical prompts share one backend slot,
+        across threads as well as within one call)
       → Scheduler (micro-batch: flush on size / deadline / drain)
       → Backend.generate under RetryPolicy + CircuitBreaker
           ──exhausted / circuit open──→ threshold-baseline fallback
-      → parse answer, fill cache, update EngineStats
+      → parse answer, fill cache, resolve waiters, update EngineStats
 
 The engine accepts ad-hoc description pairs, labelled
 :class:`~repro.datasets.schema.EntityPair` objects, whole splits, and
@@ -17,18 +18,32 @@ candidate streams from :mod:`repro.blocking`.  Descriptions taken from
 ``EntityPair`` objects are used verbatim (so the engine path is
 bit-identical to the evaluator's sequential path); raw string input is
 whitespace-normalized first, since online callers send unsanitized text.
+
+Thread-safety model: :meth:`MatchingEngine.match_pairs` may be called
+from any number of threads.  One re-entrant engine lock guards the
+scheduler and the in-flight table (both cheap, pure-data operations);
+the cache, stats, and circuit breaker carry their own locks.  Backend
+dispatch — the only blocking work — always happens *outside* every lock:
+a flushed batch is handed to whichever thread triggered the flush, and
+other threads waiting on a prompt in that batch block on the pending
+slot's event, not on a lock.  Each caller drains the scheduler before
+waiting, so every submitted prompt is guaranteed to be dispatched by
+someone.  The ``@guarded_by`` declarations below are enforced by
+``repro-em lint --deep``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Annotated, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.baselines.threshold import ThresholdMatcher
 from repro.blocking.base import BlockingResult
+from repro.concurrency import guarded_by
 from repro.datasets.schema import EntityPair, Record, Split
 from repro.engine.backends import Backend, make_backend
 from repro.engine.cache import ResultCache
@@ -63,18 +78,44 @@ class MatchResult:
     source: str
 
 
-@dataclass(frozen=True)
+@dataclass
 class _Pending:
-    """One unique prompt waiting for a backend slot."""
+    """One unique prompt's shared slot: submitted once, awaited by many.
+
+    Mutable fields are written exactly once, by the dispatching thread,
+    before ``event`` is set; waiters only read them after :meth:`wait`
+    returns, so the event provides the necessary happens-before edge.
+    ``claims`` counts the requests (across all threads) answered by this
+    slot and is only touched under the engine lock.
+    """
 
     key: str
     prompt: str
     left: str
     right: str
+    event: threading.Event = field(default_factory=threading.Event)
+    claims: int = 0
+    response: str | None = None
+    decision: bool = False
+    source: str = ""
+
+    def resolve(self, response: str | None, decision: bool, source: str) -> None:
+        self.response = response
+        self.decision = decision
+        self.source = source
+        self.event.set()
+
+    def wait(self) -> None:
+        self.event.wait()
 
 
 class MatchingEngine:
     """Cache-, batch-, and failure-aware front end over a model backend."""
+
+    #: unique prompt key → shared pending slot (dedup across threads).
+    _in_flight: Annotated["dict[str, _Pending]", guarded_by("_lock")]
+    #: micro-batching scheduler; pure data structure, engine-lock-guarded.
+    scheduler: Annotated[Scheduler, guarded_by("_lock")]
 
     def __init__(
         self,
@@ -103,6 +144,8 @@ class MatchingEngine:
         self.stats = EngineStats()
         self._clock = clock
         self._sleep = sleep
+        self._lock = threading.RLock()
+        self._in_flight = {}
 
     # ------------------------------------------------------------ factories
 
@@ -119,13 +162,12 @@ class MatchingEngine:
         Open-source personas run through the local batched runner; hosted
         personas through the batch API (see :func:`make_backend`).
         """
-        engine = cls(
+        kwargs.setdefault("scheduler", Scheduler(max_batch_size=batch_size))
+        return cls(
             backend=make_backend(model, batch_size=batch_size),
             template=template,
             **kwargs,
         )
-        engine.scheduler.max_batch_size = batch_size
-        return engine
 
     # ------------------------------------------------------------- matching
 
@@ -139,44 +181,55 @@ class MatchingEngine:
     ) -> list[MatchResult]:
         """Match every candidate pair, preserving input order.
 
-        Duplicate pairs (after normalization) are answered by a single
-        backend request; repeats across calls are served from the cache.
+        Safe to call from any number of threads concurrently.  Duplicate
+        pairs (after normalization) are answered by a single backend
+        request — within one call, across concurrent calls, and (via the
+        cache) across sequential calls.
         """
         descriptions = [self._descriptions(p) for p in pairs]
         results: list[MatchResult | None] = [None] * len(descriptions)
-        #: prompt key → indices of requests waiting on that key.
-        waiting: dict[str, list[int]] = {}
-        in_flight: dict[str, _Pending] = {}
+        #: (input index, shared slot, left, right) awaiting a dispatch.
+        claims: list[tuple[int, _Pending, str, str]] = []
 
         for i, (left, right) in enumerate(descriptions):
-            self.stats.requests += 1
+            self.stats.record_request()
             prompt = self.template.render(left, right)
             key = prompt
             cached = self.cache.get(key)
             if cached is not None:
                 response, decision = cached
-                self.stats.cache_hits += 1
+                self.stats.record_lookup(hit=True)
                 results[i] = MatchResult(left, right, response, decision, "cache")
                 continue
-            self.stats.cache_misses += 1
-            if key in in_flight:
-                self.stats.deduped += 1
-                waiting[key].append(i)
-                continue
-            pending = _Pending(key=key, prompt=prompt, left=left, right=right)
-            in_flight[key] = pending
-            waiting[key] = [i]
-            flushed = self.scheduler.submit(pending)
-            if flushed is None:
-                flushed = self.scheduler.poll()
-            if flushed is not None:
-                self._dispatch(flushed, waiting, results)
-                for item in flushed.items:
-                    del in_flight[item.key]
+            self.stats.record_lookup(hit=False)
+            batch = None
+            created = False
+            with self._lock:
+                pending = self._in_flight.get(key)
+                if pending is None:
+                    created = True
+                    pending = _Pending(key=key, prompt=prompt, left=left, right=right)
+                    self._in_flight[key] = pending
+                    batch = self.scheduler.submit(pending)
+                    if batch is None:
+                        batch = self.scheduler.poll()
+                pending.claims += 1
+            if not created:
+                self.stats.record_dedup()
+            claims.append((i, pending, left, right))
+            if batch is not None:
+                self._dispatch(batch)
 
-        flushed = self.scheduler.drain()
-        if flushed is not None:
-            self._dispatch(flushed, waiting, results)
+        with self._lock:
+            batch = self.scheduler.drain()
+        if batch is not None:
+            self._dispatch(batch)
+
+        for i, pending, left, right in claims:
+            pending.wait()
+            results[i] = MatchResult(
+                left, right, pending.response, pending.decision, pending.source
+            )
 
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
@@ -216,20 +269,33 @@ class MatchingEngine:
         left, right = pair
         return " ".join(left.split()), " ".join(right.split())
 
-    def _dispatch(
-        self,
-        batch: Batch[_Pending],
-        waiting: dict[str, list[int]],
-        results: list[MatchResult | None],
-    ) -> None:
-        """Run one micro-batch through retry/breaker; fall back on failure."""
+    def _retire(self, batch: Batch[_Pending]) -> list[int]:
+        """Remove a dispatched batch from the in-flight table.
+
+        Returns each item's claim count, frozen at removal: once an item
+        leaves the table no further request can join it, so the counts are
+        exact.  Later identical requests open a fresh slot (or hit the
+        cache, when the dispatch succeeded).
+        """
+        with self._lock:
+            counts = []
+            for item in batch.items:
+                self._in_flight.pop(item.key, None)
+                counts.append(item.claims)
+            return counts
+
+    def _dispatch(self, batch: Batch[_Pending]) -> None:
+        """Run one micro-batch through retry/breaker; fall back on failure.
+
+        Called outside every lock: backend calls block (model inference,
+        provider polling, retry sleeps) and must never stall other threads'
+        cache hits or submissions.
+        """
         self.stats.record_batch(batch.reason, len(batch))
         prompts = [item.prompt for item in batch.items]
 
         def on_retry(attempt: int, exc: Exception) -> None:
-            self.stats.retries += 1
-            if isinstance(exc, BackendTimeout):
-                self.stats.timeouts += 1
+            self.stats.record_retry(timed_out=isinstance(exc, BackendTimeout))
 
         opened_before = self.breaker.times_opened
         started = self._clock()
@@ -243,34 +309,31 @@ class MatchingEngine:
                 on_retry=on_retry,
             )
         except (BackendError, CircuitOpenError) as exc:
-            self.stats.failures += 1
-            if isinstance(exc, BackendTimeout):
-                self.stats.timeouts += 1
-            self.stats.circuit_opens += self.breaker.times_opened - opened_before
-            self._fallback_batch(batch, waiting, results)
+            self.stats.record_failure(timed_out=isinstance(exc, BackendTimeout))
+            self.stats.record_circuit_opens(
+                self.breaker.times_opened - opened_before
+            )
+            self._fallback_batch(batch)
             return
-        self.stats.circuit_opens += self.breaker.times_opened - opened_before
+        self.stats.record_circuit_opens(self.breaker.times_opened - opened_before)
         elapsed = self._clock() - started
         if len(responses) != len(prompts):
             # A misbehaving backend that drops answers is a failure too.
-            self.stats.failures += 1
-            self._fallback_batch(batch, waiting, results)
+            self.stats.record_failure()
+            self._fallback_batch(batch)
             return
         self.stats.record_latency(elapsed, requests=len(prompts))
-        for item, response in zip(batch.items, responses):
-            decision = bool(parse_yes_no(response))
+        answered = [
+            (item, response, bool(parse_yes_no(response)))
+            for item, response in zip(batch.items, responses)
+        ]
+        for item, response, decision in answered:
             self.cache.put(item.key, (response, decision))
-            for index in waiting.pop(item.key):
-                results[index] = MatchResult(
-                    item.left, item.right, response, decision, "backend"
-                )
+        self._retire(batch)
+        for item, response, decision in answered:
+            item.resolve(response, decision, "backend")
 
-    def _fallback_batch(
-        self,
-        batch: Batch[_Pending],
-        waiting: dict[str, list[int]],
-        results: list[MatchResult | None],
-    ) -> None:
+    def _fallback_batch(self, batch: Batch[_Pending]) -> None:
         """Answer a failed batch with the degraded threshold matcher.
 
         Fallback answers are *not* cached: once the backend recovers, the
@@ -288,9 +351,7 @@ class MatchingEngine:
             for i, item in enumerate(batch.items)
         ]
         decisions = self.fallback.predict(Split(name="fallback", pairs=pairs))
+        claim_counts = self._retire(batch)
+        self.stats.record_fallbacks(sum(claim_counts))
         for item, decision in zip(batch.items, decisions):
-            self.stats.fallbacks += len(waiting[item.key])
-            for index in waiting.pop(item.key):
-                results[index] = MatchResult(
-                    item.left, item.right, None, bool(decision), "fallback"
-                )
+            item.resolve(None, bool(decision), "fallback")

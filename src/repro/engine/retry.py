@@ -13,11 +13,13 @@ injectable so tests never actually wait.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, TypeVar
+from typing import Annotated, Callable, TypeVar
 
 from repro._util import derive_rng
+from repro.concurrency import guarded_by
 
 __all__ = [
     "BackendError",
@@ -84,40 +86,66 @@ class CircuitBreaker:
     States: ``closed`` (normal), ``open`` (fail fast until *cooldown*
     elapses), ``half-open`` (one trial call allowed; success closes the
     circuit, failure re-opens it).
+
+    One breaker may be shared by every engine thread: state transitions
+    happen under an internal lock so two threads cannot both take the
+    half-open trial slot or double-count an open transition.
+    ``times_opened`` is a monotonic counter written only under the lock;
+    reading it without the lock is safe (it can only lag, never tear).
     """
 
     failure_threshold: int = 5
     cooldown: float = 30.0
     clock: Callable[[], float] = time.monotonic
 
-    state: str = field(default="closed", init=False)
-    consecutive_failures: int = field(default=0, init=False)
-    opened_at: float = field(default=0.0, init=False)
+    state: Annotated[str, guarded_by("_lock")] = field(
+        default="closed", init=False
+    )
+    consecutive_failures: Annotated[int, guarded_by("_lock")] = field(
+        default=0, init=False
+    )
+    opened_at: Annotated[float, guarded_by("_lock")] = field(
+        default=0.0, init=False
+    )
     #: closed/half-open → open transitions over the breaker's lifetime.
     times_opened: int = field(default=0, init=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     def allow(self) -> bool:
         """Whether a call may proceed right now (may move open → half-open)."""
-        if self.state == "open":
-            if self.clock() - self.opened_at >= self.cooldown:
-                self.state = "half-open"
-                return True
-            return False
-        return True
+        with self._lock:
+            if self.state == "open":
+                if self.clock() - self.opened_at >= self.cooldown:
+                    self.state = "half-open"
+                    return True
+                return False
+            return True
 
     def record_success(self) -> None:
-        self.consecutive_failures = 0
-        self.state = "closed"
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = "closed"
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == "half-open" or (
-            self.state == "closed"
-            and self.consecutive_failures >= self.failure_threshold
-        ):
-            self.state = "open"
-            self.opened_at = self.clock()
-            self.times_opened += 1
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == "half-open" or (
+                self.state == "closed"
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self.state = "open"
+                self.opened_at = self.clock()
+                self.times_opened += 1
+
+    def describe(self) -> str:
+        """One-line state summary (used in fail-fast error messages)."""
+        with self._lock:
+            return (
+                f"cooldown {self.cooldown}s, "
+                f"{self.consecutive_failures} consecutive failures"
+            )
 
 
 def run_with_retry(
@@ -137,10 +165,7 @@ def run_with_retry(
     last_error: Exception = BackendError("no attempts made")
     for attempt in range(policy.max_attempts):
         if breaker is not None and not breaker.allow():
-            raise CircuitOpenError(
-                f"circuit open (cooldown {breaker.cooldown}s, "
-                f"{breaker.consecutive_failures} consecutive failures)"
-            )
+            raise CircuitOpenError(f"circuit open ({breaker.describe()})")
         started = clock()
         try:
             result = fn()

@@ -1,16 +1,23 @@
-"""Engine observability: counters and latency percentiles.
+"""Engine observability: counters and latency percentiles (thread-safe).
 
 One :class:`EngineStats` object accompanies a :class:`MatchingEngine` for
-its lifetime.  Counters are plain integers (cheap to bump on the hot
-path); latencies are collected per backend dispatch and summarized into
-percentiles on demand.
+its lifetime.  All mutation goes through ``record_*`` methods that take
+the stats lock, so counters stay exact when N threads drive the engine
+concurrently; the counter fields themselves stay public for cheap reads
+in tests and summaries once the threads have joined.  The guarded fields
+are declared with :func:`repro.concurrency.guarded_by`, which the deep
+linter checks against the actual lock regions.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Annotated
 
 import numpy as np
+
+from repro.concurrency import guarded_by
 
 __all__ = ["EngineStats"]
 
@@ -20,80 +27,130 @@ class EngineStats:
     """Counters and latency samples for one engine instance."""
 
     #: match requests accepted (before dedup/caching).
-    requests: int = 0
+    requests: Annotated[int, guarded_by("_lock")] = 0
     #: requests answered from the result cache.
-    cache_hits: int = 0
+    cache_hits: Annotated[int, guarded_by("_lock")] = 0
     #: requests that missed the cache and went to the scheduler.
-    cache_misses: int = 0
-    #: requests folded into an identical request within the same call.
-    deduped: int = 0
+    cache_misses: Annotated[int, guarded_by("_lock")] = 0
+    #: requests folded into an identical in-flight request.
+    deduped: Annotated[int, guarded_by("_lock")] = 0
     #: micro-batches flushed to a backend.
-    batches: int = 0
+    batches: Annotated[int, guarded_by("_lock")] = 0
     #: unique prompts dispatched inside those batches.
-    batched_requests: int = 0
+    batched_requests: Annotated[int, guarded_by("_lock")] = 0
     #: flush reasons ("size" / "deadline" / "drain") → count.
-    flush_reasons: dict[str, int] = field(default_factory=dict)
+    flush_reasons: Annotated[dict, guarded_by("_lock")] = field(
+        default_factory=dict
+    )
     #: backend attempts beyond the first for any batch.
-    retries: int = 0
+    retries: Annotated[int, guarded_by("_lock")] = 0
     #: attempts that exceeded the per-request timeout budget.
-    timeouts: int = 0
+    timeouts: Annotated[int, guarded_by("_lock")] = 0
     #: batches whose backend attempts were exhausted (or short-circuited).
-    failures: int = 0
+    failures: Annotated[int, guarded_by("_lock")] = 0
     #: requests answered by the degraded threshold-baseline path.
-    fallbacks: int = 0
+    fallbacks: Annotated[int, guarded_by("_lock")] = 0
     #: closed→open transitions of the circuit breaker.
-    circuit_opens: int = 0
+    circuit_opens: Annotated[int, guarded_by("_lock")] = 0
     #: per-request backend latency samples, seconds.
-    latencies: list[float] = field(default_factory=list)
+    latencies: Annotated[list, guarded_by("_lock")] = field(
+        default_factory=list
+    )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------- recording
 
-    def record_batch(self, reason: str, size: int) -> None:
-        self.batches += 1
-        self.batched_requests += size
-        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+    def record_request(self, n: int = 1) -> None:
+        with self._lock:
+            self.requests += n
 
-    @property
-    def mean_batch_size(self) -> float:
-        return self.batched_requests / self.batches if self.batches else 0.0
+    def record_lookup(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_dedup(self) -> None:
+        with self._lock:
+            self.deduped += 1
+
+    def record_batch(self, reason: str, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+    def record_retry(self, timed_out: bool = False) -> None:
+        with self._lock:
+            self.retries += 1
+            if timed_out:
+                self.timeouts += 1
+
+    def record_failure(self, timed_out: bool = False) -> None:
+        with self._lock:
+            self.failures += 1
+            if timed_out:
+                self.timeouts += 1
+
+    def record_fallbacks(self, n: int) -> None:
+        with self._lock:
+            self.fallbacks += n
+
+    def record_circuit_opens(self, n: int) -> None:
+        with self._lock:
+            self.circuit_opens += n
 
     def record_latency(self, seconds: float, requests: int = 1) -> None:
         """Record one dispatch latency, attributed to *requests* requests."""
-        self.latencies.extend([seconds] * max(requests, 1))
+        with self._lock:
+            self.latencies.extend([seconds] * max(requests, 1))
 
     # ------------------------------------------------------------- summaries
 
     @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            if not self.batches:
+                return 0.0
+            return self.batched_requests / self.batches
+
+    @property
     def hit_rate(self) -> float:
         """Cache hits over all cache lookups (0.0 when nothing was looked up)."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
 
     def latency_percentiles(self, qs: tuple[int, ...] = (50, 95, 99)) -> dict[str, float]:
         """``{"p50": ..., ...}`` over recorded latencies (empty dict if none)."""
-        if not self.latencies:
-            return {}
-        values = np.percentile(np.asarray(self.latencies), qs)
+        with self._lock:
+            if not self.latencies:
+                return {}
+            values = np.percentile(np.asarray(self.latencies), qs)
         return {f"p{q}": float(v) for q, v in zip(qs, values)}
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serializable snapshot (used by benchmarks and the CLI)."""
-        return {
-            "requests": self.requests,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "hit_rate": round(self.hit_rate, 4),
-            "deduped": self.deduped,
-            "batches": self.batches,
-            "mean_batch_size": round(self.mean_batch_size, 2),
-            "flush_reasons": dict(self.flush_reasons),
-            "retries": self.retries,
-            "timeouts": self.timeouts,
-            "failures": self.failures,
-            "fallbacks": self.fallbacks,
-            "circuit_opens": self.circuit_opens,
-            "latency": self.latency_percentiles(),
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "hit_rate": round(self.hit_rate, 4),
+                "deduped": self.deduped,
+                "batches": self.batches,
+                "mean_batch_size": round(self.mean_batch_size, 2),
+                "flush_reasons": dict(self.flush_reasons),
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "failures": self.failures,
+                "fallbacks": self.fallbacks,
+                "circuit_opens": self.circuit_opens,
+                "latency": self.latency_percentiles(),
+            }
 
     def render(self) -> str:
         """Human-readable multi-line summary for ``repro-em engine --stats``."""

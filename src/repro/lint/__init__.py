@@ -1,11 +1,16 @@
-"""repro.lint — AST-based invariant linter for the reproduction.
+"""repro.lint — static analysis for the reproduction's invariants.
 
-Static analysis specialized to this repository's correctness contracts:
-determinism (no ambient randomness, clocks, or salted ordering in library
-code), parseable-marker safety (emitted answer phrases classify as their
-declared intent under the real parser), round-trip contracts (prompt
-rendering is losslessly invertible), and engine hygiene (typed excepts,
-no fallback answers in the result cache, no float ``==`` in metrics).
+Two layers share one rule registry and one finding/suppression model:
+
+* the **per-file walker** (``run_lint``) checks syntactic contracts —
+  determinism hygiene, parseable-marker safety, round-trip contracts,
+  engine hygiene;
+* the **whole-program analyzer** (``run_deep``, ``repro-em lint
+  --deep``) builds a project symbol table and call graph, then runs
+  inter-procedural rules: determinism *taint* from source to sink
+  through helper hops, the ``@guarded_by`` lock discipline (guarded
+  fields, ordering cycles, blocking under locks), and exception types
+  escaping protocol boundaries.
 
 Usage::
 
@@ -13,14 +18,18 @@ Usage::
     findings = run_lint(".")            # whole default tree
     findings = run_lint(".", rules=["unseeded-rng"], paths=["scripts"])
 
-or from the command line: ``repro-em lint [--rule ID ...] [--format json]``.
+    from repro.lint.deep import run_deep
+    findings, summary = run_deep(".")   # project rules over src/repro
+
+or from the command line: ``repro-em lint [--deep] [--format json]``.
 
 Suppress a finding in place with ``# repro-lint: disable=<rule>`` (same
 line) or on the line above a statement (covers the whole block); always
-include a justification after the rule list.
+include a justification after the rule list.  Deep findings accepted
+historically live in ``lint-baseline.json`` (see ``--update-baseline``).
 """
 
-from repro.lint.findings import Finding, format_json, format_text
+from repro.lint.findings import SCHEMA_VERSION, Finding, format_json, format_text
 from repro.lint.registry import RULES, Rule, rule
 from repro.lint.walker import DEFAULT_ROOTS, iter_python_files, run_lint
 
@@ -32,6 +41,7 @@ __all__ = [
     "run_lint",
     "iter_python_files",
     "DEFAULT_ROOTS",
+    "SCHEMA_VERSION",
     "format_text",
     "format_json",
 ]

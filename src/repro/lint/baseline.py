@@ -1,0 +1,71 @@
+"""Finding baseline: ratchet deep findings down, never up.
+
+The committed ``lint-baseline.json`` records accepted pre-existing
+findings as (rule, path, message) fingerprints — line numbers are
+excluded so unrelated edits above a finding don't churn the file.  CI
+runs ``repro-em lint --deep --baseline lint-baseline.json`` and fails on
+any finding *not* in the baseline; fixing a finding and running
+``--update-baseline`` shrinks the file.  The baseline is written sorted
+and with a stable schema so diffs review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "filter_baselined",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> dict[str, str]:
+    """The stable identity of a finding (line numbers excluded)."""
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "message": finding.message,
+    }
+
+
+def _key(entry: dict[str, str]) -> tuple[str, str, str]:
+    return (entry.get("rule", ""), entry.get("path", ""), entry.get("message", ""))
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """Accepted fingerprints from *path* (empty set when absent)."""
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    return {_key(entry) for entry in entries}
+
+def filter_baselined(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Findings not covered by the baseline (the ones that fail CI)."""
+    return [f for f in findings if _key(fingerprint(f)) not in baseline]
+
+
+def write_baseline(findings: list[Finding], path: Path) -> dict[str, object]:
+    """Write the current findings as the new accepted baseline."""
+    entries = sorted(
+        {tuple(fingerprint(f).items()) for f in findings}
+    )
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "count": len(entries),
+        "findings": [dict(entry) for entry in entries],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return payload

@@ -1,0 +1,427 @@
+"""Project call graph over a :class:`~repro.lint.symbols.SymbolTable`.
+
+Each call site inside a project function is resolved to project function
+qualnames where possible, using:
+
+* direct names (``helper(...)`` → same module or imported function);
+* class construction (``ResultCache(...)`` → ``ResultCache.__init__``);
+* ``self.method(...)`` → method lookup on the enclosing class (including
+  project base classes);
+* attribute calls on typed receivers — parameters, ``self.x`` instance
+  attributes, and local variables whose type is known from an annotation
+  or a constructor assignment (``cache = ResultCache(); cache.get(...)``);
+* calls through a :class:`typing.Protocol`-typed receiver fan out to
+  every structural implementation in the project (sound for analyses
+  that union over callees).
+
+Unresolvable sites are bucketed instead of silently dropped, and the
+resolution rate — resolved project-internal sites over all candidate
+project-internal sites — is reported in the ``--deep`` JSON summary
+(the ISSUE acceptance bar is ≥ 0.9).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.symbols import ClassSymbol, FunctionSymbol, ModuleSymbol, SymbolTable
+
+__all__ = ["CallSite", "CallGraph", "build_call_graph"]
+
+#: methods whose calls are receiver-polymorphic builtins, never project code.
+_BUILTIN_METHODS = frozenset(
+    {
+        "append", "extend", "pop", "get", "items", "keys", "values", "setdefault",
+        "update", "add", "discard", "remove", "clear", "copy", "sort", "join",
+        "split", "strip", "lstrip", "rstrip", "lower", "upper", "format",
+        "startswith", "endswith", "replace", "encode", "decode", "read_text",
+        "write_text", "as_posix", "relative_to", "partition", "rpartition",
+        "count", "index", "insert", "move_to_end", "popitem", "total_seconds",
+    }
+)
+
+
+@dataclass
+class CallSite:
+    """One syntactic call inside a project function."""
+
+    caller: str
+    node: ast.Call
+    #: source text of the callee expression ("self.cache.get", "helper").
+    callee_text: str
+    #: project function qualnames this site may reach (empty if none).
+    targets: list[str] = field(default_factory=list)
+    #: "resolved" | "unresolved" | "external" | "dynamic" | "builtin"
+    status: str = "unresolved"
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class CallGraph:
+    """Call sites grouped by caller, plus the reverse edge map."""
+
+    table: SymbolTable
+    #: caller qualname → its call sites, in source order.
+    sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: callee qualname → caller qualnames.
+    callers: dict[str, set[str]] = field(default_factory=dict)
+
+    def callees(self, qualname: str) -> set[str]:
+        return {
+            target
+            for site in self.sites.get(qualname, [])
+            for target in site.targets
+        }
+
+    def summary(self) -> dict[str, object]:
+        """Resolution-rate accounting for the ``--deep`` JSON summary."""
+        counts = {"resolved": 0, "unresolved": 0, "external": 0,
+                  "builtin": 0, "dynamic": 0}
+        for sites in self.sites.values():
+            for site in sites:
+                counts[site.status] += 1
+        candidates = counts["resolved"] + counts["unresolved"]
+        rate = counts["resolved"] / candidates if candidates else 1.0
+        return {
+            "functions": len(self.sites),
+            "call_sites": sum(len(s) for s in self.sites.values()),
+            **counts,
+            "resolution_rate": round(rate, 4),
+        }
+
+
+class _Resolver:
+    """Resolves call sites of one function using local type facts."""
+
+    def __init__(self, graph: CallGraph, fn: FunctionSymbol) -> None:
+        self.graph = graph
+        self.table = graph.table
+        self.fn = fn
+        self.mod: ModuleSymbol = self.table.modules[fn.module]
+        self.cls: ClassSymbol | None = (
+            self.table.classes.get(fn.cls) if fn.cls else None
+        )
+        #: local variable name → class qualname (from annotations/constructors).
+        self.local_types: dict[str, str] = {}
+        #: functions defined inside this function (their bodies are analyzed
+        #: inline; calls to them are intra-function, not graph edges).
+        self.local_defs: set[str] = {
+            n.name
+            for n in ast.walk(fn.node)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and n is not fn.node
+        }
+        #: every plain local binding (assignments, loop vars, with-targets):
+        #: calls through these are first-class-value dispatch unless a type
+        #: was inferred for them.
+        self._plain_locals: set[str] = set()
+        for n in ast.walk(fn.node):
+            if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = n.targets if isinstance(n, ast.Assign) else [n.target]
+                for t in targets:
+                    for leaf in ast.walk(t):
+                        if isinstance(leaf, ast.Name):
+                            self._plain_locals.add(leaf.id)
+            elif isinstance(n, (ast.For, ast.AsyncFor)):
+                for leaf in ast.walk(n.target):
+                    if isinstance(leaf, ast.Name):
+                        self._plain_locals.add(leaf.id)
+            elif isinstance(n, (ast.With, ast.AsyncWith)):
+                for item in n.items:
+                    if item.optional_vars is not None:
+                        for leaf in ast.walk(item.optional_vars):
+                            if isinstance(leaf, ast.Name):
+                                self._plain_locals.add(leaf.id)
+            elif isinstance(n, ast.comprehension):
+                for leaf in ast.walk(n.target):
+                    if isinstance(leaf, ast.Name):
+                        self._plain_locals.add(leaf.id)
+        self._seed_param_types()
+        self._infer_local_types()
+
+    # ---------------------------------------------------------------- typing
+
+    def _seed_param_types(self) -> None:
+        for name, ann in self.fn.param_annotations.items():
+            qual = self._type_from_annotation(ann)
+            if qual is not None:
+                self.local_types[name] = qual
+
+    def _infer_local_types(self) -> None:
+        """``x = SomeClass(...)`` and ``x: SomeClass = ...`` assignments."""
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                    qual = self._class_of_call(value)
+                    if qual is not None:
+                        self.local_types[target.id] = qual
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                qual = self._type_from_annotation(node.annotation)
+                if qual is not None:
+                    self.local_types[node.target.id] = qual
+
+    def _type_from_annotation(self, ann: ast.expr) -> str | None:
+        """Class qualname an annotation denotes, if it's a project class."""
+        node = ann
+        # Unwrap Optional[X] / X | None / Annotated[X, ...] / "X" strings.
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            for side in (node.left, node.right):
+                got = self._type_from_annotation(side)
+                if got is not None:
+                    return got
+            return None
+        if isinstance(node, ast.Subscript):
+            head = node.value
+            head_name = (
+                head.attr if isinstance(head, ast.Attribute)
+                else getattr(head, "id", "")
+            )
+            if head_name in {"Optional", "Annotated"}:
+                inner = node.slice
+                if isinstance(inner, ast.Tuple):
+                    inner = inner.elts[0]
+                return self._type_from_annotation(inner)
+            node = head  # Generic[...] → the generic's own class.
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover
+            return None
+        qual = self.table.resolve_dotted(self.mod, text)
+        return qual if qual in self.table.classes else None
+
+    def _class_of_call(self, call: ast.Call) -> str | None:
+        """Class qualname when *call* constructs a project class."""
+        try:
+            text = ast.unparse(call.func)
+        except Exception:  # pragma: no cover
+            return None
+        qual = self.table.resolve_dotted(self.mod, text)
+        if qual in self.table.classes:
+            return qual
+        # Factory classmethods: ClassName.for_model(...) → ClassName.
+        if qual is not None:
+            owner = qual.rsplit(".", 1)[0]
+            fn = self.table.functions.get(qual)
+            if fn is not None and fn.cls == owner and owner in self.table.classes:
+                ret = fn.returns
+                if ret is not None:
+                    ret_qual = self._type_from_annotation(ret)
+                    if ret_qual is not None:
+                        return ret_qual
+        return None
+
+    def receiver_type(self, expr: ast.expr) -> str | None:
+        """Class qualname of a receiver expression, if inferable."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.cls is not None:
+                return self.cls.qualname
+            return self.local_types.get(expr.id)
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.cls is not None
+        ):
+            attr_expr = self._class_attr_type(self.cls.qualname, expr.attr)
+            if attr_expr is None:
+                return None
+            if isinstance(attr_expr, ast.Call):
+                return self._class_of_call(attr_expr)
+            return self._type_from_annotation(attr_expr)
+        if isinstance(expr, ast.Call):
+            return self._class_of_call(expr)
+        return None
+
+    def _class_attr_type(self, class_qual: str, attr: str) -> ast.expr | None:
+        cls = self.table.classes.get(class_qual)
+        if cls is None:
+            return None
+        if attr in cls.attr_types:
+            return cls.attr_types[attr]
+        for base in self.table.base_classes(cls):
+            found = self._class_attr_type(base, attr)
+            if found is not None:
+                return found
+        return None
+
+    # -------------------------------------------------------------- resolving
+
+    def resolve(self, call: ast.Call) -> CallSite:
+        try:
+            text = ast.unparse(call.func)
+        except Exception:  # pragma: no cover
+            text = "<dynamic>"
+        site = CallSite(caller=self.fn.qualname, node=call, callee_text=text)
+
+        func = call.func
+        if isinstance(func, ast.Name):
+            self._resolve_name(site, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._resolve_attribute(site, func)
+        else:
+            # Call of a call result, subscript, lambda, ... — dynamic.
+            site.status = "dynamic"
+        return site
+
+    def _resolve_name(self, site: CallSite, name: str) -> None:
+        if name in self.local_defs:
+            # Nested def: its body is already attributed to this caller.
+            site.status = "builtin"
+            return
+        if name == "cls" and self.cls is not None and "cls" in self.fn.params:
+            # Classmethod constructor: cls(...) builds the enclosing class.
+            init = self.table.lookup_method(self.cls.qualname, "__init__")
+            if init is not None:
+                site.targets = [init.qualname]
+            site.status = "resolved"
+            return
+        if name in self.fn.params or name in self._plain_locals:
+            # Call through a callable value (parameter, stored function).
+            typed = self.local_types.get(name)
+            call_method = (
+                self.table.lookup_method(typed, "__call__") if typed else None
+            )
+            if call_method is not None:
+                site.targets = [call_method.qualname]
+                site.status = "resolved"
+            else:
+                # First-class dispatch the syntactic graph cannot follow.
+                site.status = "dynamic"
+            return
+        qual = self.table.resolve_dotted(self.mod, name)
+        if qual is None:
+            # Builtins (len, sorted, ...) vs. true unknowns.
+            site.status = "external" if name in _PY_BUILTINS else "unresolved"
+            return
+        if qual in self.table.functions:
+            site.targets = [qual]
+            site.status = "resolved"
+        elif qual in self.table.classes:
+            init = self.table.lookup_method(qual, "__init__")
+            site.targets = [init.qualname] if init else [f"{qual}.__init__"]
+            site.status = "resolved"
+        elif self.table.is_project_target(qual):
+            site.status = "unresolved"
+        else:
+            site.status = "external"
+
+    def _resolve_attribute(self, site: CallSite, func: ast.Attribute) -> None:
+        method = func.attr
+        # module.function(...) through an import alias.
+        if isinstance(func.value, ast.Name):
+            dotted = f"{func.value.id}.{method}"
+            qual = self.table.resolve_dotted(self.mod, dotted)
+            if qual in self.table.functions:
+                site.targets = [qual]
+                site.status = "resolved"
+                return
+            if qual in self.table.classes:
+                init = self.table.lookup_method(qual, "__init__")
+                site.targets = [init.qualname] if init else []
+                site.status = "resolved"
+                return
+        # ClassName.method / alias.ClassName.method (incl. classmethods).
+        try:
+            dotted_full = ast.unparse(func)
+        except Exception:  # pragma: no cover
+            dotted_full = ""
+        if dotted_full:
+            qual = self.table.resolve_dotted(self.mod, dotted_full)
+            if qual in self.table.functions:
+                site.targets = [qual]
+                site.status = "resolved"
+                return
+        # Typed receiver.
+        recv_qual = self.receiver_type(func.value)
+        if recv_qual is not None:
+            recv_cls = self.table.classes.get(recv_qual)
+            if recv_cls is not None and recv_cls.is_protocol:
+                impls = self.table.protocol_implementations(recv_cls)
+                targets = []
+                for impl in impls:
+                    found = self.table.lookup_method(impl.qualname, method)
+                    if found is not None:
+                        targets.append(found.qualname)
+                proto_method = self.table.lookup_method(recv_qual, method)
+                if targets or proto_method is not None:
+                    site.targets = targets
+                    site.status = "resolved"
+                    return
+            found = self.table.lookup_method(recv_qual, method)
+            if found is not None:
+                site.targets = [found.qualname]
+                site.status = "resolved"
+                return
+            if self._class_attr_type(recv_qual, method) is not None:
+                # Stored callable attribute (clock, sleep, renderer, ...):
+                # first-class dispatch, not a method the graph can follow.
+                site.status = "dynamic"
+                return
+            if method in _BUILTIN_METHODS:
+                site.status = "builtin"
+                return
+            site.status = "unresolved"
+            return
+        # Untyped receiver: container/string methods are plain builtins;
+        # module-level externals (np.percentile, time.monotonic) external.
+        if isinstance(func.value, ast.Name):
+            head = func.value.id
+            target = self.mod.imports.get(head)
+            if target is not None and not self.table.is_project_target(target):
+                site.status = "external"
+                return
+        if method in _BUILTIN_METHODS:
+            site.status = "builtin"
+            return
+        site.status = "dynamic"
+
+
+_PY_BUILTINS = frozenset(
+    {
+        "len", "sorted", "range", "enumerate", "zip", "print", "isinstance",
+        "issubclass", "min", "max", "sum", "abs", "round", "any", "all",
+        "list", "dict", "set", "tuple", "str", "int", "float", "bool",
+        "repr", "getattr", "setattr", "hasattr", "iter", "next", "open",
+        "frozenset", "type", "id", "hash", "vars", "dir", "map", "filter",
+        "super", "format", "divmod", "reversed", "callable", "ord", "chr",
+        # Builtin exception constructors (raise sites call these).
+        "Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+        "IndexError", "AttributeError", "RuntimeError", "NotImplementedError",
+        "OSError", "IOError", "FileNotFoundError", "PermissionError",
+        "StopIteration", "SystemExit", "KeyboardInterrupt", "AssertionError",
+        "ZeroDivisionError", "OverflowError", "ArithmeticError", "LookupError",
+        "UnicodeDecodeError", "UnicodeEncodeError", "TimeoutError",
+        "InterruptedError", "ConnectionError", "MemoryError", "RecursionError",
+    }
+)
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call site of every project function."""
+    graph = CallGraph(table=table)
+    for fn in table.functions.values():
+        resolver = _Resolver(graph, fn)
+        sites: list[CallSite] = []
+        # Nested defs/lambdas are not separate symbols: their call sites are
+        # attributed to the enclosing function, which is what the analyses
+        # (taint, locks, exceptions) need anyway.
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                site = resolver.resolve(node)
+                sites.append(site)
+                for target in site.targets:
+                    graph.callers.setdefault(target, set()).add(fn.qualname)
+        graph.sites[fn.qualname] = sites
+    return graph

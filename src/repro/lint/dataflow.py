@@ -1,0 +1,720 @@
+"""Inter-procedural dataflow: determinism taint and exception escapes.
+
+Both analyses run over the :class:`~repro.lint.callgraph.CallGraph` and
+compute per-function summaries to a fixpoint, so facts propagate through
+helper hops (``_util`` laundering) and across modules.
+
+**Taint** tracks values derived from non-deterministic reads:
+
+* unseeded global randomness (``random.random()``, ``np.random.rand()``);
+* wall-clock reads (``time.time()``, ``datetime.now()``, monotonic
+  clocks read directly);
+* process environment (``os.environ[...]``, ``os.getenv(...)``).
+
+Labels carry provenance (where the source was read) and the chain of
+functions the value travelled through, so a finding can print the whole
+path from source to sink.  Resolved project calls propagate precisely
+through summaries (a helper that never forwards its argument does not
+launder taint); unknown calls propagate their argument labels
+conservatively.
+
+**Exception escapes** compute, per function, the set of exception type
+names that may cross its boundary: explicit ``raise``, implicit
+``KeyError`` from subscripting dict-typed values, and callee escapes —
+minus whatever enclosing ``try`` handlers catch, using the builtin
+exception hierarchy extended with project exception classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import CallGraph, CallSite
+from repro.lint.symbols import FunctionSymbol, SymbolTable
+
+__all__ = [
+    "Label",
+    "TaintSummary",
+    "TaintAnalysis",
+    "ExceptionAnalysis",
+    "BUILTIN_EXC_BASES",
+]
+
+# --------------------------------------------------------------------- taint
+
+#: module-global randomness (the shallow unseeded-rng rule's lists).
+_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "getrandbits", "gauss", "normalvariate",
+    "betavariate", "expovariate", "triangular", "vonmisesvariate",
+}
+_NP_RANDOM_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "seed", "standard_normal",
+    "binomial", "beta", "poisson", "exponential",
+}
+_CLOCK_FNS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "date.today",
+}
+
+
+@dataclass(frozen=True)
+class Label:
+    """One taint fact attached to a value.
+
+    ``kind`` is ``"source"`` for real non-determinism or ``"param"`` for
+    the synthetic marker used to compute parameter→return flow.  ``via``
+    is the chain of function qualnames the value travelled through.
+    """
+
+    kind: str
+    detail: str
+    origin: str
+    via: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.kind, self.detail, self.origin)
+
+    def hop(self, qualname: str) -> "Label":
+        if len(self.via) >= 8 or (self.via and self.via[-1] == qualname):
+            return self
+        return Label(self.kind, self.detail, self.origin, self.via + (qualname,))
+
+    def describe(self) -> str:
+        path = " -> ".join(self.via) if self.via else "(direct)"
+        return f"{self.detail} at {self.origin}, via {path}"
+
+
+#: a label set, deduped by label key (shortest hop chain wins).
+LabelMap = dict
+
+
+def _merge(dst: LabelMap, labels) -> bool:
+    changed = False
+    for lab in labels if not isinstance(labels, dict) else labels.values():
+        cur = dst.get(lab.key)
+        if cur is None or len(lab.via) < len(cur.via):
+            dst[lab.key] = lab
+            changed = True
+    return changed
+
+
+@dataclass
+class TaintSummary:
+    """What one function does with taint, seen from call sites."""
+
+    #: source labels that may be in the return value.
+    return_sources: LabelMap = field(default_factory=dict)
+    #: parameter indices whose taint may flow into the return value.
+    param_to_return: set = field(default_factory=set)
+    #: (lineno, source labels) per return statement — sink material for
+    #: rules about functions whose *results* must be deterministic.
+    return_sites: list = field(default_factory=list)
+
+
+class _FunctionTaint:
+    """Intra-procedural pass for one function, using current summaries."""
+
+    def __init__(self, analysis: "TaintAnalysis", fn: FunctionSymbol) -> None:
+        self.analysis = analysis
+        self.fn = fn
+        self.mod = analysis.table.modules[fn.module]
+        self.sites: dict[int, CallSite] = {
+            id(site.node): site for site in analysis.graph.sites.get(fn.qualname, [])
+        }
+        self.locals: dict[str, LabelMap] = {}
+        self.self_attrs: dict[str, LabelMap] = {}
+        for i, name in enumerate(fn.params):
+            self.locals[name] = {
+                ("param", str(i), ""): Label("param", str(i), "")
+            }
+        self.return_labels: LabelMap = {}
+        self.return_sites: dict[int, LabelMap] = {}
+
+    # ------------------------------------------------------------- sources
+
+    def _source_label(self, call: ast.Call) -> Label | None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        try:
+            text = ast.unparse(func)
+        except Exception:  # pragma: no cover
+            return None
+        origin = f"{self.fn.relpath}:{call.lineno}"
+        head = text.split(".")[0]
+        resolved_head = self.mod.imports.get(head, head)
+        if resolved_head == "random" and func.attr in _RANDOM_FNS:
+            return Label("source", f"unseeded {text}()", origin)
+        if (
+            resolved_head == "numpy"
+            and ".random." in f".{text}."
+            and func.attr in _NP_RANDOM_FNS
+        ):
+            return Label("source", f"unseeded {text}()", origin)
+        normalized = ".".join([resolved_head, *text.split(".")[1:]])
+        if normalized in _CLOCK_FNS or text in _CLOCK_FNS:
+            return Label("source", f"wall-clock {text}()", origin)
+        if resolved_head == "os" and func.attr in {"getenv", "environb"}:
+            return Label("source", f"environment {text}()", origin)
+        if text.endswith("environ.get"):
+            return Label("source", f"environment {text}()", origin)
+        return None
+
+    def _environ_subscript(self, node: ast.Subscript) -> Label | None:
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr == "environ":
+            origin = f"{self.fn.relpath}:{node.lineno}"
+            return Label("source", "environment os.environ[...]", origin)
+        return None
+
+    # ----------------------------------------------------------- evaluation
+
+    def expr_labels(self, expr: ast.expr) -> LabelMap:
+        out: LabelMap = {}
+        if isinstance(expr, ast.Call):
+            _merge(out, self.call_labels(expr))
+        elif isinstance(expr, ast.Name):
+            _merge(out, self.locals.get(expr.id, {}))
+        elif isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in self.self_attrs
+            ):
+                _merge(out, self.self_attrs[expr.attr])
+            else:
+                _merge(out, self.expr_labels(expr.value))
+        elif isinstance(expr, ast.Subscript):
+            env = self._environ_subscript(expr)
+            if env is not None:
+                _merge(out, [env])
+            else:
+                _merge(out, self.expr_labels(expr.value))
+                _merge(out, self.expr_labels(expr.slice))
+        elif isinstance(expr, (ast.Lambda,)):
+            pass  # lambda bodies taint at their own call sites, not here.
+        else:
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    _merge(out, self.expr_labels(child))
+                elif isinstance(child, ast.comprehension):
+                    _merge(out, self.expr_labels(child.iter))
+                elif isinstance(child, ast.keyword):
+                    _merge(out, self.expr_labels(child.value))
+        return out
+
+    def call_labels(self, call: ast.Call) -> LabelMap:
+        out: LabelMap = {}
+        source = self._source_label(call)
+        if source is not None:
+            _merge(out, [source])
+            return out
+        site = self.sites.get(id(call))
+        arg_exprs = list(call.args) + [kw.value for kw in call.keywords]
+        if site is not None and site.status == "resolved" and site.targets:
+            for target in site.targets:
+                summary = self.analysis.summaries.get(target)
+                callee = self.analysis.table.functions.get(target)
+                if summary is None or callee is None:
+                    continue
+                _merge(out, {k: lab.hop(target) for k, lab in
+                             summary.return_sources.items()})
+                for idx in summary.param_to_return:
+                    arg = self._arg_for_param(callee, call, idx)
+                    if arg is not None:
+                        _merge(
+                            out,
+                            {k: lab.hop(target) for k, lab in
+                             self.expr_labels(arg).items()},
+                        )
+            return out
+        # Unknown callee (external, builtin, dynamic, unresolved): assume
+        # the result may be derived from any argument or the receiver.
+        for arg in arg_exprs:
+            _merge(out, self.expr_labels(arg))
+        if isinstance(call.func, ast.Attribute):
+            _merge(out, self.expr_labels(call.func.value))
+        return out
+
+    def _arg_for_param(
+        self, callee: FunctionSymbol, call: ast.Call, param_idx: int
+    ) -> ast.expr | None:
+        params = callee.params
+        if param_idx >= len(params):
+            return None
+        name = params[param_idx]
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        # Bound method calls skip the self/cls slot.
+        offset = 0
+        if callee.is_method and params and params[0] in {"self", "cls"}:
+            if not (
+                isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id
+                in self.analysis.table.modules[callee.module].classes
+            ):
+                offset = 1
+        pos = param_idx - offset
+        if 0 <= pos < len(call.args):
+            arg = call.args[pos]
+            return None if isinstance(arg, ast.Starred) else arg
+        return None
+
+    # ------------------------------------------------------------ statements
+
+    def run(self) -> None:
+        for _ in range(6):
+            if not self._visit_stmts(self.fn.node.body):
+                break
+
+    def _assign(self, target: ast.expr, labels: LabelMap) -> bool:
+        changed = False
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name):
+                changed |= _merge(self.locals.setdefault(leaf.id, {}), labels)
+            elif (
+                isinstance(leaf, ast.Attribute)
+                and isinstance(leaf.value, ast.Name)
+                and leaf.value.id == "self"
+            ):
+                changed |= _merge(
+                    self.self_attrs.setdefault(leaf.attr, {}), labels
+                )
+        return changed
+
+    def _visit_stmts(self, stmts: list) -> bool:
+        changed = False
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                labels = self.expr_labels(stmt.value)
+                for target in stmt.targets:
+                    changed |= self._assign(target, labels)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                changed |= self._assign(stmt.target, self.expr_labels(stmt.value))
+            elif isinstance(stmt, ast.AugAssign):
+                labels = self.expr_labels(stmt.value)
+                _merge(labels, self.expr_labels(_as_load(stmt.target)))
+                changed |= self._assign(stmt.target, labels)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                changed |= self._assign(stmt.target, self.expr_labels(stmt.iter))
+                changed |= self._visit_stmts(stmt.body)
+                changed |= self._visit_stmts(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        changed |= self._assign(
+                            item.optional_vars,
+                            self.expr_labels(item.context_expr),
+                        )
+                changed |= self._visit_stmts(stmt.body)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    labels = self.expr_labels(stmt.value)
+                    changed |= _merge(self.return_labels, labels)
+                    per_site = self.return_sites.setdefault(stmt.lineno, {})
+                    _merge(per_site, labels)
+            elif isinstance(stmt, ast.Try):
+                changed |= self._visit_stmts(stmt.body)
+                for handler in stmt.handlers:
+                    changed |= self._visit_stmts(handler.body)
+                changed |= self._visit_stmts(stmt.orelse)
+                changed |= self._visit_stmts(stmt.finalbody)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                changed |= self._visit_stmts(stmt.body)
+                changed |= self._visit_stmts(stmt.orelse)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                changed |= self._visit_stmts(stmt.body)
+            elif isinstance(stmt, ast.Match):
+                for case in stmt.cases:
+                    changed |= self._visit_stmts(case.body)
+        return changed
+
+    def summary(self) -> TaintSummary:
+        out = TaintSummary()
+        for lab in self.return_labels.values():
+            if lab.kind == "source":
+                out.return_sources[lab.key] = lab
+            else:
+                out.param_to_return.add(int(lab.detail))
+        for lineno, labels in sorted(self.return_sites.items()):
+            sources = {k: v for k, v in labels.items() if v.kind == "source"}
+            if sources:
+                out.return_sites.append((lineno, sources))
+        return out
+
+
+def _as_load(target: ast.expr) -> ast.expr:
+    """A Load-context copy of an assignment target (for ``x += ...``)."""
+    clone = ast.parse(ast.unparse(target), mode="eval").body
+    return clone
+
+
+class TaintAnalysis:
+    """Whole-program taint: summaries to fixpoint + per-function states."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        self.summaries: dict[str, TaintSummary] = {}
+        self.states: dict[str, _FunctionTaint] = {}
+        self._run()
+
+    def _run(self) -> None:
+        for _ in range(10):
+            changed = False
+            for qualname, fn in self.table.functions.items():
+                state = _FunctionTaint(self, fn)
+                state.run()
+                summary = state.summary()
+                old = self.summaries.get(qualname)
+                if (
+                    old is None
+                    or set(old.return_sources) != set(summary.return_sources)
+                    or old.param_to_return != summary.param_to_return
+                ):
+                    changed = True
+                self.summaries[qualname] = summary
+                self.states[qualname] = state
+            if not changed:
+                break
+
+    def labels_of(self, fn_qualname: str, expr: ast.expr) -> LabelMap:
+        """Source labels reaching *expr* inside *fn_qualname*."""
+        state = self.states.get(fn_qualname)
+        if state is None:
+            return {}
+        return {
+            k: v for k, v in state.expr_labels(expr).items() if v.kind == "source"
+        }
+
+
+# ----------------------------------------------------------------- exceptions
+
+#: builtin exception → direct base (enough of the hierarchy for analysis).
+BUILTIN_EXC_BASES = {
+    "BaseException": None,
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "UnboundLocalError": "NameError",
+    "OSError": "Exception",
+    "IOError": "Exception",
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "IsADirectoryError": "OSError",
+    "NotADirectoryError": "OSError",
+    "InterruptedError": "OSError",
+    "BlockingIOError": "OSError",
+    "ChildProcessError": "OSError",
+    "ProcessLookupError": "OSError",
+    "TimeoutError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SyntaxError": "Exception",
+    "IndentationError": "SyntaxError",
+    "TabError": "IndentationError",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+    "UnicodeDecodeError": "UnicodeError",
+    "UnicodeEncodeError": "UnicodeError",
+    "UnicodeTranslateError": "UnicodeError",
+}
+
+#: escape name for ``raise <variable>`` — unknown type, assumed uncatchable
+#: by typed handlers (conservative for boundary checks).
+DYNAMIC_RAISE = "BaseException"
+
+
+class ExceptionAnalysis:
+    """Per-function escaping exception types, to a call-graph fixpoint."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        #: project exception simple name → base simple name.
+        self.project_bases: dict[str, str] = {}
+        for cls in table.classes.values():
+            if not cls.bases:
+                continue
+            base = cls.bases[0].split("[")[0].split(".")[-1]
+            if self._reaches_baseexception(base, hops=0):
+                self.project_bases[cls.name] = base
+        #: function qualname → {exception name: provenance}.
+        self.escapes: dict[str, dict[str, str]] = {}
+        self._run()
+
+    def _reaches_baseexception(self, name: str, hops: int) -> bool:
+        if hops > 12:
+            return False
+        if name in BUILTIN_EXC_BASES:
+            return True
+        nxt = self.project_bases.get(name)
+        if nxt is not None:
+            return self._reaches_baseexception(nxt, hops + 1)
+        # Not yet classified: look the class up directly.
+        for cls in self.table.classes.values():
+            if cls.name == name and cls.bases:
+                return self._reaches_baseexception(
+                    cls.bases[0].split("[")[0].split(".")[-1], hops + 1
+                )
+        return False
+
+    # ------------------------------------------------------------ hierarchy
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        seen = set()
+        current: str | None = name
+        while current is not None and current not in seen:
+            if current == ancestor:
+                return True
+            seen.add(current)
+            current = self.project_bases.get(current, BUILTIN_EXC_BASES.get(current))
+        return False
+
+    def _handler_names(self, handler: ast.ExceptHandler) -> list[str]:
+        if handler.type is None:
+            return ["BaseException"]
+        types = (
+            handler.type.elts
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        names = []
+        for t in types:
+            if isinstance(t, ast.Attribute):
+                names.append(t.attr)
+            elif isinstance(t, ast.Name):
+                names.append(t.id)
+        return names
+
+    def _caught(self, handler_names: list[str], exc: str) -> bool:
+        return any(self.is_subclass(exc, h) for h in handler_names)
+
+    # -------------------------------------------------------------- fixpoint
+
+    def _run(self) -> None:
+        for _ in range(10):
+            changed = False
+            for qualname, fn in self.table.functions.items():
+                new = _FunctionEscapes(self, fn).run()
+                if set(new) != set(self.escapes.get(qualname, {"": ""})):
+                    changed = True
+                self.escapes[qualname] = new
+            if not changed:
+                break
+
+    def escapes_of(self, qualname: str) -> dict[str, str]:
+        return self.escapes.get(qualname, {})
+
+
+class _FunctionEscapes:
+    """Escape computation for one function body."""
+
+    def __init__(self, analysis: ExceptionAnalysis, fn: FunctionSymbol) -> None:
+        self.analysis = analysis
+        self.fn = fn
+        self.sites = {
+            id(site.node): site
+            for site in analysis.graph.sites.get(fn.qualname, [])
+        }
+        self._dict_locals = self._find_dict_locals()
+
+    def _find_dict_locals(self) -> set[str]:
+        """Names bound to dict values (for implicit-KeyError detection)."""
+        out: set[str] = set()
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                if isinstance(target, ast.Name) and self._is_dict_expr(value):
+                    out.add(target.id)
+        for name, ann in self.fn.param_annotations.items():
+            if self._is_dict_annotation(ann):
+                out.add(name)
+        return out
+
+    @staticmethod
+    def _is_dict_expr(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"dict", "OrderedDict"}
+        )
+
+    @staticmethod
+    def _is_dict_annotation(ann: ast.expr) -> bool:
+        try:
+            text = ast.unparse(ann)
+        except Exception:  # pragma: no cover
+            return False
+        return text.split("[")[0].split(".")[-1] in {"dict", "Dict", "Mapping",
+                                                     "OrderedDict"}
+
+    def _is_dict_subscript(self, node: ast.Subscript) -> bool:
+        if not isinstance(node.ctx, ast.Load):
+            return False
+        value = node.value
+        if isinstance(value, ast.Name):
+            return value.id in self._dict_locals
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and self.fn.cls is not None
+        ):
+            cls = self.analysis.table.classes.get(self.fn.cls)
+            if cls is not None:
+                ann = cls.attr_annotations.get(value.attr)
+                if ann is not None:
+                    return self._is_dict_annotation(ann)
+        return False
+
+    def run(self) -> dict[str, str]:
+        return self._stmts(self.fn.node.body, reraise={})
+
+    # ------------------------------------------------------------- visiting
+
+    def _expr_escapes(self, expr: ast.expr) -> dict[str, str]:
+        """Escapes raised by evaluating one expression (calls, subscripts)."""
+        out: dict[str, str] = {}
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                site = self.sites.get(id(node))
+                if site is None or site.status != "resolved":
+                    continue
+                for target in site.targets:
+                    for name, prov in self.analysis.escapes_of(target).items():
+                        out.setdefault(
+                            name,
+                            f"{name} from {target} (line {node.lineno}; {prov})"
+                            if prov.startswith("raised")
+                            else f"{name} from {target} (line {node.lineno})",
+                        )
+            elif isinstance(node, ast.Subscript) and self._is_dict_subscript(node):
+                out.setdefault(
+                    "KeyError",
+                    f"KeyError from dict subscript (line {node.lineno})",
+                )
+        return out
+
+    def _own_exprs(self, stmt: ast.stmt) -> list[ast.expr]:
+        """The statement's direct expressions, excluding nested statements."""
+        out = []
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                out.append(value)
+            elif isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, ast.expr))
+        return out
+
+    def _stmts(self, stmts: list, reraise: dict[str, str]) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for stmt in stmts:
+            if isinstance(stmt, ast.Raise):
+                for expr in self._own_exprs(stmt):
+                    out.update(self._expr_escapes(expr))
+                out.update(self._raise_escapes(stmt, reraise))
+            elif isinstance(stmt, ast.Try):
+                out.update(self._try_escapes(stmt, reraise))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                continue  # nested defs raise at their own call sites.
+            else:
+                for expr in self._own_exprs(stmt):
+                    out.update(self._expr_escapes(expr))
+                for field_name, value in ast.iter_fields(stmt):
+                    if isinstance(value, list) and value and isinstance(
+                        value[0], ast.stmt
+                    ):
+                        out.update(self._stmts(value, reraise))
+                    elif (
+                        isinstance(value, list)
+                        and value
+                        and isinstance(value[0], ast.ExceptHandler)
+                    ):  # pragma: no cover - handlers only appear under Try
+                        pass
+        return out
+
+    def _raise_escapes(
+        self, stmt: ast.Raise, reraise: dict[str, str]
+    ) -> dict[str, str]:
+        line = stmt.lineno
+        if stmt.exc is None:
+            return dict(reraise)
+        exc = stmt.exc
+        func = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return {DYNAMIC_RAISE: f"raised dynamically (line {line})"}
+        known = (
+            name in BUILTIN_EXC_BASES
+            or name in self.analysis.project_bases
+            or self.analysis._reaches_baseexception(name, hops=0)
+        )
+        if isinstance(exc, ast.Name) and not known:
+            # ``raise some_variable`` — type unknown.
+            return {DYNAMIC_RAISE: f"raised dynamically (line {line})"}
+        return {name: f"raised at line {line}"}
+
+    def _try_escapes(
+        self, stmt: ast.Try, reraise: dict[str, str]
+    ) -> dict[str, str]:
+        body = self._stmts(stmt.body, reraise)
+        out: dict[str, str] = {}
+        caught_all: list[str] = []
+        for handler in stmt.handlers:
+            caught_all.extend(self.analysis._handler_names(handler))
+        for name, prov in body.items():
+            if not self.analysis._caught(caught_all, name):
+                out[name] = prov
+        for handler in stmt.handlers:
+            names = self.analysis._handler_names(handler)
+            # A bare ``raise`` inside the handler re-raises whatever the
+            # handler swallowed from the body.
+            swallowed = {
+                n: p for n, p in body.items() if self.analysis._caught(names, n)
+            }
+            out.update(self._stmts(handler.body, reraise=swallowed))
+        out.update(self._stmts(stmt.orelse, reraise))
+        out.update(self._stmts(stmt.finalbody, reraise))
+        return out

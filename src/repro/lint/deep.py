@@ -1,0 +1,104 @@
+"""Whole-program (``--deep``) orchestration.
+
+:func:`run_deep` builds the project symbol table and call graph, runs the
+inter-procedural analyses once, hands the shared :class:`DeepContext` to
+every ``project``-scoped rule, applies the same per-file suppression
+directives the shallow walker honours, and returns the findings plus a
+summary (call-graph resolution accounting) for the JSON output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+# Importing the deep rule modules registers them.
+import repro.lint.rules_deep_exceptions  # noqa: F401
+import repro.lint.rules_deep_locks  # noqa: F401
+import repro.lint.rules_deep_taint  # noqa: F401
+from repro.lint.callgraph import CallGraph, build_call_graph
+from repro.lint.dataflow import ExceptionAnalysis, TaintAnalysis
+from repro.lint.findings import Finding
+from repro.lint.locks import LockAnalysis
+from repro.lint.registry import iter_rules
+from repro.lint.suppress import SuppressionIndex
+from repro.lint.symbols import SymbolTable
+
+__all__ = ["DEEP_ROOTS", "DeepContext", "build_context", "run_deep"]
+
+#: package trees the deep analyzer covers by default.  Only the library
+#: itself: scripts/benchmarks are thin callers without cross-module flow.
+DEEP_ROOTS = ("src/repro",)
+
+
+@dataclass
+class DeepContext:
+    """Everything a project-scoped rule needs, computed once per run."""
+
+    root: Path
+    table: SymbolTable
+    graph: CallGraph
+    taint: TaintAnalysis
+    escapes: ExceptionAnalysis
+    locks: LockAnalysis
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "modules": len(self.table.modules),
+            "classes": len(self.table.classes),
+            "functions": len(self.table.functions),
+            "callgraph": self.graph.summary(),
+        }
+
+
+def build_context(
+    root: Path | str = ".", package_dirs: tuple[str, ...] = DEEP_ROOTS
+) -> DeepContext:
+    root = Path(root)
+    table = SymbolTable.build(root, package_dirs)
+    graph = build_call_graph(table)
+    return DeepContext(
+        root=root,
+        table=table,
+        graph=graph,
+        taint=TaintAnalysis(table, graph),
+        escapes=ExceptionAnalysis(table, graph),
+        locks=LockAnalysis(table, graph),
+    )
+
+
+def run_deep(
+    root: Path | str = ".",
+    package_dirs: tuple[str, ...] = DEEP_ROOTS,
+    rules: Iterable[str] | None = None,
+    context: DeepContext | None = None,
+) -> tuple[list[Finding], dict[str, object]]:
+    """Run project-scoped rules; returns (sorted findings, summary).
+
+    ``rules`` filters by id exactly like the shallow walker — non-project
+    ids in the filter are simply not run here (the CLI runs both layers).
+    """
+    ctx = context if context is not None else build_context(root, package_dirs)
+    project_rules = [r for r in iter_rules(rules) if r.scope == "project"]
+
+    findings: list[Finding] = []
+    for project_rule in project_rules:
+        findings.extend(project_rule.check(ctx))
+    # Findings are hashable; drop exact duplicates (e.g. one leak visible
+    # through two overlapping protocol declarations).
+    findings = list(dict.fromkeys(findings))
+
+    # Apply the same `# repro-lint: disable=...` directives the shallow
+    # walker honours, using the already-parsed module sources.
+    indexes: dict[str, SuppressionIndex] = {}
+    for mod in ctx.table.modules.values():
+        indexes[mod.relpath] = SuppressionIndex.from_source(mod.source, mod.tree)
+    kept = []
+    for finding in findings:
+        index = indexes.get(finding.path)
+        if index is not None and index.is_suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+
+    return sorted(kept, key=Finding.sort_key), ctx.summary()

@@ -10,7 +10,11 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 
-__all__ = ["Finding", "SEVERITIES", "format_text", "format_json"]
+__all__ = ["Finding", "SCHEMA_VERSION", "SEVERITIES", "format_text", "format_json"]
+
+#: version of the JSON report schema.  Bump when the payload shape
+#: changes; consumers (CI annotations, dashboards) pin against this.
+SCHEMA_VERSION = 1
 
 #: Recognized severities, most severe first.  Both fail the lint run; the
 #: distinction only signals how direct the evidence is ("error" = the rule
@@ -53,12 +57,24 @@ def format_text(findings: list[Finding]) -> str:
     return "\n".join(lines)
 
 
-def format_json(findings: list[Finding]) -> str:
-    """Machine-readable report (stable key order, sorted findings)."""
-    payload = {
+def format_json(
+    findings: list[Finding], summary: dict | None = None
+) -> str:
+    """Machine-readable report — byte-identical across identical runs.
+
+    Findings are sorted by (path, line, rule, message), keys are sorted,
+    and nothing time- or environment-dependent enters the payload, so two
+    runs over the same tree serialize to the same bytes (tested).
+    ``summary`` carries run-level data (the ``--deep`` call-graph
+    resolution accounting) and is omitted entirely when None.
+    """
+    payload: dict = {
+        "schema_version": SCHEMA_VERSION,
         "findings": [
             asdict(f) for f in sorted(findings, key=Finding.sort_key)
         ],
         "count": len(findings),
     }
+    if summary is not None:
+        payload["summary"] = summary
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,412 @@
+"""Lock discipline: held-locks abstract interpretation over method bodies.
+
+The convention (see :mod:`repro.concurrency`): a class declares which
+lock protects a field with ``Annotated[T, guarded_by("_lock")]`` at class
+level, holds locks only via ``with self._lock:`` blocks, and the analyzer
+checks three things:
+
+* **guarded-field access** — every load/store of a guarded field must
+  happen while the declared lock is held (``__init__``/``__post_init__``
+  are exempt: construction is single-threaded by definition);
+* **lock ordering** — the acquired-while-holding graph over
+  ``(class, lock)`` tokens must be acyclic (re-entrant re-acquisition of
+  the *same* token is fine: the convention uses RLocks);
+* **blocking under a lock** — no call that may block (sleeps, event
+  waits, thread joins, or any call that reaches a Protocol-declared
+  method — protocol methods model I/O boundaries in this codebase) while
+  any lock is held.
+
+Blocking-ness propagates through the call graph: a helper that sleeps
+makes every caller blocking.  Lock acquisition likewise: calling a
+method that takes a lock while holding another creates an ordering edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import CallGraph, CallSite, _Resolver
+from repro.lint.symbols import ClassSymbol, FunctionSymbol, SymbolTable
+
+__all__ = ["LockAnalysis", "LockToken", "GuardViolation", "BlockingViolation"]
+
+#: attribute-call names that block the calling thread.
+_BLOCKING_NAMES = {"sleep", "wait", "join"}
+
+
+def _walk_outside_lambdas(expr: ast.expr):
+    """Walk an expression tree without descending into lambda bodies.
+
+    Lambda bodies execute at their own call sites, not where the lambda
+    literal appears, so their accesses must not inherit the current
+    held-locks state.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+#: construction-time methods exempt from guard checks.
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+
+@dataclass(frozen=True)
+class LockToken:
+    """One lock identity: the class that owns it and the attribute name."""
+
+    cls: str
+    attr: str
+
+    def __str__(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class _Held:
+    """A lock currently held, with the receiver text it was taken through."""
+
+    receiver: str  # "self", "obj", "self.cache", ...
+    attr: str
+    token: LockToken
+
+
+@dataclass
+class GuardViolation:
+    fn: str
+    relpath: str
+    line: int
+    field_name: str
+    lock_attr: str
+    cls: str
+    #: "load" or "store"
+    access: str
+
+
+@dataclass
+class BlockingViolation:
+    fn: str
+    relpath: str
+    line: int
+    held: LockToken
+    #: what blocks and why ("time.sleep(...)" or a chain through callees).
+    reason: str
+
+
+@dataclass
+class OrderEdge:
+    src: LockToken
+    dst: LockToken
+    fn: str
+    relpath: str
+    line: int
+
+
+@dataclass
+class _FnLockSummary:
+    #: lock tokens this function (transitively) acquires.
+    acquires: set = field(default_factory=set)
+    #: why this function may block, or None.
+    blocks: str | None = None
+
+
+class LockAnalysis:
+    """Run the held-locks interpretation over every project function."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        self.summaries: dict[str, _FnLockSummary] = {}
+        self.guard_violations: list[GuardViolation] = []
+        self.blocking_violations: list[BlockingViolation] = []
+        self.order_edges: list[OrderEdge] = []
+        #: protocol-declared method qualnames (treated as blocking I/O).
+        self._protocol_methods: set[str] = set()
+        for cls in table.classes.values():
+            if not cls.is_protocol:
+                continue
+            for method in cls.methods.values():
+                if method.name.startswith("__"):
+                    continue
+                self._protocol_methods.add(method.qualname)
+                for impl in table.protocol_implementations(cls):
+                    found = table.lookup_method(impl.qualname, method.name)
+                    if found is not None:
+                        self._protocol_methods.add(found.qualname)
+        self._compute_summaries()
+        self._walk_all()
+
+    # ------------------------------------------------------------- summaries
+
+    def _compute_summaries(self) -> None:
+        for qualname in self.table.functions:
+            self.summaries[qualname] = _FnLockSummary()
+        for _ in range(10):
+            changed = False
+            for qualname, fn in self.table.functions.items():
+                acquires, blocks = self._summarize(fn)
+                cur = self.summaries[qualname]
+                if acquires != cur.acquires or blocks != cur.blocks:
+                    self.summaries[qualname] = _FnLockSummary(acquires, blocks)
+                    changed = True
+            if not changed:
+                break
+
+    def _summarize(self, fn: FunctionSymbol) -> tuple[set, str | None]:
+        acquires: set = set()
+        blocks: str | None = None
+        resolver = _Resolver(self.graph, fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    held = self._lock_of(item.context_expr, resolver)
+                    if held is not None:
+                        acquires.add(held.token)
+            elif isinstance(node, ast.Call) and blocks is None:
+                blocks = self._blocking_reason(fn, node)
+        # Propagate through resolved callees.
+        for site in self.graph.sites.get(fn.qualname, []):
+            if site.status != "resolved":
+                continue
+            for target in site.targets:
+                summary = self.summaries.get(target)
+                if summary is None:
+                    continue
+                acquires |= summary.acquires
+                if blocks is None and summary.blocks is not None:
+                    blocks = f"{target} (line {site.line}) -> {summary.blocks}"
+        return acquires, blocks
+
+    def _blocking_reason(self, fn: FunctionSymbol, call: ast.Call) -> str | None:
+        """Why this call site blocks intrinsically, or None."""
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name in _BLOCKING_NAMES:
+            try:
+                return f"{ast.unparse(func)}(...) at line {call.lineno}"
+            except Exception:  # pragma: no cover
+                return f"{name}(...) at line {call.lineno}"
+        for site in self.graph.sites.get(fn.qualname, []):
+            if site.node is call and site.status == "resolved":
+                for target in site.targets:
+                    if target in self._protocol_methods:
+                        return (
+                            f"protocol I/O call {site.callee_text}(...) "
+                            f"at line {call.lineno}"
+                        )
+        return None
+
+    # ------------------------------------------------------------ lock exprs
+
+    def _lock_of(self, expr: ast.expr, resolver: _Resolver) -> _Held | None:
+        """The lock a ``with`` context expression acquires, if any."""
+        if not isinstance(expr, ast.Attribute):
+            return None
+        attr = expr.attr
+        recv = expr.value
+        recv_qual = resolver.receiver_type(recv)
+        if recv_qual is None:
+            return None
+        if attr not in self.table.lock_attrs_of(recv_qual):
+            return None
+        try:
+            receiver = ast.unparse(recv)
+        except Exception:  # pragma: no cover
+            receiver = "<receiver>"
+        return _Held(receiver=receiver, attr=attr,
+                     token=LockToken(cls=recv_qual, attr=attr))
+
+    # --------------------------------------------------------------- walking
+
+    def _walk_all(self) -> None:
+        for fn in self.table.functions.values():
+            resolver = _Resolver(self.graph, fn)
+            sites = {
+                id(site.node): site
+                for site in self.graph.sites.get(fn.qualname, [])
+            }
+            self._walk_stmts(fn, resolver, sites, fn.node.body, held=())
+
+    def _walk_stmts(
+        self,
+        fn: FunctionSymbol,
+        resolver: _Resolver,
+        sites: dict[int, CallSite],
+        stmts: list,
+        held: tuple,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                new_held = list(held)
+                for item in stmt.items:
+                    self._check_exprs(fn, resolver, sites,
+                                      [item.context_expr], tuple(new_held))
+                    lock = self._lock_of(item.context_expr, resolver)
+                    if lock is not None:
+                        for prior in new_held:
+                            if prior.token != lock.token:
+                                self.order_edges.append(OrderEdge(
+                                    src=prior.token, dst=lock.token,
+                                    fn=fn.qualname, relpath=fn.relpath,
+                                    line=stmt.lineno,
+                                ))
+                        new_held.append(lock)
+                self._walk_stmts(fn, resolver, sites, stmt.body,
+                                 tuple(new_held))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested def: its body runs when called, not here — but it
+                # is defined (and in this codebase always used) within the
+                # enclosing scope, so check it under the current lock set
+                # only if it is immediately dispatched; conservatively,
+                # check with no locks held for guard accesses.
+                self._walk_stmts(fn, resolver, sites, stmt.body, held=())
+            elif isinstance(stmt, ast.ClassDef):
+                continue
+            else:
+                self._check_exprs(fn, resolver, sites,
+                                  self._own_exprs(stmt), held)
+                for _, value in ast.iter_fields(stmt):
+                    if (
+                        isinstance(value, list)
+                        and value
+                        and isinstance(value[0], ast.stmt)
+                    ):
+                        self._walk_stmts(fn, resolver, sites, value, held)
+                    elif (
+                        isinstance(value, list)
+                        and value
+                        and isinstance(value[0], ast.ExceptHandler)
+                    ):
+                        for handler in value:
+                            self._walk_stmts(fn, resolver, sites,
+                                             handler.body, held)
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        out = []
+        for _, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.expr):
+                out.append(value)
+            elif isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, ast.expr))
+        return out
+
+    def _check_exprs(
+        self,
+        fn: FunctionSymbol,
+        resolver: _Resolver,
+        sites: dict[int, CallSite],
+        exprs: list,
+        held: tuple,
+    ) -> None:
+        held_list: list[_Held] = list(held)
+        for expr in exprs:
+            for node in _walk_outside_lambdas(expr):
+                if isinstance(node, ast.Attribute):
+                    self._check_guarded_access(fn, resolver, node, held_list)
+                elif isinstance(node, ast.Call) and held_list:
+                    self._check_blocking_call(fn, sites, node, held_list)
+
+    def _check_guarded_access(
+        self,
+        fn: FunctionSymbol,
+        resolver: _Resolver,
+        node: ast.Attribute,
+        held: list,
+    ) -> None:
+        recv = node.value
+        recv_qual = resolver.receiver_type(recv)
+        if recv_qual is None:
+            return
+        guarded = self.table.guarded_fields_of(recv_qual)
+        lock_attr = guarded.get(node.attr)
+        if lock_attr is None:
+            return
+        is_self = isinstance(recv, ast.Name) and recv.id == "self"
+        if is_self and fn.name in _CONSTRUCTORS:
+            return
+        try:
+            receiver = ast.unparse(recv)
+        except Exception:  # pragma: no cover
+            receiver = "<receiver>"
+        for lock in held:
+            if lock.receiver == receiver and lock.attr == lock_attr:
+                return
+        self.guard_violations.append(GuardViolation(
+            fn=fn.qualname,
+            relpath=fn.relpath,
+            line=node.lineno,
+            field_name=node.attr,
+            lock_attr=lock_attr,
+            cls=recv_qual,
+            access="store" if isinstance(node.ctx, (ast.Store, ast.Del))
+            else "load",
+        ))
+
+    def _check_blocking_call(
+        self,
+        fn: FunctionSymbol,
+        sites: dict[int, CallSite],
+        call: ast.Call,
+        held: list,
+    ) -> None:
+        reason = self._blocking_reason(fn, call)
+        if reason is None:
+            site = sites.get(id(call))
+            if site is not None and site.status == "resolved":
+                for target in site.targets:
+                    summary = self.summaries.get(target)
+                    if summary is not None and summary.blocks is not None:
+                        reason = f"{target} (line {call.lineno}) -> {summary.blocks}"
+                        break
+                    # Ordering edges for locks acquired by the callee.
+                    if summary is not None:
+                        for token in summary.acquires:
+                            for lock in held:
+                                if lock.token != token:
+                                    self.order_edges.append(OrderEdge(
+                                        src=lock.token, dst=token,
+                                        fn=fn.qualname, relpath=fn.relpath,
+                                        line=call.lineno,
+                                    ))
+        if reason is not None:
+            self.blocking_violations.append(BlockingViolation(
+                fn=fn.qualname,
+                relpath=fn.relpath,
+                line=call.lineno,
+                held=held[-1].token,
+                reason=reason,
+            ))
+
+    # ----------------------------------------------------------------- cycles
+
+    def order_cycles(self) -> list[tuple]:
+        """Distinct cycles in the lock-ordering graph.
+
+        Returns canonicalized token cycles (each a tuple of LockTokens,
+        rotated so the smallest token comes first) paired with one sample
+        edge list for reporting.
+        """
+        adjacency: dict[LockToken, dict[LockToken, OrderEdge]] = {}
+        for edge in self.order_edges:
+            adjacency.setdefault(edge.src, {}).setdefault(edge.dst, edge)
+        cycles: dict[tuple, list] = {}
+
+        def dfs(start: LockToken, token: LockToken, path: list) -> None:
+            for nxt, edge in adjacency.get(token, {}).items():
+                if nxt == start:
+                    tokens = tuple(e.src for e in path + [edge])
+                    pivot = min(range(len(tokens)), key=lambda i: str(tokens[i]))
+                    canon = tokens[pivot:] + tokens[:pivot]
+                    cycles.setdefault(canon, path + [edge])
+                elif all(e.src != nxt for e in path) and len(path) < 6:
+                    dfs(start, nxt, path + [edge])
+
+        for start in adjacency:
+            dfs(start, start, [])
+        return sorted(cycles.items(), key=lambda kv: str(kv[0]))

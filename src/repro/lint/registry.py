@@ -6,7 +6,10 @@ A rule is a named checker with a scope:
   run once per linted file;
 * ``repo`` rules receive the repository root and run once per lint
   invocation — they introspect declared artifacts (prompt templates,
-  response phrase tables) rather than walking syntax.
+  response phrase tables) rather than walking syntax;
+* ``project`` rules receive a :class:`repro.lint.deep.DeepContext`
+  (symbol table, call graph, dataflow results) and run only under
+  ``repro-em lint --deep`` — they reason across files.
 
 Registration is declarative via :func:`rule`; the CLI's ``--rule`` filter
 and the test suite both enumerate :data:`RULES`.
@@ -90,13 +93,15 @@ class Rule:
 
     id: str
     family: str
-    scope: str  # "file" | "repo"
+    scope: str  # "file" | "repo" | "project"
     description: str
     check: Callable[..., Iterable[Finding]]
 
     def __post_init__(self) -> None:
-        if self.scope not in ("file", "repo"):
-            raise ValueError(f"scope must be 'file' or 'repo', got {self.scope!r}")
+        if self.scope not in ("file", "repo", "project"):
+            raise ValueError(
+                f"scope must be 'file', 'repo', or 'project', got {self.scope!r}"
+            )
 
 
 RULES: dict[str, Rule] = {}

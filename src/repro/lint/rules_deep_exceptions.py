@@ -1,0 +1,70 @@
+"""Deep rule: exception types crossing protocol boundaries must be typed.
+
+The engine calls ``Backend.generate`` under ``run_with_retry`` and
+catches ``(BackendError, CircuitOpenError)``.  Any other exception type
+escaping an implementation's ``generate`` sails past those typed
+handlers, skips the fallback path, and kills the calling thread — the
+exact bug class this rule exists for (a ``KeyError`` from re-ordering a
+batch response by id, a ``ValueError`` from a malformed prompt).
+
+The boundary contract is declarative: :data:`BOUNDARY_CONTRACTS` maps a
+(protocol name, method name) pair to the exception base classes an
+implementation may let escape.  Matching is by simple class name so the
+contract applies to any package defining the same convention (fixtures
+included).  Escapes are computed inter-procedurally by
+:class:`repro.lint.dataflow.ExceptionAnalysis`, so a leak three helpers
+deep is still attributed to the boundary method.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+#: (protocol simple name, method name) → allowed escaping exception bases.
+BOUNDARY_CONTRACTS: dict[tuple[str, str], tuple[str, ...]] = {
+    ("Backend", "generate"): ("BackendError",),
+}
+
+
+@rule(
+    "deep-exception-boundary",
+    family="engine",
+    scope="project",
+    description="untyped exception escaping a protocol boundary method",
+)
+def check_exception_boundaries(ctx) -> Iterator[Finding]:
+    for protocol in ctx.table.classes.values():
+        if not protocol.is_protocol:
+            continue
+        for method_name in protocol.methods:
+            allowed = BOUNDARY_CONTRACTS.get((protocol.name, method_name))
+            if allowed is None:
+                continue
+            for impl in ctx.table.protocol_implementations(protocol):
+                method = ctx.table.lookup_method(impl.qualname, method_name)
+                if method is None:
+                    continue
+                escapes = ctx.escapes.escapes_of(method.qualname)
+                for exc_name, provenance in sorted(escapes.items()):
+                    if any(
+                        ctx.escapes.is_subclass(exc_name, base)
+                        for base in allowed
+                    ):
+                        continue
+                    allowed_text = "/".join(allowed)
+                    yield Finding(
+                        rule="deep-exception-boundary",
+                        severity="error",
+                        path=method.relpath,
+                        line=method.line,
+                        message=(
+                            f"{method.qualname} may leak {exc_name} across "
+                            f"the {protocol.name}.{method_name} boundary "
+                            f"(contract allows {allowed_text}): {provenance}"
+                        ),
+                        hint=f"catch it inside the implementation and "
+                        f"re-raise as a {allowed_text} subclass",
+                    )

@@ -1,0 +1,87 @@
+"""Deep rules: the ``@guarded_by`` lock discipline, enforced.
+
+Three project-scoped rules over :class:`repro.lint.locks.LockAnalysis`:
+
+* ``deep-lock-field`` — a field declared
+  ``Annotated[T, guarded_by("_lock")]`` is read or written without the
+  declaring class's lock held (constructors exempt);
+* ``deep-lock-order`` — the acquired-while-holding graph over
+  ``(class, lock)`` tokens contains a cycle, i.e. two call paths can
+  acquire the same locks in opposite orders and deadlock;
+* ``deep-lock-blocking`` — a call that may block (sleep, event wait,
+  thread join, or any path reaching a Protocol-declared I/O method) runs
+  while a lock is held, stalling every thread contending for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+
+@rule(
+    "deep-lock-field",
+    family="concurrency",
+    scope="project",
+    description="@guarded_by field accessed without its lock held",
+)
+def check_guarded_fields(ctx) -> Iterator[Finding]:
+    for v in ctx.locks.guard_violations:
+        cls_name = v.cls.rsplit(".", 1)[-1]
+        yield Finding(
+            rule="deep-lock-field",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=(
+                f"{v.access} of {cls_name}.{v.field_name} in {v.fn} without "
+                f"holding {v.lock_attr} (declared guarded_by({v.lock_attr!r}))"
+            ),
+            hint=f"wrap the access in `with <receiver>.{v.lock_attr}:` or "
+            "move it into a lock-taking method of the owning class",
+        )
+
+
+@rule(
+    "deep-lock-order",
+    family="concurrency",
+    scope="project",
+    description="cyclic lock acquisition order (potential deadlock)",
+)
+def check_lock_order(ctx) -> Iterator[Finding]:
+    for tokens, edges in ctx.locks.order_cycles():
+        chain = " -> ".join(str(t) for t in tokens) + f" -> {tokens[0]}"
+        first = edges[0]
+        yield Finding(
+            rule="deep-lock-order",
+            severity="error",
+            path=first.relpath,
+            line=first.line,
+            message=f"lock-ordering cycle: {chain} "
+            f"(first edge in {first.fn})",
+            hint="pick one global acquisition order for these locks and "
+            "restructure the offending path to follow it",
+        )
+
+
+@rule(
+    "deep-lock-blocking",
+    family="concurrency",
+    scope="project",
+    description="blocking call while holding a lock",
+)
+def check_blocking_under_lock(ctx) -> Iterator[Finding]:
+    for v in ctx.locks.blocking_violations:
+        yield Finding(
+            rule="deep-lock-blocking",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=(
+                f"blocking call while holding {v.held} in {v.fn}: {v.reason}"
+            ),
+            hint="move the blocking work outside the lock; copy what you "
+            "need under the lock, then release before blocking",
+        )

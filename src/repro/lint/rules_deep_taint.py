@@ -1,0 +1,98 @@
+"""Deep rule: non-determinism must not reach persistent or scored values.
+
+Taint sources (unseeded global RNG, wall-clock reads, environment reads)
+are tracked inter-procedurally by :class:`repro.lint.dataflow.TaintAnalysis`;
+this rule checks the sinks:
+
+* values stored in a result cache (any ``put`` call on a class whose
+  name ends in ``Cache``) — a cached nondeterministic value poisons every
+  later hit, silently breaking replayability;
+* values returned from the simulation/evaluation layers (modules under a
+  ``.llm`` or ``.eval`` package) — the paper's metrics must be
+  bit-reproducible across runs.
+
+Findings carry the full provenance chain (source site → helper hops →
+sink), so a laundering path through ``_util`` helpers reads like a
+traceback.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+#: module name fragments whose function results must be deterministic.
+_DETERMINISTIC_PACKAGES = (".llm", ".eval")
+
+
+def _in_deterministic_package(module: str) -> bool:
+    return any(
+        f"{frag}." in f"{module}." for frag in _DETERMINISTIC_PACKAGES
+    )
+
+
+@rule(
+    "deep-taint",
+    family="determinism",
+    scope="project",
+    description="nondeterministic values flowing into caches or "
+    "simulation/eval results (inter-procedural)",
+)
+def check_deep_taint(ctx) -> Iterator[Finding]:
+    # Sink 1: cache writes.
+    for fn_qual, sites in ctx.graph.sites.items():
+        fn = ctx.table.functions.get(fn_qual)
+        if fn is None:
+            continue
+        for site in sites:
+            if site.status != "resolved":
+                continue
+            if not any(
+                target.endswith(".put")
+                and target.rsplit(".", 2)[-2].endswith("Cache")
+                for target in site.targets
+            ):
+                continue
+            call = site.node
+            args = list(call.args) + [kw.value for kw in call.keywords]
+            for arg in args:
+                for label in ctx.taint.labels_of(fn_qual, arg).values():
+                    try:
+                        arg_text = ast.unparse(arg)
+                    except Exception:  # pragma: no cover
+                        arg_text = "<expr>"
+                    yield Finding(
+                        rule="deep-taint",
+                        severity="error",
+                        path=fn.relpath,
+                        line=call.lineno,
+                        message=(
+                            f"nondeterministic value {arg_text!r} cached via "
+                            f"{site.callee_text}(): {label.describe()}"
+                        ),
+                        hint="derive the value from repro._util seeded "
+                        "helpers, or keep it out of the cache",
+                    )
+
+    # Sink 2: returns from simulation/eval modules.
+    for fn_qual, summary in ctx.taint.summaries.items():
+        fn = ctx.table.functions.get(fn_qual)
+        if fn is None or not _in_deterministic_package(fn.module):
+            continue
+        for lineno, labels in summary.return_sites:
+            for label in labels.values():
+                yield Finding(
+                    rule="deep-taint",
+                    severity="error",
+                    path=fn.relpath,
+                    line=lineno,
+                    message=(
+                        f"{fn.qualname} returns a nondeterministic value: "
+                        f"{label.describe()}"
+                    ),
+                    hint="seed via repro._util.derive_rng/stable_hash so "
+                    "simulation and eval results are replayable",
+                )

@@ -1,0 +1,480 @@
+"""Project symbol table: every module, class, function, and import.
+
+This is the foundation the whole-program (``--deep``) analyses build on.
+One :class:`SymbolTable` indexes a package tree (``src/repro`` in
+production, a fixture package in tests) by dotted qualified name:
+
+* :class:`ModuleSymbol` — parsed tree, source, and the import alias map
+  (``np → numpy``, ``ResultCache → repro.engine.cache.ResultCache``);
+* :class:`ClassSymbol` — methods, base names, class-level attribute
+  annotations (including dataclass fields), instance attribute types
+  harvested from ``__init__``/``__post_init__``, declared lock attributes
+  and ``guarded_by`` fields;
+* :class:`FunctionSymbol` — parameters with annotations and the return
+  annotation, for the call graph's light type inference.
+
+Everything is syntactic — nothing is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FunctionSymbol",
+    "ClassSymbol",
+    "ModuleSymbol",
+    "SymbolTable",
+    "iter_package_files",
+]
+
+
+@dataclass
+class FunctionSymbol:
+    """One function or method."""
+
+    qualname: str
+    module: str
+    name: str
+    #: owning class qualname, or None for module-level functions.
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    relpath: str
+    #: positional + keyword parameter names, in order (incl. self/cls).
+    params: list[str] = field(default_factory=list)
+    #: parameter name → annotation AST (unparsed lazily by consumers).
+    param_annotations: dict[str, ast.expr] = field(default_factory=dict)
+    returns: ast.expr | None = None
+    decorators: list[str] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassSymbol:
+    """One class: methods, bases, attribute types, lock metadata."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    relpath: str
+    #: raw source of each base expression ("Protocol", "Generic[K, V]", ...).
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionSymbol] = field(default_factory=dict)
+    #: class-level annotated names (dataclass fields included) → annotation.
+    attr_annotations: dict[str, ast.expr] = field(default_factory=dict)
+    #: instance attribute → annotation/value-derived type expression.  Values
+    #: are ast.expr annotation nodes OR ast.Call/ast.Name value nodes from
+    #: ``self.x = ...`` in __init__/__post_init__ (resolved by the call graph).
+    attr_types: dict[str, ast.expr] = field(default_factory=dict)
+    #: guarded field name → lock attribute name (guarded_by declarations).
+    guarded_fields: dict[str, str] = field(default_factory=dict)
+    #: attribute names that hold locks (guard targets + threading.*Lock()
+    #: assignments/defaults).
+    lock_attrs: set[str] = field(default_factory=set)
+    is_protocol: bool = False
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleSymbol:
+    """One source file of the analyzed package."""
+
+    name: str
+    relpath: str
+    path: Path
+    tree: ast.Module
+    source: str
+    #: local alias → dotted target ("np" → "numpy",
+    #: "derive_rng" → "repro._util.derive_rng").
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSymbol] = field(default_factory=dict)
+    classes: dict[str, ClassSymbol] = field(default_factory=dict)
+
+
+def _guard_from_annotation(ann: ast.expr) -> str | None:
+    """Extract the lock name from ``Annotated[T, guarded_by("lock")]``."""
+    if not (isinstance(ann, ast.Subscript) and isinstance(ann.slice, ast.Tuple)):
+        return None
+    head = ann.value
+    head_name = head.attr if isinstance(head, ast.Attribute) else getattr(head, "id", "")
+    if head_name != "Annotated":
+        return None
+    for meta in ann.slice.elts[1:]:
+        if (
+            isinstance(meta, ast.Call)
+            and isinstance(meta.func, ast.Name)
+            and meta.func.id == "guarded_by"
+            and meta.args
+            and isinstance(meta.args[0], ast.Constant)
+            and isinstance(meta.args[0].value, str)
+        ):
+            return meta.args[0].value
+    return None
+
+
+def _is_lock_expr(node: ast.expr | None) -> bool:
+    """Whether *node* constructs (or defaults to) a threading lock."""
+    if node is None:
+        return False
+    try:
+        src = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures are cosmetic
+        return False
+    return any(
+        marker in src
+        for marker in ("RLock", "Lock()", "threading.Lock", "Condition")
+    )
+
+
+def iter_package_files(package_dir: Path) -> list[Path]:
+    """All python files under one package directory, sorted."""
+    return sorted(
+        p for p in package_dir.rglob("*.py") if "__pycache__" not in p.parts
+    )
+
+
+class SymbolTable:
+    """Index of every symbol in one (or more) package trees."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleSymbol] = {}
+        self.functions: dict[str, FunctionSymbol] = {}
+        self.classes: dict[str, ClassSymbol] = {}
+        #: top-level package names covered by this table ("repro", ...).
+        self.packages: set[str] = set()
+
+    # -------------------------------------------------------------- building
+
+    @classmethod
+    def build(cls, root: Path, package_dirs: tuple[str, ...]) -> "SymbolTable":
+        """Parse every file under *package_dirs* (relative to *root*).
+
+        A package dir like ``src/repro`` produces module names rooted at
+        ``repro`` (the dir's own basename); files that fail to parse are
+        skipped here — the shallow walker already reports syntax errors.
+        """
+        table = cls()
+        for package_dir in package_dirs:
+            pkg_path = (root / package_dir).resolve()
+            base = pkg_path.parent
+            table.packages.add(pkg_path.name)
+            for path in iter_package_files(pkg_path):
+                rel_to_base = path.relative_to(base)
+                parts = list(rel_to_base.with_suffix("").parts)
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                module_name = ".".join(parts)
+                try:
+                    relpath = path.relative_to(root.resolve()).as_posix()
+                except ValueError:
+                    relpath = path.as_posix()
+                source = path.read_text(encoding="utf-8")
+                try:
+                    tree = ast.parse(source)
+                except SyntaxError:
+                    continue
+                table._index_module(module_name, relpath, path, tree, source)
+        return table
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "SymbolTable":
+        """Build from in-memory {module_name: source} (test convenience)."""
+        table = cls()
+        for module_name, source in sources.items():
+            table.packages.add(module_name.split(".")[0])
+            relpath = module_name.replace(".", "/") + ".py"
+            table._index_module(
+                module_name, relpath, Path(relpath), ast.parse(source), source
+            )
+        return table
+
+    def _index_module(
+        self,
+        module_name: str,
+        relpath: str,
+        path: Path,
+        tree: ast.Module,
+        source: str,
+    ) -> None:
+        mod = ModuleSymbol(
+            name=module_name, relpath=relpath, path=path, tree=tree, source=source
+        )
+        self.modules[module_name] = mod
+        # Imports are collected from the whole tree (function-local imports
+        # included — common for late imports that break cycles); treating
+        # them as module-wide aliases is a harmless over-approximation.
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(mod, node)
+        for node in tree.body:
+            self._index_statement(mod, node)
+
+    def _index_import(self, mod: ModuleSymbol, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                mod.imports[local] = target
+        else:
+            base = self._resolve_from_base(mod, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mod.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _index_statement(self, mod: ModuleSymbol, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = self._make_function(mod, node, cls=None)
+            mod.functions[fn.name] = fn
+            self.functions[fn.qualname] = fn
+        elif isinstance(node, ast.ClassDef):
+            self._index_class(mod, node)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING imports / guarded defs: index their bodies too.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._index_statement(mod, child)
+
+    @staticmethod
+    def _resolve_from_base(mod: ModuleSymbol, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: climb from this module's package.
+        parts = mod.name.split(".")
+        anchor = parts[: len(parts) - node.level] if len(parts) >= node.level else []
+        if node.module:
+            anchor.append(node.module)
+        return ".".join(anchor)
+
+    def _make_function(
+        self,
+        mod: ModuleSymbol,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ClassSymbol | None,
+    ) -> FunctionSymbol:
+        owner = f"{cls.qualname}." if cls is not None else f"{mod.name}."
+        fn = FunctionSymbol(
+            qualname=f"{owner}{node.name}",
+            module=mod.name,
+            name=node.name,
+            cls=cls.qualname if cls is not None else None,
+            node=node,
+            relpath=mod.relpath,
+        )
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            fn.params.append(arg.arg)
+            if arg.annotation is not None:
+                fn.param_annotations[arg.arg] = arg.annotation
+        fn.returns = node.returns
+        for dec in node.decorator_list:
+            try:
+                fn.decorators.append(ast.unparse(dec))
+            except Exception:  # pragma: no cover
+                pass
+        return fn
+
+    def _index_class(self, mod: ModuleSymbol, node: ast.ClassDef) -> None:
+        cls = ClassSymbol(
+            qualname=f"{mod.name}.{node.name}",
+            module=mod.name,
+            name=node.name,
+            node=node,
+            relpath=mod.relpath,
+        )
+        for base in node.bases:
+            try:
+                src = ast.unparse(base)
+            except Exception:  # pragma: no cover
+                continue
+            cls.bases.append(src)
+            if src.split("[")[0].split(".")[-1] == "Protocol":
+                cls.is_protocol = True
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._make_function(mod, child, cls=cls)
+                cls.methods[fn.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                name = child.target.id
+                cls.attr_annotations[name] = child.annotation
+                cls.attr_types.setdefault(name, child.annotation)
+                guard = _guard_from_annotation(child.annotation)
+                if guard is not None:
+                    cls.guarded_fields[name] = guard
+                    cls.lock_attrs.add(guard)
+                if _is_lock_expr(child.annotation) or _is_lock_expr(child.value):
+                    cls.lock_attrs.add(name)
+        self._harvest_instance_attrs(cls)
+        mod.classes[cls.name] = cls
+        self.classes[cls.qualname] = cls
+
+    def _harvest_instance_attrs(self, cls: ClassSymbol) -> None:
+        """Record ``self.x = <expr>`` / ``self.x: T = ...`` from initializers."""
+        for init_name in ("__init__", "__post_init__"):
+            init = cls.methods.get(init_name)
+            if init is None:
+                continue
+            for node in ast.walk(init.node):
+                target: ast.expr | None = None
+                ann: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, ann, value = node.target, node.annotation, node.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                if ann is not None:
+                    cls.attr_types.setdefault(attr, ann)
+                elif value is not None:
+                    cls.attr_types.setdefault(attr, value)
+                if _is_lock_expr(value):
+                    cls.lock_attrs.add(attr)
+
+    # -------------------------------------------------------------- queries
+
+    def resolve_import(self, module: str, name: str) -> str | None:
+        """The dotted target *name* refers to inside *module*, if imported."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        return mod.imports.get(name)
+
+    def is_project_target(self, dotted: str) -> bool:
+        return dotted.split(".")[0] in self.packages
+
+    def lookup_method(
+        self, class_qualname: str, method: str, _seen: frozenset = frozenset()
+    ) -> FunctionSymbol | None:
+        """Find *method* on a class or (recursively) its project bases."""
+        cls = self.classes.get(class_qualname)
+        if cls is None or class_qualname in _seen:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        seen = _seen | {class_qualname}
+        for base_qual in self.base_classes(cls):
+            found = self.lookup_method(base_qual, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def base_classes(self, cls: ClassSymbol) -> list[str]:
+        """Qualnames of project base classes of *cls*."""
+        out = []
+        mod = self.modules[cls.module]
+        for base_src in cls.bases:
+            head = base_src.split("[")[0]
+            qual = self.resolve_dotted(mod, head)
+            if qual is not None and qual in self.classes:
+                out.append(qual)
+        return out
+
+    def guarded_fields_of(self, class_qualname: str) -> dict[str, str]:
+        """Guarded fields of a class including inherited declarations."""
+        cls = self.classes.get(class_qualname)
+        if cls is None:
+            return {}
+        merged: dict[str, str] = {}
+        for base_qual in self.base_classes(cls):
+            merged.update(self.guarded_fields_of(base_qual))
+        merged.update(cls.guarded_fields)
+        return merged
+
+    def lock_attrs_of(self, class_qualname: str) -> set[str]:
+        cls = self.classes.get(class_qualname)
+        if cls is None:
+            return set()
+        attrs = set(cls.lock_attrs)
+        for base_qual in self.base_classes(cls):
+            attrs |= self.lock_attrs_of(base_qual)
+        return attrs
+
+    def resolve_dotted(self, mod: ModuleSymbol, dotted: str) -> str | None:
+        """Resolve a possibly-aliased dotted name to a table qualname.
+
+        ``ResultCache`` → ``repro.engine.cache.ResultCache`` (via imports),
+        ``module.Class`` → through a module alias, and names defined in
+        *mod* itself resolve directly.  Package re-exports are chased: an
+        import of ``repro.lint.run_lint`` lands on the ``repro.lint``
+        package module, whose own ``from .walker import run_lint`` alias
+        forwards to ``repro.lint.walker.run_lint``.
+        """
+        head, _, rest = dotted.partition(".")
+        # Defined locally?
+        if head in mod.classes:
+            qual = mod.classes[head].qualname
+        elif head in mod.functions:
+            qual = mod.functions[head].qualname
+        elif head in mod.imports:
+            qual = mod.imports[head]
+        elif head == mod.name.split(".")[-1]:
+            qual = mod.name
+        else:
+            return None
+        full = f"{qual}.{rest}" if rest else qual
+        return self._chase(full)
+
+    def _chase(self, full: str, _depth: int = 0) -> str:
+        """Follow re-export aliases until *full* names a real symbol."""
+        if _depth > 8 or full in self.classes or full in self.functions:
+            return full
+        if full in self.modules:
+            return full
+        owner, _, leaf = full.rpartition(".")
+        if not owner:
+            return full
+        owner = self._chase(owner, _depth + 1)
+        mod = self.modules.get(owner)
+        if mod is not None and leaf in mod.imports:
+            return self._chase(mod.imports[leaf], _depth + 1)
+        return f"{owner}.{leaf}"
+
+    def protocol_implementations(self, protocol: ClassSymbol) -> list[ClassSymbol]:
+        """Project classes structurally implementing *protocol*.
+
+        A class implements a protocol when it defines every protocol
+        method and declares every non-method protocol attribute (as a
+        class annotation or harvested instance attribute).
+        """
+        wanted_methods = {
+            m for m in protocol.methods if not m.startswith("__")
+        }
+        wanted_attrs = set(protocol.attr_annotations)
+        impls = []
+        for cls in self.classes.values():
+            if cls.qualname == protocol.qualname or cls.is_protocol:
+                continue
+            has_methods = all(
+                self.lookup_method(cls.qualname, m) is not None
+                for m in wanted_methods
+            )
+            has_attrs = all(
+                a in cls.attr_types or a in cls.attr_annotations
+                for a in wanted_attrs
+            )
+            if wanted_methods and has_methods and has_attrs:
+                impls.append(cls)
+        return impls

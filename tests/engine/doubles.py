@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
-from repro._util import derive_rng
+from repro._util import derive_rng, stable_hash
 from repro.engine.backends import Backend, BackendError
 
 
@@ -45,6 +46,28 @@ class EchoBackend:
     def generate(self, prompts: list[str]) -> list[str]:
         self.calls += 1
         return [self.answer for _ in prompts]
+
+
+@dataclass
+class ParityBackend:
+    """Thread-safe deterministic backend: the answer is a pure function of
+    the prompt (stable-hash parity), so concurrent and sequential runs must
+    agree bit-for-bit.  The call counter is locked — unlike EchoBackend,
+    this double is made to be hammered from many threads."""
+
+    name: str = "parity"
+    calls: int = field(default=0, init=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        with self._lock:
+            self.calls += 1
+        return [
+            "Yes." if stable_hash(prompt) % 2 == 0 else "No."
+            for prompt in prompts
+        ]
 
 
 @dataclass

@@ -1,0 +1,6 @@
+"""Fixture package for the deep (whole-program) lint rules.
+
+``bad_*`` modules each contain exactly the violations their test expects;
+``good_*`` modules do the same job correctly and must stay finding-free.
+This package is parsed by the analyzer in tests — never imported.
+"""

@@ -1,0 +1,17 @@
+"""BAD: untyped exceptions escape the Backend.generate boundary."""
+
+
+class ReorderingBackend:
+    """Re-orders responses by id with a bare dict subscript (KeyError)
+    and parses through a helper that raises ValueError — both leak."""
+
+    name: str = "reordering"
+
+    def generate(self, prompts: list) -> list:
+        by_id = {f"req-{i}": p for i, p in enumerate(prompts)}
+        return [self._parse(by_id[f"req-{i}"]) for i in range(len(prompts))]
+
+    def _parse(self, text: str) -> str:
+        if not text:
+            raise ValueError("empty response")
+        return text

@@ -1,0 +1,44 @@
+"""BAD: guarded access without the lock, blocking under a lock, and a
+lock-ordering cycle between two classes."""
+
+import threading
+import time
+from typing import Annotated
+
+from deeppkg.concurrency import guarded_by
+
+
+class Left:
+    counter: Annotated[int, guarded_by("_lock")]
+
+    def __init__(self, peer: "Right") -> None:
+        self._lock = threading.RLock()
+        self.peer: "Right" = peer
+        self.counter = 0
+
+    def peek(self) -> int:
+        return self.counter  # guarded field read without the lock
+
+    def slow_bump(self) -> None:
+        with self._lock:
+            time.sleep(0.01)  # blocking while holding _lock
+            self.counter += 1
+
+    def tick(self) -> None:
+        with self._lock:
+            with self.peer._lock:  # Left._lock -> Right._lock
+                self.counter += 1
+
+
+class Right:
+    total: Annotated[int, guarded_by("_lock")]
+
+    def __init__(self, peer: Left) -> None:
+        self._lock = threading.RLock()
+        self.peer: Left = peer
+        self.total = 0
+
+    def tock(self) -> None:
+        with self._lock:
+            with self.peer._lock:  # Right._lock -> Left._lock: cycle
+                self.total += 1

@@ -1,0 +1,19 @@
+"""BAD: nondeterministic values reach the cache through helper hops."""
+
+import random
+
+from deeppkg.cache import ResultCache
+from deeppkg.util import stamp
+
+
+class Answering:
+    def __init__(self) -> None:
+        self.cache = ResultCache()
+
+    def answer(self, key: str) -> None:
+        salted = stamp(key)  # wall-clock read two hops away
+        self.cache.put(key, salted)
+
+    def roll(self, key: str) -> None:
+        draw = random.random()  # unseeded global RNG, cached directly
+        self.cache.put(key, str(draw))

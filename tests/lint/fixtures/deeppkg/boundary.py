@@ -1,0 +1,14 @@
+"""The fixture package's backend boundary: protocol + typed error."""
+
+from typing import Protocol
+
+
+class BackendError(RuntimeError):
+    pass
+
+
+class Backend(Protocol):
+    name: str
+
+    def generate(self, prompts: list) -> list:
+        ...

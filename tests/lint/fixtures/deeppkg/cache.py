@@ -1,0 +1,22 @@
+"""A minimal guarded cache the taint and lock fixtures share."""
+
+import threading
+from typing import Annotated
+
+from deeppkg.concurrency import guarded_by
+
+
+class ResultCache:
+    _entries: Annotated[dict, guarded_by("_lock")]
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries = {}
+
+    def put(self, key: str, value: str) -> None:
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key: str) -> str | None:
+        with self._lock:
+            return self._entries.get(key)

@@ -1,0 +1,5 @@
+"""Fixture copy of the guarded_by convention (matched by name)."""
+
+
+def guarded_by(lock_attr: str) -> str:
+    return lock_attr

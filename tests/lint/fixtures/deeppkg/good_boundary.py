@@ -1,0 +1,22 @@
+"""GOOD: every failure crosses Backend.generate as a BackendError."""
+
+from deeppkg.boundary import BackendError
+
+
+class CheckedBackend:
+    name: str = "checked"
+
+    def generate(self, prompts: list) -> list:
+        try:
+            by_id = {f"req-{i}": p for i, p in enumerate(prompts)}
+            out = []
+            for i in range(len(prompts)):
+                item = by_id.get(f"req-{i}")
+                if item is None:
+                    raise BackendError(f"missing req-{i}")
+                out.append(item)
+            return out
+        except BackendError:
+            raise
+        except Exception as exc:
+            raise BackendError(f"{self.name}: {exc}") from exc

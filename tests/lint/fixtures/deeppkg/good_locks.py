@@ -1,0 +1,45 @@
+"""GOOD: every guarded access holds the lock, blocking happens outside
+locks, and both cross-class paths acquire locks in the same order."""
+
+import threading
+import time
+from typing import Annotated
+
+from deeppkg.concurrency import guarded_by
+
+
+class Left:
+    counter: Annotated[int, guarded_by("_lock")]
+
+    def __init__(self, peer: "Right") -> None:
+        self._lock = threading.RLock()
+        self.peer: "Right" = peer
+        self.counter = 0
+
+    def peek(self) -> int:
+        with self._lock:
+            return self.counter
+
+    def slow_bump(self) -> None:
+        time.sleep(0.01)  # blocking before the lock, not under it
+        with self._lock:
+            self.counter += 1
+
+    def tick(self) -> None:
+        with self._lock:
+            with self.peer._lock:  # Left._lock -> Right._lock everywhere
+                self.counter += 1
+
+
+class Right:
+    total: Annotated[int, guarded_by("_lock")]
+
+    def __init__(self, peer: Left) -> None:
+        self._lock = threading.RLock()
+        self.peer: Left = peer
+        self.total = 0
+
+    def tock(self) -> None:
+        with self.peer._lock:  # same global order: Left then Right
+            with self._lock:
+                self.total += 1

@@ -1,0 +1,13 @@
+"""GOOD: only argument-derived values reach the cache."""
+
+from deeppkg.cache import ResultCache
+from deeppkg.util import clean_tag
+
+
+class Answering:
+    def __init__(self) -> None:
+        self.cache = ResultCache()
+
+    def answer(self, key: str, seed: int) -> None:
+        tagged = clean_tag(key, seed)
+        self.cache.put(key, tagged)

@@ -1,0 +1,13 @@
+"""Simulation module: results must be deterministic (``.llm`` sink)."""
+
+import random
+
+
+def bad_sample(prompt: str) -> float:
+    noisy = random.random()  # unseeded draw returned from a .llm module
+    return noisy
+
+
+def good_sample(prompt: str, seed: int) -> int:
+    rng = random.Random(seed)  # locally seeded: replayable
+    return rng.randint(0, 10)

@@ -1,0 +1,17 @@
+"""Helpers: one launders wall-clock time through two hops, one is clean."""
+
+import time
+
+
+def _now() -> float:
+    return time.time()
+
+
+def stamp(value: str) -> str:
+    """Laundering hop: the wall-clock read is one call away."""
+    return f"{value}@{_now()}"
+
+
+def clean_tag(value: str, seed: int) -> str:
+    """Deterministic: derived only from the arguments."""
+    return f"{value}#{seed}"

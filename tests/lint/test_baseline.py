@@ -1,0 +1,109 @@
+"""Baseline ratchet, CLI --deep flags, and JSON output stability."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    filter_baselined,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import SCHEMA_VERSION, Finding, format_json
+
+F1 = Finding(rule="deep-taint", severity="error", path="a.py", line=3, message="rng cached")
+F2 = Finding(rule="deep-lock-field", severity="error", path="b.py", line=7, message="unlocked read")
+
+
+@pytest.fixture()
+def in_repo_root(monkeypatch, repo_root):
+    monkeypatch.chdir(repo_root)
+
+
+class TestBaselineFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = write_baseline([F1, F2], path)
+        assert payload["schema_version"] == BASELINE_SCHEMA_VERSION
+        assert payload["count"] == 2
+        accepted = load_baseline(path)
+        assert accepted == {
+            ("deep-taint", "a.py", "rng cached"),
+            ("deep-lock-field", "b.py", "unlocked read"),
+        }
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_filter_drops_accepted_keeps_new(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([F1], path)
+        kept = filter_baselined([F1, F2], load_baseline(path))
+        assert kept == [F2]
+
+    def test_fingerprint_ignores_line_numbers(self):
+        moved = Finding(
+            rule=F1.rule, severity=F1.severity, path=F1.path, line=99, message=F1.message
+        )
+        assert fingerprint(moved) == fingerprint(F1)
+
+    def test_written_file_is_byte_stable(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline([F2, F1], a)
+        write_baseline([F1, F2], b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestJsonOutput:
+    def test_schema_fields(self):
+        payload = json.loads(format_json([F1], summary={"modules": 3}))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["count"] == 1
+        assert payload["summary"] == {"modules": 3}
+        assert payload["findings"][0]["rule"] == "deep-taint"
+
+    def test_summary_omitted_when_absent(self):
+        payload = json.loads(format_json([]))
+        assert "summary" not in payload
+
+    def test_byte_identical_across_runs_and_input_order(self):
+        first = format_json([F1, F2], summary={"modules": 3})
+        second = format_json([F2, F1], summary={"modules": 3})
+        assert first.encode() == second.encode()
+
+
+@pytest.mark.usefixtures("in_repo_root")
+class TestCliDeep:
+    def test_deep_repo_is_clean_with_summary(self, capsys):
+        code = main(["lint", "--deep", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["count"] == 0
+        assert payload["summary"]["callgraph"]["resolution_rate"] >= 0.90
+
+    def test_update_baseline_requires_deep(self, capsys):
+        assert main(["lint", "--update-baseline"]) == 2
+        assert "--deep" in capsys.readouterr().err
+
+    def test_project_rule_requires_deep(self, capsys):
+        assert main(["lint", "--rule", "deep-taint"]) == 2
+        assert "--deep" in capsys.readouterr().err
+
+    def test_update_baseline_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        code = main(
+            ["lint", "--deep", "--baseline", str(path), "--update-baseline"]
+        )
+        assert code == 0
+        assert "baseline updated" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == BASELINE_SCHEMA_VERSION
+        # src/repro is clean, so the committed ratchet file stays empty.
+        assert payload["count"] == 0
+
+    def test_committed_baseline_is_empty(self, repo_root):
+        payload = json.loads((repo_root / "lint-baseline.json").read_text())
+        assert payload["count"] == 0 and payload["findings"] == []

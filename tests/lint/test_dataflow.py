@@ -1,0 +1,211 @@
+"""Inter-procedural taint and exception-escape analyses."""
+
+import ast
+
+from repro.lint.callgraph import build_call_graph
+from repro.lint.dataflow import DYNAMIC_RAISE, ExceptionAnalysis, TaintAnalysis
+from repro.lint.symbols import SymbolTable
+
+
+def analyses_for(sources: dict):
+    table = SymbolTable.from_sources(sources)
+    graph = build_call_graph(table)
+    return table, TaintAnalysis(table, graph), ExceptionAnalysis(table, graph)
+
+
+def return_sources(taint: TaintAnalysis, qualname: str):
+    return list(taint.summaries[qualname].return_sources.values())
+
+
+class TestTaintSources:
+    def test_direct_rng_return_is_tainted(self):
+        _, taint, _ = analyses_for(
+            {"pkg.mod": "import random\ndef roll():\n    return random.random()\n"}
+        )
+        labels = return_sources(taint, "pkg.mod.roll")
+        assert len(labels) == 1
+        assert "random.random()" in labels[0].detail
+
+    def test_seeded_local_rng_is_not_a_source(self):
+        _, taint, _ = analyses_for(
+            {
+                "pkg.mod": (
+                    "import random\n"
+                    "def draw(seed):\n"
+                    "    rng = random.Random(seed)\n"
+                    "    return rng.random()\n"
+                )
+            }
+        )
+        assert return_sources(taint, "pkg.mod.draw") == []
+
+    def test_clock_and_environ_sources(self):
+        _, taint, _ = analyses_for(
+            {
+                "pkg.mod": (
+                    "import os\n"
+                    "import time\n"
+                    "def when():\n"
+                    "    return time.time()\n"
+                    "def who():\n"
+                    "    return os.environ.get('USER')\n"
+                )
+            }
+        )
+        assert "time.time()" in return_sources(taint, "pkg.mod.when")[0].detail
+        assert return_sources(taint, "pkg.mod.who")
+
+
+class TestTaintPropagation:
+    TWO_HOP = {
+        "pkg.util": (
+            "import time\n"
+            "def now():\n"
+            "    return time.time()\n"
+            "def stamp(value):\n"
+            "    return f'{value}@{now()}'\n"
+        ),
+        "pkg.app": (
+            "from pkg.util import stamp\n"
+            "def describe(key):\n"
+            "    return stamp(key)\n"
+        ),
+    }
+
+    def test_two_hop_taint_reaches_caller_return(self):
+        _, taint, _ = analyses_for(self.TWO_HOP)
+        labels = return_sources(taint, "pkg.app.describe")
+        assert len(labels) == 1
+        label = labels[0]
+        assert "time.time()" in label.detail
+        # Provenance records the full two-hop chain to the original source.
+        assert label.via == ("pkg.util.now", "pkg.util.stamp")
+        assert "pkg/util.py:3" in label.origin
+
+    def test_param_to_return_does_not_taint_clean_args(self):
+        _, taint, _ = analyses_for(
+            {
+                "pkg.mod": (
+                    "def identity(x):\n"
+                    "    return x\n"
+                    "def clean(key):\n"
+                    "    return identity(key)\n"
+                )
+            }
+        )
+        assert return_sources(taint, "pkg.mod.clean") == []
+        summary = taint.summaries["pkg.mod.identity"]
+        assert summary.param_to_return == {0}
+
+    def test_labels_of_resolves_expression_taint(self):
+        _, taint, _ = analyses_for(self.TWO_HOP)
+        fn_node = taint.table.functions["pkg.app.describe"].node
+        ret = fn_node.body[0]
+        assert isinstance(ret, ast.Return)
+        labels = list(taint.labels_of("pkg.app.describe", ret.value).values())
+        assert labels and "time.time()" in labels[0].detail
+
+
+class TestExceptionEscapes:
+    def test_direct_raise_escapes(self):
+        _, _, escapes = analyses_for(
+            {"pkg.mod": "def boom():\n    raise ValueError('x')\n"}
+        )
+        assert set(escapes.escapes_of("pkg.mod.boom")) == {"ValueError"}
+
+    def test_caught_exception_does_not_escape(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "def safe():\n"
+                    "    try:\n"
+                    "        raise ValueError('x')\n"
+                    "    except ValueError:\n"
+                    "        return None\n"
+                )
+            }
+        )
+        assert escapes.escapes_of("pkg.mod.safe") == {}
+
+    def test_handler_subclass_filtering_uses_hierarchy(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "def partial():\n"
+                    "    try:\n"
+                    "        raise KeyError('x')\n"
+                    "    except LookupError:\n"
+                    "        return None\n"
+                )
+            }
+        )
+        # KeyError is a LookupError, so the handler catches it.
+        assert escapes.escapes_of("pkg.mod.partial") == {}
+
+    def test_escape_propagates_through_call_chain(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "def inner():\n"
+                    "    raise TimeoutError('late')\n"
+                    "def outer():\n"
+                    "    return inner()\n"
+                )
+            }
+        )
+        assert set(escapes.escapes_of("pkg.mod.outer")) == {"TimeoutError"}
+
+    def test_bare_raise_reraises_swallowed_types(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "def rethrow():\n"
+                    "    try:\n"
+                    "        raise ValueError('x')\n"
+                    "    except ValueError:\n"
+                    "        raise\n"
+                )
+            }
+        )
+        assert set(escapes.escapes_of("pkg.mod.rethrow")) == {"ValueError"}
+
+    def test_dict_subscript_implies_keyerror(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "def pick(key):\n"
+                    "    table = {'a': 1}\n"
+                    "    return table[key]\n"
+                )
+            }
+        )
+        assert "KeyError" in escapes.escapes_of("pkg.mod.pick")
+
+    def test_project_exception_hierarchy(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "class BackendError(RuntimeError):\n"
+                    "    pass\n"
+                    "def wrapped():\n"
+                    "    try:\n"
+                    "        raise BackendError('x')\n"
+                    "    except RuntimeError:\n"
+                    "        return None\n"
+                )
+            }
+        )
+        assert escapes.escapes_of("pkg.mod.wrapped") == {}
+        assert escapes.is_subclass("BackendError", "RuntimeError")
+        assert not escapes.is_subclass("BackendError", "ValueError")
+
+    def test_unknown_name_raise_is_dynamic(self):
+        _, _, escapes = analyses_for(
+            {
+                "pkg.mod": (
+                    "def relay(err):\n"
+                    "    raise err\n"
+                )
+            }
+        )
+        assert DYNAMIC_RAISE in escapes.escapes_of("pkg.mod.relay")

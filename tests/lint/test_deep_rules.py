@@ -1,0 +1,149 @@
+"""Project-scoped (--deep) rules over the deeppkg fixture package."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.deep import build_context, run_deep
+
+from .conftest import REPO_ROOT
+
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_run():
+    context = build_context(FIXTURES, ("deeppkg",))
+    findings, summary = run_deep(context=context)
+    return context, findings, summary
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestTaintRule:
+    def test_direct_rng_cache_put_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hits = by_rule(findings, "deep-taint")
+        assert any(
+            f.path == "deeppkg/bad_taint.py" and f.line == 19 for f in hits
+        )
+
+    def test_two_hop_laundered_clock_flagged_with_provenance(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(
+            f
+            for f in by_rule(findings, "deep-taint")
+            if f.path == "deeppkg/bad_taint.py" and f.line == 15
+        )
+        # The message prints the source site and the helper chain it
+        # travelled through — the whole point of the deep analysis.
+        assert "deeppkg/util.py:7" in hit.message
+        assert "deeppkg.util._now" in hit.message
+        assert "deeppkg.util.stamp" in hit.message
+
+    def test_llm_module_return_sink_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert any(
+            f.path == "deeppkg/llm/sim.py" and f.line == 8
+            for f in by_rule(findings, "deep-taint")
+        )
+
+    def test_good_taint_module_clean(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert not any(f.path == "deeppkg/good_taint.py" for f in findings)
+
+
+class TestLockRules:
+    def test_unguarded_read_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(iter(by_rule(findings, "deep-lock-field")))
+        assert hit.path == "deeppkg/bad_locks.py" and hit.line == 20
+        assert "counter" in hit.message and "_lock" in hit.message
+
+    def test_blocking_call_under_lock_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(iter(by_rule(findings, "deep-lock-blocking")))
+        assert hit.path == "deeppkg/bad_locks.py" and hit.line == 24
+
+    def test_lock_order_cycle_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(iter(by_rule(findings, "deep-lock-order")))
+        assert hit.path == "deeppkg/bad_locks.py"
+        assert "Left" in hit.message and "Right" in hit.message
+
+    def test_good_locks_module_clean(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert not any(f.path == "deeppkg/good_locks.py" for f in findings)
+
+
+class TestBoundaryRule:
+    def test_untyped_escapes_flagged_per_exception(self, fixture_run):
+        _, findings, _ = fixture_run
+        hits = by_rule(findings, "deep-exception-boundary")
+        assert all(f.path == "deeppkg/bad_boundary.py" for f in hits)
+        leaked = {m for f in hits for m in ("KeyError", "ValueError") if m in f.message}
+        assert leaked == {"KeyError", "ValueError"}
+
+    def test_wrapping_impl_clean(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert not any(f.path == "deeppkg/good_boundary.py" for f in findings)
+
+
+class TestRunDeep:
+    def test_exact_finding_set(self, fixture_run):
+        """The fixture package's full expected output, pinned."""
+        _, findings, _ = fixture_run
+        got = sorted((f.rule, f.path, f.line) for f in findings)
+        assert got == [
+            ("deep-exception-boundary", "deeppkg/bad_boundary.py", 10),
+            ("deep-exception-boundary", "deeppkg/bad_boundary.py", 10),
+            ("deep-lock-blocking", "deeppkg/bad_locks.py", 24),
+            ("deep-lock-field", "deeppkg/bad_locks.py", 20),
+            ("deep-lock-order", "deeppkg/bad_locks.py", 29),
+            ("deep-taint", "deeppkg/bad_taint.py", 15),
+            ("deep-taint", "deeppkg/bad_taint.py", 19),
+            ("deep-taint", "deeppkg/llm/sim.py", 8),
+        ]
+
+    def test_summary_reports_callgraph_accounting(self, fixture_run):
+        _, _, summary = fixture_run
+        callgraph = summary["callgraph"]
+        assert callgraph["resolution_rate"] == 1.0
+        assert callgraph["unresolved"] == 0
+        assert summary["modules"] >= 10
+
+    def test_rule_filter_restricts_output(self, fixture_run):
+        context, _, _ = fixture_run
+        findings, _ = run_deep(rules=["deep-taint"], context=context)
+        assert findings and all(f.rule == "deep-taint" for f in findings)
+
+    def test_real_tree_is_clean(self):
+        """ISSUE acceptance: --deep exits 0 on src/repro itself."""
+        findings, summary = run_deep(REPO_ROOT)
+        assert findings == []
+        assert summary["callgraph"]["resolution_rate"] >= 0.90
+
+    @pytest.mark.parametrize("suppress", [False, True])
+    def test_suppression_directive_honoured(self, tmp_path, suppress):
+        directive = "  # repro-lint: disable=deep-taint" if suppress else ""
+        pkg = tmp_path / "tinypkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "llm.py").write_text(
+            textwrap.dedent(
+                f"""\
+                import random
+
+
+                def sample():
+                    return random.random(){directive}
+                """
+            )
+        )
+        findings, _ = run_deep(tmp_path, ("tinypkg",))
+        if suppress:
+            assert findings == []
+        else:
+            assert [f.rule for f in findings] == ["deep-taint"]
