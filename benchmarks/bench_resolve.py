@@ -1,0 +1,149 @@
+"""Extension: entity-resolution throughput and short-circuit savings.
+
+A dedup workload (the record collections behind an abt-buy split) runs
+through the full resolution pipeline — token blocking, engine decisions,
+transitive-closure clustering — twice: once deciding every candidate
+pair, once with cluster-aware short-circuiting (pairs whose endpoints
+earlier decisions already co-clustered are skipped before they cost an
+engine call).  The benchmark asserts both runs produce the *identical*
+clustering and reports records/sec plus the engine-call saving.
+
+Runs standalone (CI smoke) or under pytest-benchmark::
+
+    PYTHONPATH=src python -m benchmarks.bench_resolve --smoke
+    PYTHONPATH=src python -m pytest benchmarks/bench_resolve.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.blocking import TokenBlocker
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Split
+from repro.engine import MatchingEngine
+from repro.eval.reports import format_table
+from repro.resolve import cluster_scores, gold_clustering, resolve_blocking, split_records
+
+from benchmarks._output import emit, emit_json
+
+MODEL = "llama-3.1-8b"
+FULL_PAIRS = 400
+SMOKE_PAIRS = 120
+
+
+def _workload(pairs: int) -> Split:
+    return Split(
+        name="abt-buy-dedup",
+        pairs=load_dataset("abt-buy").test.pairs[:pairs],
+    )
+
+
+def run_resolution(pairs: int) -> dict[str, object]:
+    """Resolve the workload exhaustively and short-circuited; compare."""
+    split = _workload(pairs)
+    left, right = split_records(split)
+    blocking = TokenBlocker().block(left, right)
+
+    runs: dict[bool, dict[str, object]] = {}
+    for short_circuit in (False, True):
+        engine = MatchingEngine.for_model(MODEL)
+        # Warm process-global lazy state (tokenizer/embedding tables) so
+        # the first timed run is not charged for one-off setup.
+        engine.match_pair(
+            left[0].description, right[0].description
+        )
+        engine.reset_stats()
+        started = time.perf_counter()
+        report = resolve_blocking(
+            engine, blocking, short_circuit=short_circuit
+        )
+        elapsed = time.perf_counter() - started
+        runs[short_circuit] = {
+            "report": report,
+            "seconds": elapsed,
+            "stats": engine.stats,
+        }
+
+    exhaustive = runs[False]["report"]
+    shortcut = runs[True]["report"]
+    # The acceptance bar: skipping co-clustered pairs must not change
+    # the final clustering, only the number of engine calls.
+    assert shortcut.clustering == exhaustive.clustering
+    assert shortcut.engine_calls + shortcut.short_circuited == exhaustive.engine_calls
+
+    records = len(shortcut.clustering.elements)
+    saving = (
+        shortcut.short_circuited / exhaustive.engine_calls
+        if exhaustive.engine_calls
+        else 0.0
+    )
+    scores = cluster_scores(shortcut.clustering, gold_clustering(split))
+    return {
+        "model": MODEL,
+        "pairs": pairs,
+        "records": records,
+        "candidates": len(blocking.candidates),
+        "clusters": len(shortcut.clustering),
+        "exhaustive_engine_calls": exhaustive.engine_calls,
+        "short_circuit_engine_calls": shortcut.engine_calls,
+        "short_circuited": shortcut.short_circuited,
+        "engine_call_saving": round(saving, 4),
+        "exhaustive_records_per_sec": round(
+            records / runs[False]["seconds"], 1
+        ),
+        "short_circuit_records_per_sec": round(
+            records / runs[True]["seconds"], 1
+        ),
+        "cluster_scores": scores.as_dict(),
+        "engine_stats": runs[True]["stats"].as_dict(),
+    }
+
+
+def _render(payload: dict[str, object]) -> str:
+    rows = [
+        ["exhaustive", f"{payload['exhaustive_engine_calls']:,}",
+         f"{payload['exhaustive_records_per_sec']:,.0f}", "—"],
+        ["short-circuit", f"{payload['short_circuit_engine_calls']:,}",
+         f"{payload['short_circuit_records_per_sec']:,.0f}",
+         f"{payload['engine_call_saving']:.1%}"],
+    ]
+    return format_table(
+        ["path", "engine calls", "records/sec", "calls saved"],
+        rows,
+        title=(
+            f"Entity resolution ({MODEL}, {payload['records']} records, "
+            f"{payload['candidates']} candidates, "
+            f"{payload['clusters']} clusters; identical clustering)"
+        ),
+    )
+
+
+def test_resolve_short_circuit(benchmark):
+    payload = benchmark.pedantic(
+        lambda: run_resolution(SMOKE_PAIRS), rounds=1, iterations=1
+    )
+    assert payload["short_circuited"] > 0  # the optimisation must engage
+    emit_json("bench_resolve", payload)
+    emit("bench_resolve", _render(payload))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"small CI workload ({SMOKE_PAIRS} pairs instead of {FULL_PAIRS})",
+    )
+    args = parser.parse_args(argv)
+    payload = run_resolution(SMOKE_PAIRS if args.smoke else FULL_PAIRS)
+    if payload["short_circuited"] == 0:
+        print("bench_resolve: short-circuiting never engaged")
+        return 1
+    emit_json("bench_resolve", payload)
+    emit("bench_resolve", _render(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

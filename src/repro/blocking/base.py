@@ -23,10 +23,15 @@ class BlockingResult:
 
     @property
     def reduction_ratio(self) -> float:
-        """1 − |candidates| / |left × right| (higher = fewer comparisons)."""
+        """1 − |candidates| / |left × right| (higher = fewer comparisons).
+
+        An empty comparison space (either side empty) reduces to 1.0 by
+        convention: there is nothing to compare, so every possible
+        comparison (all zero of them) was avoided.
+        """
         total = len(self.left) * len(self.right)
         if total == 0:
-            return 0.0
+            return 1.0
         return 1.0 - len(self.candidates) / total
 
     def contains(self, left_index: int, right_index: int) -> bool:
@@ -36,17 +41,32 @@ class BlockingResult:
 def blocking_quality(
     result: BlockingResult, true_matches: set[tuple[int, int]]
 ) -> dict[str, float]:
-    """Pair completeness (recall of true matches) and reduction ratio.
+    """Pair completeness, pair quality, and reduction ratio.
 
     ``true_matches`` are (left_index, right_index) ground-truth pairs.
+    Every ratio is defined on empty inputs instead of dividing by zero:
+
+    * ``pair_completeness`` (true matches surviving blocking) is 1.0
+      with no true matches — nothing could be lost;
+    * ``pair_quality`` (true matches per candidate, blocking precision)
+      is 1.0 when there are neither candidates nor true matches, and
+      0.0 when candidates exist but no gold does — candidates with no
+      conceivable payoff;
+    * ``reduction_ratio`` is 1.0 over an empty comparison space (see
+      :attr:`BlockingResult.reduction_ratio`).
     """
+    found = sum(1 for pair in true_matches if pair in result.candidates)
     if true_matches:
-        found = sum(1 for pair in true_matches if pair in result.candidates)
         completeness = found / len(true_matches)
     else:
         completeness = 1.0
+    if result.candidates:
+        quality = found / len(result.candidates)
+    else:
+        quality = 1.0 if not true_matches else 0.0
     return {
         "pair_completeness": completeness,
+        "pair_quality": quality,
         "reduction_ratio": result.reduction_ratio,
         "candidates": float(len(result.candidates)),
     }

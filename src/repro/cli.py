@@ -11,6 +11,10 @@ Subcommands::
     repro-em sensitivity --model NAME --dataset NAME
     repro-em engine (--pairs FILE | --dataset NAME) [--model NAME]
         [--prompt NAME] [--batch-size N] [--cache-size N] [--stats] [--quiet]
+    repro-em resolve --dataset NAME [--split test] [--limit N] [--model NAME]
+        [--blocker token|embedding] [--mode transitive|correlation]
+        [--min-agreement F] [--format text|json] [--golden] [--stats]
+        [--no-short-circuit]
     repro-em lint [PATHS ...] [--rule ID ...] [--format text|json]
         [--list-rules] [--deep] [--baseline FILE] [--update-baseline]
 """
@@ -89,6 +93,39 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print engine counters and latency percentiles")
     eng.add_argument("--quiet", action="store_true",
                      help="suppress per-pair verdict lines")
+
+    res = sub.add_parser(
+        "resolve",
+        help="resolve a dataset's records into entity clusters "
+        "(blocker -> engine -> clusters -> cluster-level report)",
+    )
+    res.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    res.add_argument("--split", default="test", choices=("train", "valid", "test"))
+    res.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="resolve only the first N pairs of the split")
+    res.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    res.add_argument("--prompt", default="default")
+    res.add_argument("--blocker", default="token", choices=("token", "embedding"))
+    res.add_argument("--min-shared", type=int, default=1,
+                     help="token blocker: min shared tokens per candidate")
+    res.add_argument("--k", type=int, default=5,
+                     help="embedding blocker: neighbours per record")
+    res.add_argument("--mode", default="transitive",
+                     choices=("transitive", "correlation"))
+    res.add_argument("--min-agreement", type=float, default=0.5,
+                     help="correlation mode: min cross-cluster agreement "
+                     "for a merge")
+    res.add_argument("--batch-size", type=int, default=32)
+    res.add_argument("--cache-size", type=int, default=4096)
+    res.add_argument("--no-short-circuit", action="store_true",
+                     help="decide every candidate pair, even ones already "
+                     "co-clustered")
+    res.add_argument("--golden", action="store_true",
+                     help="include one golden record per non-singleton cluster")
+    res.add_argument("--stats", action="store_true",
+                     help="include the engine stats snapshot "
+                     "(cache hits, batches, fallbacks)")
+    res.add_argument("--format", choices=("text", "json"), default="text")
 
     lint = sub.add_parser(
         "lint", help="check repro-specific invariants (determinism, "
@@ -300,6 +337,108 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.blocking import EmbeddingBlocker, TokenBlocker
+    from repro.datasets.schema import Split
+    from repro.engine import MatchingEngine, ResultCache
+    from repro.resolve import (
+        cluster_scores,
+        gold_clustering,
+        resolve_blocking,
+        split_records,
+    )
+
+    split = load_dataset(args.dataset).split(args.split)
+    if args.limit is not None:
+        if args.limit <= 0:
+            print("--limit must be positive")
+            return 2
+        split = Split(name=split.name, pairs=split.pairs[: args.limit])
+    left, right = split_records(split)
+    if args.blocker == "token":
+        blocker = TokenBlocker(min_shared=args.min_shared)
+    else:
+        blocker = EmbeddingBlocker(k=args.k)
+    blocking = blocker.block(left, right)
+    engine = MatchingEngine.for_model(
+        args.model,
+        template=get_prompt(args.prompt),
+        batch_size=args.batch_size,
+        cache=ResultCache(max_size=args.cache_size),
+    )
+    report = resolve_blocking(
+        engine,
+        blocking,
+        mode=args.mode,
+        min_agreement=args.min_agreement,
+        chunk_size=args.batch_size,
+        short_circuit=not args.no_short_circuit,
+    )
+    scores = cluster_scores(report.clustering, gold_clustering(split))
+
+    payload: dict[str, object] = {
+        "schema_version": 1,
+        "dataset": args.dataset,
+        "split": args.split,
+        "pairs": len(split),
+        "model": args.model,
+        "blocker": args.blocker,
+        "mode": args.mode,
+        "short_circuit": not args.no_short_circuit,
+        **report.as_dict(),
+        "scores": scores.as_dict(),
+    }
+    if args.golden:
+        payload["golden"] = [
+            {
+                "cluster_id": cluster_id,
+                "size": len(report.clustering.cluster_of(cluster_id)),
+                "description": record.description,
+                "attributes": dict(record.attributes),
+            }
+            for cluster_id, record in sorted(report.golden.items())
+            if len(report.clustering.cluster_of(cluster_id)) > 1
+        ]
+    if args.stats:
+        # Latency percentiles are wall-clock measurements — everything
+        # else in the payload is deterministic, so keep them out of the
+        # JSON snapshot (byte-identical across runs) and leave them to
+        # the text rendering below.
+        snapshot = engine.stats.as_dict()
+        snapshot.pop("latency", None)
+        payload["engine_stats"] = snapshot
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{args.dataset}/{args.split}: {payload['records']} records -> "
+        f"{payload['clusters']} clusters "
+        f"({report.candidates} candidates, {report.engine_calls} engine "
+        f"calls, {report.short_circuited} short-circuited)"
+    )
+    histogram = report.clustering.size_histogram()
+    sizes = ", ".join(f"{size}x{count}" for size, count in histogram.items())
+    print(f"cluster sizes: {sizes}")
+    rows = [
+        ["B-cubed", f"{scores.b3_precision:.2f}", f"{scores.b3_recall:.2f}",
+         f"{scores.b3_f1:.2f}"],
+        ["pairwise", f"{scores.pairwise.precision:.2f}",
+         f"{scores.pairwise.recall:.2f}", f"{scores.pairwise.f1:.2f}"],
+    ]
+    print(format_table(["metric", "P", "R", "F1"], rows,
+                       title=f"cluster-level scores (ARI {scores.ari:.4f})"))
+    if args.golden:
+        for entry in payload["golden"]:
+            print(f"golden[{entry['cluster_id']}] x{entry['size']}: "
+                  f"{entry['description']}")
+    if args.stats:
+        print(engine.stats.render())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -394,6 +533,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "resolve":
+        return _cmd_resolve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")

@@ -1,0 +1,84 @@
+"""Golden-record selection: one canonical record per entity cluster.
+
+Attribute-level majority voting with deterministic tie-breaks: for each
+attribute key, the most frequent non-empty value wins, ties going to the
+lexicographically smallest value.  The golden description comes from the
+cluster's *exemplar* — the member agreeing with the voted attributes on
+the most keys (ties again broken deterministically, by record id) — so
+the surface form shown downstream is always a real observed description,
+never a synthesized one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.datasets.schema import Record
+from repro.resolve.clusterer import Clustering, ResolutionError
+
+__all__ = ["golden_record", "golden_records"]
+
+
+def _voted_attributes(records: Sequence[Record]) -> dict[str, str]:
+    """Majority value per attribute key over the cluster's members."""
+    counts: dict[str, dict[str, int]] = {}
+    for record in records:
+        for attr_key, value in record.attributes.items():
+            if not value:
+                continue
+            by_value = counts.setdefault(attr_key, {})
+            by_value[value] = by_value.get(value, 0) + 1
+    voted: dict[str, str] = {}
+    for attr_key in sorted(counts):
+        by_value = counts[attr_key]
+        # Most votes first; equal votes resolved by smallest value.
+        winner = min(by_value, key=lambda v: (-by_value[v], v))
+        voted[attr_key] = winner
+    return voted
+
+
+def golden_record(records: Sequence[Record], record_id: str | None = None) -> Record:
+    """The canonical record for one cluster of duplicate records.
+
+    ``record_id`` defaults to the smallest member id — the same id
+    :class:`~repro.resolve.clusterer.Clustering` assigns the cluster, so
+    golden records line up with cluster ids without extra bookkeeping.
+    """
+    if not records:
+        raise ResolutionError("cannot build a golden record from no records")
+    voted = _voted_attributes(records)
+
+    def agreement(record: Record) -> int:
+        return sum(
+            1 for attr_key, value in voted.items()
+            if record.attributes.get(attr_key) == value
+        )
+
+    exemplar = min(records, key=lambda r: (-agreement(r), r.record_id))
+    return Record(
+        record_id=record_id or min(r.record_id for r in records),
+        attributes=voted,
+        description=exemplar.description,
+    )
+
+
+def golden_records(
+    clustering: Clustering, records: Mapping[str, Record]
+) -> dict[str, Record]:
+    """Cluster id → golden record for every cluster of *clustering*.
+
+    *records* maps element ids (as used in the clustering) to their
+    :class:`Record`; every clustered element must be present.
+    """
+    golden: dict[str, Record] = {}
+    for cluster in clustering.clusters:
+        members = []
+        for element in cluster:
+            record = records.get(element)
+            if record is None:
+                raise ResolutionError(
+                    f"clustered element {element!r} has no record"
+                )
+            members.append(record)
+        golden[cluster[0]] = golden_record(members, record_id=cluster[0])
+    return golden

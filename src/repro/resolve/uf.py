@@ -1,0 +1,137 @@
+"""Deterministic union-find (disjoint-set forest) over string keys.
+
+The partition produced by a sequence of ``union`` calls is a pure
+function of the *set* of (element, element) edges — union-find semantics
+guarantee that connected components do not depend on the order unions
+arrive in.  The public ids are made insertion-order-independent too:
+a component's id is its lexicographically smallest member, so two stores
+that ingested the same records in different orders report identical
+cluster ids.  Internal parent pointers *do* depend on call order (rank
+unions + path compression), which is why no public method ever exposes a
+raw root: everything is keyed on the canonical min-member id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets of string elements with stable, deterministic ids."""
+
+    def __init__(self, elements: Iterable[str] = ()) -> None:
+        self._parent: dict[str, str] = {}
+        self._rank: dict[str, int] = {}
+        #: root → lexicographically smallest member of its component.
+        self._min_member: dict[str, str] = {}
+        for element in elements:
+            self.add(element)
+
+    # ------------------------------------------------------------ membership
+
+    def add(self, element: str) -> bool:
+        """Register *element* as a singleton; False if already present."""
+        if element in self._parent:
+            return False
+        self._parent[element] = element
+        self._rank[element] = 0
+        self._min_member[element] = element
+        return True
+
+    def __contains__(self, element: str) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parent)
+
+    # ------------------------------------------------------------- structure
+
+    def _find_root(self, element: str) -> str:
+        """Root of *element*'s tree, with two-pass path compression."""
+        try:
+            node = self._parent[element]
+        except KeyError:
+            raise KeyError(f"unknown element {element!r}") from None
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        node = element
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def find(self, element: str) -> str:
+        """Canonical component id: the smallest member of the component.
+
+        Unlike a raw root, this id does not depend on the order elements
+        were added or unions were applied.
+        """
+        return self._min_member[self._find_root(element)]
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge the components of *a* and *b*; False if already merged.
+
+        Unknown elements are added first, so a decision stream can be
+        replayed without pre-registering its endpoints.
+        """
+        self.add(a)
+        self.add(b)
+        root_a = self._find_root(a)
+        root_b = self._find_root(b)
+        if root_a == root_b:
+            return False
+        # Union by rank; equal ranks break ties on the min-member id so
+        # the tree shape is deterministic for a fixed call sequence.
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        elif self._rank[root_a] == self._rank[root_b]:
+            if self._min_member[root_b] < self._min_member[root_a]:
+                root_a, root_b = root_b, root_a
+            self._rank[root_a] += 1
+        self._parent[root_b] = root_a
+        self._min_member[root_a] = min(
+            self._min_member[root_a], self._min_member.pop(root_b)
+        )
+        return True
+
+    def connected(self, a: str, b: str) -> bool:
+        """True when *a* and *b* are in the same component."""
+        return self._find_root(a) == self._find_root(b)
+
+    # ------------------------------------------------------------- read-outs
+
+    def components(self) -> tuple[tuple[str, ...], ...]:
+        """All components, members sorted, components sorted by their id."""
+        groups: dict[str, list[str]] = {}
+        for element in self._parent:
+            groups.setdefault(self._find_root(element), []).append(element)
+        return tuple(
+            sorted(
+                (tuple(sorted(members)) for members in groups.values()),
+                key=lambda component: component[0],
+            )
+        )
+
+    def component_of(self, element: str) -> tuple[str, ...]:
+        """Sorted members of *element*'s component."""
+        root = self._find_root(element)
+        return tuple(
+            sorted(e for e in self._parent if self._find_root(e) == root)
+        )
+
+    def component_ids(self) -> dict[str, str]:
+        """Every element → its canonical (min-member) component id."""
+        return {element: self.find(element) for element in self._parent}
+
+    def copy(self) -> "UnionFind":
+        """Independent copy (components and determinism preserved)."""
+        clone = UnionFind()
+        clone._parent = dict(self._parent)
+        clone._rank = dict(self._rank)
+        clone._min_member = dict(self._min_member)
+        return clone

@@ -96,3 +96,42 @@ class TestBlockingQuality:
         left, right, _ = collections
         result = EmbeddingBlocker(k=3).block(left, right)
         assert 0.0 <= result.reduction_ratio <= 1.0
+
+    def test_everything_empty_is_vacuously_perfect(self):
+        quality = blocking_quality(BlockingResult((), (), frozenset()), set())
+        assert quality == {
+            "pair_completeness": 1.0,
+            "pair_quality": 1.0,
+            "reduction_ratio": 1.0,
+            "candidates": 0.0,
+        }
+
+    def test_zero_candidates_with_gold_lose_everything(self):
+        left, right = _records(["a"]), _records(["b"])
+        result = BlockingResult(tuple(left), tuple(right), frozenset())
+        quality = blocking_quality(result, {(0, 0)})
+        assert quality["pair_completeness"] == 0.0
+        assert quality["pair_quality"] == 0.0
+        assert quality["reduction_ratio"] == 1.0
+
+    def test_candidates_without_gold_have_zero_quality(self):
+        left, right = _records(["a"]), _records(["a"])
+        result = BlockingResult(tuple(left), tuple(right), frozenset({(0, 0)}))
+        quality = blocking_quality(result, set())
+        assert quality["pair_completeness"] == 1.0
+        assert quality["pair_quality"] == 0.0
+        assert quality["reduction_ratio"] == 0.0
+
+    def test_empty_comparison_space_reduces_to_one(self):
+        assert BlockingResult((), tuple(_records(["a"])), frozenset()).reduction_ratio == 1.0
+        assert BlockingResult(tuple(_records(["a"])), (), frozenset()).reduction_ratio == 1.0
+
+    def test_pair_quality_counts_found_matches_per_candidate(self):
+        left = _records(["a", "b"])
+        right = _records(["a", "b"])
+        result = BlockingResult(
+            tuple(left), tuple(right), frozenset({(0, 0), (0, 1)})
+        )
+        quality = blocking_quality(result, {(0, 0), (1, 1)})
+        assert quality["pair_completeness"] == 0.5
+        assert quality["pair_quality"] == 0.5

@@ -135,6 +135,50 @@ class TestSchedulingAndStats:
         assert engine.stats.requests == 0
 
 
+class TestMatchBlockingEquivalence:
+    """``match_blocking`` is exactly ``match_pairs`` over the sorted
+    candidate walk — the contract the resolve pipeline builds on."""
+
+    def _blocking(self, product_split):
+        from repro.blocking.token import TokenBlocker
+
+        left = tuple(p.left for p in product_split.pairs[:20])
+        right = tuple(p.right for p in product_split.pairs[:20])
+        return TokenBlocker().block(left, right)
+
+    def test_pair_for_pair_identical_decisions(self, product_split):
+        from tests.engine.doubles import ParityBackend
+
+        blocking = self._blocking(product_split)
+        assert blocking.candidates  # the comparison must not be vacuous
+        pairs = [
+            (blocking.left[i].description, blocking.right[j].description)
+            for i, j in sorted(blocking.candidates)
+        ]
+        via_blocking = MatchingEngine(backend=ParityBackend()).match_blocking(
+            blocking
+        )
+        via_pairs = MatchingEngine(backend=ParityBackend()).match_pairs(pairs)
+        assert len(via_blocking) == len(blocking.candidates)
+        assert via_blocking == via_pairs
+
+    def test_same_backend_request_stream(self, product_split):
+        # Same prompts, same order, same number of backend calls: the two
+        # entry points are indistinguishable from the backend's side.
+        blocking = self._blocking(product_split)
+        pairs = [
+            (blocking.left[i].description, blocking.right[j].description)
+            for i, j in sorted(blocking.candidates)
+        ]
+        one = MatchingEngine(backend=EchoBackend())
+        two = MatchingEngine(backend=EchoBackend())
+        one.match_blocking(blocking)
+        two.match_pairs(pairs)
+        assert one.backend.calls == two.backend.calls
+        assert one.stats.requests == two.stats.requests
+        assert one.stats.cache_misses == two.stats.cache_misses
+
+
 class TestBackends:
     def test_make_backend_routes_open_source_locally(self):
         assert isinstance(make_backend("llama-3.1-8b"), LocalBackend)

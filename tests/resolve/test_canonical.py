@@ -1,0 +1,85 @@
+"""Tests for golden-record selection (attribute voting + exemplar)."""
+
+import pytest
+
+from repro.datasets.schema import Record
+from repro.resolve import (
+    Clustering,
+    ResolutionError,
+    golden_record,
+    golden_records,
+)
+
+
+def _record(record_id, attributes, description=None):
+    return Record(
+        record_id=record_id,
+        attributes=attributes,
+        description=description or f"desc of {record_id}",
+    )
+
+
+class TestGoldenRecord:
+    def test_majority_value_wins(self):
+        golden = golden_record([
+            _record("r1", {"brand": "sony", "color": "black"}),
+            _record("r2", {"brand": "sony", "color": "blue"}),
+            _record("r3", {"brand": "sonny", "color": "black"}),
+        ])
+        assert golden.attributes == {"brand": "sony", "color": "black"}
+
+    def test_ties_break_to_smallest_value(self):
+        golden = golden_record([
+            _record("r1", {"brand": "sony"}),
+            _record("r2", {"brand": "bose"}),
+        ])
+        assert golden.attributes["brand"] == "bose"
+
+    def test_empty_values_never_vote(self):
+        golden = golden_record([
+            _record("r1", {"brand": ""}),
+            _record("r2", {"brand": ""}),
+            _record("r3", {"brand": "sony"}),
+        ])
+        assert golden.attributes["brand"] == "sony"
+
+    def test_description_comes_from_best_agreeing_exemplar(self):
+        records = [
+            _record("r1", {"brand": "sony", "color": "blue"}, "odd one out"),
+            _record("r2", {"brand": "sony", "color": "black"}, "the exemplar"),
+            _record("r3", {"brand": "sony", "color": "black"}, "runner-up"),
+        ]
+        golden = golden_record(records)
+        # r2 and r3 agree with the vote on both keys; the record-id
+        # tie-break picks r2.
+        assert golden.description == "the exemplar"
+
+    def test_id_defaults_to_smallest_member(self):
+        golden = golden_record([_record("r9", {}), _record("r2", {})])
+        assert golden.record_id == "r2"
+        override = golden_record([_record("r9", {})], record_id="cluster-7")
+        assert override.record_id == "cluster-7"
+
+    def test_no_records_rejected(self):
+        with pytest.raises(ResolutionError):
+            golden_record([])
+
+
+class TestGoldenRecords:
+    def test_keys_are_cluster_ids(self):
+        clustering = Clustering.from_clusters([["r1", "r2"], ["r3"]])
+        records = {
+            "r1": _record("r1", {"brand": "sony"}),
+            "r2": _record("r2", {"brand": "sony"}),
+            "r3": _record("r3", {"brand": "bose"}),
+        }
+        golden = golden_records(clustering, records)
+        assert sorted(golden) == ["r1", "r3"]
+        assert golden["r1"].record_id == "r1"
+        assert golden["r1"].attributes == {"brand": "sony"}
+        assert golden["r3"].attributes == {"brand": "bose"}
+
+    def test_missing_record_rejected(self):
+        clustering = Clustering.from_clusters([["r1", "r2"]])
+        with pytest.raises(ResolutionError, match="no record"):
+            golden_records(clustering, {"r1": _record("r1", {})})

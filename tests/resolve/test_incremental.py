@@ -1,0 +1,185 @@
+"""Tests for the incremental ResolutionStore.
+
+The engine is backed by :class:`tests.engine.doubles.ParityBackend` — a
+deterministic pure function of the prompt — so every assertion about
+order invariance is exercised against a model whose answer is *not*
+symmetric in (left, right): exactly the property the store's canonical
+pair orientation must neutralize.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro._util import derive_rng
+from repro.datasets.schema import Record
+from repro.engine import MatchingEngine
+from repro.engine.engine import MatchResult
+from repro.resolve import (
+    ResolutionStore,
+    TokenCandidateIndex,
+    decision_score,
+)
+
+from tests.engine.doubles import ParityBackend
+
+GROUPS = ("alpha", "bravo", "carol", "delta")
+
+
+def _records(n=16):
+    """n records in 4 token groups, all sharing the token 'widget'."""
+    return [
+        Record(
+            record_id=f"r{i:02d}",
+            attributes={"group": GROUPS[i % 4]},
+            description=f"widget {GROUPS[i % 4]} series model {i}",
+        )
+        for i in range(n)
+    ]
+
+
+def _store(**kwargs):
+    kwargs.setdefault("chunk_size", 4)
+    return ResolutionStore(MatchingEngine(backend=ParityBackend()), **kwargs)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            _store(mode="agglomerative")
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            _store(chunk_size=0)
+
+    def test_duplicate_ingest_rejected(self):
+        store = _store()
+        record = _records(1)[0]
+        store.ingest(record)
+        with pytest.raises(ValueError, match="already ingested"):
+            store.ingest(record)
+
+
+class TestIngestion:
+    def test_membership_and_results(self):
+        store = _store()
+        records = _records(6)
+        results = store.ingest_all(records)
+        assert len(store) == 6
+        assert "r03" in store and "r99" not in store
+        assert store.records() == tuple(records)
+        for result, record in zip(results, records):
+            assert result.record_id == record.record_id
+            cluster = store.clustering().cluster_of(record.record_id)
+            assert store._cluster_of(record.record_id) == cluster
+        # The reported cluster id is the canonical min member.
+        last = results[-1]
+        assert last.cluster_id == min(
+            store.clustering().cluster_of(last.record_id)
+        )
+
+    def test_every_candidate_pair_is_decided_exactly_once(self):
+        store = _store(short_circuit=False)
+        store.ingest_all(_records(8))
+        # All 8 records share 'widget', so every unordered pair is a
+        # candidate; each must appear once in the decision log.
+        keys = [d.key for d in store.decisions()]
+        assert len(keys) == len(set(keys)) == 8 * 7 // 2
+        assert store.engine_calls == 28
+
+    @pytest.mark.parametrize("order_seed", range(5))
+    def test_insertion_order_invariance(self, order_seed):
+        records = _records(14)
+        reference = _store(short_circuit=False)
+        reference.ingest_all(records)
+
+        shuffled = list(records)
+        derive_rng(4242, "ingest-order", order_seed).shuffle(shuffled)
+        store = _store(short_circuit=False)
+        store.ingest_all(shuffled)
+
+        assert store.clustering() == reference.clustering()
+        assert store.decisions() == reference.decisions()
+        assert store.golden_records() == reference.golden_records()
+
+    @pytest.mark.parametrize("order_seed", range(3))
+    def test_short_circuit_preserves_the_clustering(self, order_seed):
+        records = list(_records(14))
+        derive_rng(4243, "sc-order", order_seed).shuffle(records)
+        exhaustive = _store(short_circuit=False)
+        exhaustive.ingest_all(records)
+        shortcut = _store(short_circuit=True)
+        shortcut.ingest_all(records)
+
+        assert shortcut.clustering() == exhaustive.clustering()
+        assert shortcut.short_circuited > 0
+        assert (
+            shortcut.engine_calls + shortcut.short_circuited
+            == exhaustive.engine_calls
+        )
+
+    def test_concurrent_ingestion_matches_sequential(self):
+        records = _records(12)
+        sequential = _store(short_circuit=False)
+        sequential.ingest_all(records)
+
+        concurrent = _store(short_circuit=False)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(concurrent.ingest, records))
+        assert concurrent.clustering() == sequential.clustering()
+        assert len(concurrent) == 12
+
+
+class TestConstraintsAndModes:
+    def test_must_link_joins_token_disjoint_records(self):
+        a = Record(record_id="a", attributes={}, description="red apple")
+        b = Record(record_id="b", attributes={}, description="blue bicycle")
+        store = _store(must_link=[("a", "b")])
+        store.ingest(a)
+        store.ingest(b)
+        assert store.clustering().cluster_of("a") == ("a", "b")
+
+    def test_cannot_link_disables_short_circuit_and_separates(self):
+        store = _store(cannot_link=[("r00", "r04")])
+        assert store.short_circuit is False
+        store.ingest_all(_records(8))
+        assignments = store.clustering().assignments()
+        assert assignments["r00"] != assignments["r04"]
+
+    def test_correlation_mode_never_short_circuits(self):
+        store = _store(mode="correlation")
+        assert store.short_circuit is False
+        store.ingest_all(_records(8))
+        assert store.short_circuited == 0
+        assert len(store.clustering().elements) == 8
+
+
+class TestTokenCandidateIndex:
+    def test_min_shared_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TokenCandidateIndex(min_shared=0)
+
+    def test_candidates_sorted_and_thresholded(self):
+        index = TokenCandidateIndex(min_shared=2)
+        index.add("x", "widget alpha series")
+        index.add("y", "widget bravo series")
+        index.add("z", "gadget bravo lineup")
+        # 'widget series' shared with x and y; only one token with z.
+        assert index.candidates("widget charlie series") == ("x", "y")
+
+    def test_exclude_drops_the_probe_itself(self):
+        index = TokenCandidateIndex()
+        index.add("x", "widget alpha")
+        assert index.candidates("widget alpha", exclude="x") == ()
+
+
+class TestDecisionScore:
+    @pytest.mark.parametrize(
+        "source,score",
+        [("backend", 1.0), ("cache", 1.0), ("fallback", 0.5)],
+    )
+    def test_source_weights(self, source, score):
+        result = MatchResult(
+            left="a", right="b", response="Yes.", decision=True, source=source
+        )
+        assert decision_score(result) == score

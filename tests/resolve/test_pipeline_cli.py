@@ -1,0 +1,141 @@
+"""Tests for batch resolution over a BlockingResult and the CLI front door."""
+
+import json
+
+import pytest
+
+from repro.blocking import BlockingResult, TokenBlocker
+from repro.cli import main
+from repro.datasets.registry import load_dataset
+from repro.datasets.schema import Record, Split
+from repro.engine import MatchingEngine
+from repro.resolve import (
+    gold_clustering,
+    node_id,
+    resolve_blocking,
+    split_records,
+)
+
+from tests.engine.doubles import ParityBackend
+
+
+def _records(side, n):
+    return [
+        Record(
+            record_id=f"{side}{i}",
+            attributes={},
+            description=f"widget model {side}{i} common tokens",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def blocking():
+    left, right = _records("a", 6), _records("b", 6)
+    return TokenBlocker().block(left, right)
+
+
+def _engine():
+    return MatchingEngine(backend=ParityBackend())
+
+
+class TestResolveBlocking:
+    def test_covers_every_record_of_both_sides(self, blocking):
+        report = resolve_blocking(_engine(), blocking)
+        assert len(report.clustering.elements) == 12
+        assert all(e[:2] in ("L:", "R:") for e in report.clustering.elements)
+
+    def test_short_circuit_is_clustering_identical(self, blocking):
+        exhaustive = resolve_blocking(
+            _engine(), blocking, short_circuit=False, chunk_size=4
+        )
+        shortcut = resolve_blocking(
+            _engine(), blocking, short_circuit=True, chunk_size=4
+        )
+        assert shortcut.clustering == exhaustive.clustering
+        assert shortcut.golden == exhaustive.golden
+        assert exhaustive.short_circuited == 0
+        assert (
+            shortcut.engine_calls + shortcut.short_circuited
+            == exhaustive.engine_calls
+        )
+
+    def test_duplicate_record_id_on_one_side_rejected(self):
+        left = [_records("a", 1)[0], _records("a", 1)[0]]
+        blocking = BlockingResult(
+            left=tuple(left), right=tuple(_records("b", 1)),
+            candidates=frozenset(),
+        )
+        with pytest.raises(ValueError, match="duplicate record id"):
+            resolve_blocking(_engine(), blocking)
+
+    def test_unknown_mode_rejected(self, blocking):
+        with pytest.raises(ValueError, match="mode"):
+            resolve_blocking(_engine(), blocking, mode="agglomerative")
+
+    def test_report_snapshot_is_json_serializable(self, blocking):
+        report = resolve_blocking(_engine(), blocking)
+        snapshot = report.as_dict()
+        json.dumps(snapshot)
+        assert snapshot["candidates"] == len(blocking.candidates)
+        assert snapshot["records"] == 12
+
+
+class TestSplitHelpers:
+    def test_split_records_deduplicates_by_id(self):
+        split = load_dataset("abt-buy").test
+        left, right = split_records(split)
+        assert len({r.record_id for r in left}) == len(left)
+        assert len({r.record_id for r in right}) == len(right)
+
+    def test_gold_clustering_closes_positive_pairs(self):
+        split = load_dataset("abt-buy").test
+        gold = gold_clustering(split)
+        for pair in split.pairs:
+            left = node_id("L", pair.left)
+            right = node_id("R", pair.right)
+            same = gold.assignments()[left] == gold.assignments()[right]
+            if pair.label:
+                assert same
+        # Every record of every pair is covered.
+        assert len(gold.elements) == len(
+            {node_id("L", p.left) for p in split.pairs}
+            | {node_id("R", p.right) for p in split.pairs}
+        )
+
+
+class TestResolveCommand:
+    ARGS = ["resolve", "--dataset", "abt-buy", "--limit", "60"]
+
+    def test_json_output_is_byte_identical_across_runs(self, capsys):
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["schema_version"] == 1
+        assert payload["records"] == payload["scores"]["records"]
+        assert payload["clusters"] >= 1
+
+    def test_stats_flag_adds_engine_snapshot(self, capsys):
+        assert main(self.ARGS + ["--format", "json", "--stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "engine_stats" in payload
+        assert "latency" not in payload["engine_stats"]
+        assert payload["engine_stats"]["requests"] >= 1
+
+    def test_golden_flag_lists_multi_member_clusters(self, capsys):
+        assert main(self.ARGS + ["--format", "json", "--golden"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(entry["size"] > 1 for entry in payload["golden"])
+
+    def test_text_format_renders_scores(self, capsys):
+        assert main(self.ARGS + ["--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+        assert "B-cubed" in out
+
+    def test_rejects_nonpositive_limit(self, capsys):
+        assert main(["resolve", "--dataset", "abt-buy", "--limit", "0"]) == 2

@@ -1,0 +1,105 @@
+"""Property tests for the deterministic union-find.
+
+The contract under test: the partition (and every public id) is a pure
+function of the element set and the *set* of union edges — never of the
+order elements were added or unions were applied.
+"""
+
+import pytest
+
+from repro._util import derive_rng
+from repro.resolve import UnionFind
+
+ELEMENTS = [f"r{i:02d}" for i in range(12)]
+EDGES = [
+    ("r00", "r01"), ("r01", "r02"), ("r03", "r04"),
+    ("r05", "r06"), ("r06", "r07"), ("r07", "r05"),  # cycle
+    ("r08", "r09"), ("r09", "r10"),
+]
+EXPECTED = (
+    ("r00", "r01", "r02"),
+    ("r03", "r04"),
+    ("r05", "r06", "r07"),
+    ("r08", "r09", "r10"),
+    ("r11",),
+)
+
+
+def _build(elements, edges):
+    uf = UnionFind(elements)
+    for a, b in edges:
+        uf.union(a, b)
+    return uf
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        assert uf.add("a") is True
+        assert uf.add("a") is False
+        assert len(uf) == 1
+        assert uf.find("a") == "a"
+
+    def test_union_registers_unknown_elements(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+        assert set(uf) == {"a", "b"}
+
+    def test_union_of_merged_pair_is_a_noop(self):
+        uf = _build(ELEMENTS, EDGES)
+        assert uf.union("r00", "r02") is False
+        assert uf.components() == EXPECTED
+
+    def test_find_unknown_element_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("ghost")
+
+
+class TestDeterminism:
+    def test_components_are_canonical(self):
+        uf = _build(ELEMENTS, EDGES)
+        assert uf.components() == EXPECTED
+        assert uf.component_of("r06") == ("r05", "r06", "r07")
+
+    def test_find_returns_min_member_not_a_root(self):
+        # Rank unions can root a component anywhere; the public id must
+        # always be the smallest member regardless.
+        uf = _build(ELEMENTS, EDGES)
+        for component in uf.components():
+            for member in component:
+                assert uf.find(member) == component[0]
+
+    @pytest.mark.parametrize("order_seed", range(5))
+    def test_union_order_is_commutative(self, order_seed):
+        rng = derive_rng(1234, "uf-order", order_seed)
+        elements = list(ELEMENTS)
+        edges = list(EDGES)
+        rng.shuffle(elements)
+        rng.shuffle(edges)
+        # Also flip some edge orientations.
+        edges = [
+            (b, a) if rng.random() < 0.5 else (a, b) for a, b in edges
+        ]
+        shuffled = _build(elements, edges)
+        assert shuffled.components() == EXPECTED
+        assert shuffled.component_ids() == _build(ELEMENTS, EDGES).component_ids()
+
+    def test_component_ids_are_stable_under_growth(self):
+        # Adding an unrelated element never changes existing ids.
+        uf = _build(ELEMENTS, EDGES)
+        before = uf.component_ids()
+        uf.add("zzz")
+        after = uf.component_ids()
+        del after["zzz"]
+        assert after == before
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        uf = _build(ELEMENTS, EDGES)
+        clone = uf.copy()
+        clone.union("r00", "r11")
+        assert clone.connected("r00", "r11")
+        assert not uf.connected("r00", "r11")
+        assert uf.components() == EXPECTED
