@@ -17,6 +17,8 @@ Subcommands::
         [--no-short-circuit]
     repro-em lint [PATHS ...] [--rule ID ...] [--format text|json]
         [--list-rules] [--deep] [--baseline FILE] [--update-baseline]
+    repro-em chaos [--fault-rate F] [--seed N ...] [--kill-every N]
+        [--pairs N] [--records N] [--journal FILE] [--format text|json]
 """
 
 from __future__ import annotations
@@ -158,6 +160,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline file from the current findings and "
         "exit 0 (ratchet: review the diff — it should only shrink)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection invariant harness "
+        "(swept fault rates, plus an optional kill/resume round-trip)",
+    )
+    chaos.add_argument(
+        "--fault-rate", type=float, default=0.3,
+        help="chaos fault rate; the sweep always also runs rate 0 "
+        "(transparency check)",
+    )
+    chaos.add_argument(
+        "--seed", action="append", type=int, dest="seeds", metavar="N",
+        help="chaos seed (repeatable; default: 0 1 2)",
+    )
+    chaos.add_argument(
+        "--kill-every", type=int, default=0, metavar="N",
+        help="also run a kill/resume round-trip crashing every N backend "
+        "batches (0 = skip)",
+    )
+    chaos.add_argument("--pairs", type=int, default=96,
+                       help="matching workload size per run")
+    chaos.add_argument("--records", type=int, default=30,
+                       help="resolution workload size per run")
+    chaos.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="journal path for the kill/resume round-trip "
+        "(default: a temporary file)",
+    )
+    chaos.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 
 
@@ -496,6 +528,94 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import kill_resume_roundtrip, sweep
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print("--fault-rate must be in [0, 1]")
+        return 2
+    seeds = tuple(args.seeds) if args.seeds else (0, 1, 2)
+    rates = (0.0,) if args.fault_rate == 0.0 else (0.0, args.fault_rate)
+    reports = sweep(
+        seeds=seeds,
+        rates=rates,
+        pair_count=args.pairs,
+        record_count=args.records,
+    )
+    payload: dict[str, object] = {
+        "schema_version": 1,
+        "seeds": list(seeds),
+        "fault_rates": list(rates),
+        "runs": [report.as_dict() for report in reports],
+        "ok": all(report.ok for report in reports),
+    }
+    if args.kill_every > 0:
+        if args.journal:
+            roundtrip = kill_resume_roundtrip(
+                args.journal,
+                seed=seeds[0],
+                record_count=args.records,
+                kill_every=args.kill_every,
+            )
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                roundtrip = kill_resume_roundtrip(
+                    Path(tmp) / "chaos-journal.jsonl",
+                    seed=seeds[0],
+                    record_count=args.records,
+                    kill_every=args.kill_every,
+                )
+        payload["kill_resume"] = {
+            "seed": roundtrip["seed"],
+            "records": roundtrip["records"],
+            "kill_every": roundtrip["kill_every"],
+            "crashes": roundtrip["crashes"],
+            "identical": roundtrip["identical"],
+            "clusters": len(roundtrip["resumed"]["clusters"]),
+            "decisions": len(roundtrip["resumed"]["decisions"]),
+        }
+        payload["ok"] = bool(payload["ok"]) and roundtrip["identical"]
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["ok"] else 1
+
+    rows = []
+    for report in reports:
+        rows.append([
+            report.kind,
+            report.seed,
+            f"{report.fault_rate:.2f}",
+            report.requests,
+            sum(report.injected.values()),
+            report.sources.get("fallback", 0),
+            "ok" if report.ok else "FAIL",
+        ])
+    print(format_table(
+        ["workload", "seed", "rate", "requests", "faults", "fallbacks", "verdict"],
+        rows,
+        title=f"chaos sweep ({len(reports)} runs, all invariants checked)",
+    ))
+    for report in reports:
+        for violation in report.violations:
+            print(f"VIOLATION [{report.kind} seed={report.seed} "
+                  f"rate={report.fault_rate}]: {violation}")
+    if args.kill_every > 0:
+        verdict = payload["kill_resume"]
+        state = "byte-identical" if verdict["identical"] else "DIVERGED"
+        print(
+            f"kill/resume: {verdict['crashes']} crashes every "
+            f"{verdict['kill_every']} batches over {verdict['records']} "
+            f"records -> {state} "
+            f"({verdict['clusters']} clusters, {verdict['decisions']} decisions)"
+        )
+    return 0 if payload["ok"] else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.datasets.io import read_dataset
     from repro.datasets.validation import validate_dataset
@@ -537,6 +657,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_resolve(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -294,8 +294,15 @@ class MatchingEngine:
         self.stats.record_batch(batch.reason, len(batch))
         prompts = [item.prompt for item in batch.items]
 
+        def error_class(exc: Exception) -> str:
+            if isinstance(exc, BackendTimeout):
+                return "timeout"
+            if isinstance(exc, CircuitOpenError):
+                return "circuit_open"
+            return "transport"
+
         def on_retry(attempt: int, exc: Exception) -> None:
-            self.stats.record_retry(timed_out=isinstance(exc, BackendTimeout))
+            self.stats.record_retry(error_class(exc))
 
         opened_before = self.breaker.times_opened
         started = self._clock()
@@ -309,7 +316,7 @@ class MatchingEngine:
                 on_retry=on_retry,
             )
         except (BackendError, CircuitOpenError) as exc:
-            self.stats.record_failure(timed_out=isinstance(exc, BackendTimeout))
+            self.stats.record_failure(error_class(exc))
             self.stats.record_circuit_opens(
                 self.breaker.times_opened - opened_before
             )
@@ -319,7 +326,7 @@ class MatchingEngine:
         elapsed = self._clock() - started
         if len(responses) != len(prompts):
             # A misbehaving backend that drops answers is a failure too.
-            self.stats.record_failure()
+            self.stats.record_failure("malformed")
             self._fallback_batch(batch)
             return
         self.stats.record_latency(elapsed, requests=len(prompts))

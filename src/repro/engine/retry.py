@@ -67,6 +67,21 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base < 0.0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1 (non-decreasing delays), "
+                f"got {self.backoff_factor}"
+            )
+        if self.max_backoff < 0.0:
+            raise ValueError(f"max_backoff must be >= 0, got {self.max_backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            # jitter > 1 would allow negative delays; the backoff floor
+            # would silently clamp them, hiding the misconfiguration.
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
 
     def backoff(self, attempt: int) -> float:
         """Sleep before retry number *attempt* (0-based), jittered."""

@@ -46,6 +46,12 @@ class EngineStats:
     retries: Annotated[int, guarded_by("_lock")] = 0
     #: attempts that exceeded the per-request timeout budget.
     timeouts: Annotated[int, guarded_by("_lock")] = 0
+    #: attempts that failed with a non-timeout transport error.
+    transport_errors: Annotated[int, guarded_by("_lock")] = 0
+    #: dispatches refused outright because the circuit breaker was open.
+    circuit_open: Annotated[int, guarded_by("_lock")] = 0
+    #: batches whose response count did not match the prompt count.
+    malformed: Annotated[int, guarded_by("_lock")] = 0
     #: batches whose backend attempts were exhausted (or short-circuited).
     failures: Annotated[int, guarded_by("_lock")] = 0
     #: requests answered by the degraded threshold-baseline path.
@@ -83,17 +89,39 @@ class EngineStats:
             self.batched_requests += size
             self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
 
-    def record_retry(self, timed_out: bool = False) -> None:
+    def record_retry(self, kind: str = "transport") -> None:
+        """One failed attempt that will be retried (*kind* classifies it)."""
         with self._lock:
             self.retries += 1
-            if timed_out:
-                self.timeouts += 1
+            self._count_error(kind)
 
-    def record_failure(self, timed_out: bool = False) -> None:
+    def record_failure(self, kind: str = "transport") -> None:
+        """One batch whose dispatch failed for good (*kind* classifies it).
+
+        Error accounting is split by class rather than lumped: attempts
+        lost to the timeout budget land in ``timeouts``, transport-level
+        rejections in ``transport_errors``, fail-fast refusals by the
+        open breaker in ``circuit_open``, and response-count mismatches
+        in ``malformed`` — so a degradation report can tell an overloaded
+        backend from a flapping one from a misbehaving one.
+        """
         with self._lock:
             self.failures += 1
-            if timed_out:
+            self._count_error(kind)
+
+    def _count_error(self, kind: str) -> None:
+        """Bump the per-class error counter (the RLock re-enters cheaply)."""
+        with self._lock:
+            if kind == "timeout":
                 self.timeouts += 1
+            elif kind == "transport":
+                self.transport_errors += 1
+            elif kind == "circuit_open":
+                self.circuit_open += 1
+            elif kind == "malformed":
+                self.malformed += 1
+            else:
+                raise ValueError(f"unknown error class {kind!r}")
 
     def record_fallbacks(self, n: int) -> None:
         with self._lock:
@@ -146,6 +174,9 @@ class EngineStats:
                 "flush_reasons": dict(self.flush_reasons),
                 "retries": self.retries,
                 "timeouts": self.timeouts,
+                "transport_errors": self.transport_errors,
+                "circuit_open": self.circuit_open,
+                "malformed": self.malformed,
                 "failures": self.failures,
                 "fallbacks": self.fallbacks,
                 "circuit_opens": self.circuit_opens,

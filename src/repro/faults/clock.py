@@ -1,0 +1,46 @@
+"""Injectable manual clock: the time seam every chaos run is driven by.
+
+The engine, scheduler, cache, retry policy, and circuit breaker all take
+``clock``/``sleep`` callables instead of touching :mod:`time` directly
+(enforced by the ``injectable-sleep`` lint rule).  :class:`ManualClock`
+is the library-level implementation of that seam: a monotonic counter
+that only moves when something *tells* it to — a backoff sleep, an
+injected timeout fault, a test.  Chaos runs built on it are therefore
+bit-reproducible: wall-clock speed of the host never leaks into flush
+deadlines, timeout accounting, or breaker cooldowns.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ManualClock"]
+
+
+class ManualClock:
+    """Thread-safe manually-advanced monotonic clock (also a sleep seam).
+
+    Calling the instance returns the current time; :meth:`advance` moves
+    it forward; :meth:`sleep` is an injectable stand-in for
+    ``time.sleep`` that advances the clock instead of waiting, so retry
+    backoff consumes simulated — never real — time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (negative advances are rejected)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds}")
+        with self._lock:
+            self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Consume *seconds* of simulated time (drop-in for ``time.sleep``)."""
+        self.advance(max(seconds, 0.0))

@@ -1,0 +1,162 @@
+"""Crash-safe append-only JSONL journal (write-ahead log for long runs).
+
+Every retired unit of work — an engine decision inside a
+:class:`~repro.resolve.incremental.ResolutionStore` ingestion, a per-pair
+prediction inside :func:`repro.eval.evaluator.evaluate_model` — is
+appended as one JSON line and fsync'd before the run moves on.  A run
+killed at any point can then be replayed from the journal and continued,
+producing output byte-identical to an uninterrupted run (the continuing
+engine is deterministic, and already-journaled work is never re-decided).
+
+File format::
+
+    {"type": "header", "version": 1, "kind": "resolve", ...}\n
+    {"type": "record", "record_id": "a", ...}\n
+    {"type": "decision", "left": "a", "right": "b", "match": true, ...}\n
+    {"type": "commit", "record_id": "a"}\n
+
+Torn writes: a crash mid-append leaves a final line without a trailing
+newline (or with truncated JSON).  :func:`read_journal` detects exactly
+that case and drops the torn line — the unit of work it described was
+never acknowledged, so the resumed run simply redoes it.  A malformed
+line *before* the final one is not a crash artifact and raises
+:class:`JournalError` (the file was corrupted, not torn).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalWriter",
+    "read_journal",
+    "repair",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """The journal file is corrupt or does not match the resuming run."""
+
+
+class JournalWriter:
+    """Append-only, fsync'd JSONL writer (thread-safe).
+
+    Opening a path that does not exist (or is empty) writes a header
+    line first; reopening an existing journal appends after its current
+    end, which is how a resumed run continues the same file.
+    """
+
+    def __init__(self, path: str | Path, header: dict | None = None) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self.append(
+                {"type": "header", "version": JOURNAL_VERSION, **(header or {})}
+            )
+
+    def append(self, record: dict) -> None:
+        """Write one record and force it to disk before returning."""
+        line = json.dumps(record, sort_keys=True, ensure_ascii=True)
+        if "\n" in line:  # pragma: no cover — json never emits raw newlines
+            raise JournalError("journal records must be single-line JSON")
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(
+    path: str | Path, expect: dict | None = None
+) -> tuple[list[dict], bool]:
+    """Parse a journal; returns ``(records, torn)``.
+
+    ``records`` excludes the header line.  ``torn`` is True when the
+    final line was a torn write (no trailing newline or truncated JSON)
+    and was dropped.  ``expect`` entries are checked against the header
+    (e.g. ``{"kind": "resolve"}``) so a journal from a different run
+    cannot be replayed into the wrong consumer.
+    """
+    raw = Path(path).read_bytes()
+    if not raw:
+        raise JournalError(f"{path}: empty journal (missing header)")
+    complete = raw.endswith(b"\n")
+    lines = raw.decode("utf-8", errors="replace").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    torn = False
+    parsed: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        final = lineno == len(lines)
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("journal line is not an object")
+        except ValueError:
+            if final:
+                torn = True
+                break
+            raise JournalError(
+                f"{path}:{lineno}: corrupt journal line (not valid JSON)"
+            ) from None
+        if final and not complete:
+            # Parseable JSON but no trailing newline: the fsync that
+            # acknowledged this line never completed — still a torn write.
+            torn = True
+            break
+        parsed.append(record)
+    if not parsed or parsed[0].get("type") != "header":
+        raise JournalError(f"{path}: first journal line is not a header")
+    header = parsed[0]
+    version = header.get("version")
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"{path}: unsupported journal version {version!r} "
+            f"(expected {JOURNAL_VERSION})"
+        )
+    for key, value in (expect or {}).items():
+        if header.get(key) != value:
+            raise JournalError(
+                f"{path}: journal header {key}={header.get(key)!r} does not "
+                f"match the resuming run ({key}={value!r})"
+            )
+    return parsed[1:], torn
+
+
+def repair(path: str | Path) -> bool:
+    """Truncate a torn final line in place; True when bytes were dropped.
+
+    Appending after a torn tail would concatenate the new record onto the
+    crash fragment and corrupt *both* lines, so every resume must repair
+    before reopening the journal for writing.  A journal with no torn
+    tail is left untouched.
+    """
+    path = Path(path)
+    _, torn = read_journal(path)
+    if not torn:
+        return False
+    raw = path.read_bytes()
+    body = raw[:-1] if raw.endswith(b"\n") else raw
+    keep = body.rfind(b"\n") + 1
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return True

@@ -1,0 +1,141 @@
+"""Deterministic fault schedules for chaos runs.
+
+A :class:`FaultPlan` decides, ahead of time, which backend calls are
+sabotaged and how.  Every draw comes from
+:func:`repro._util.derive_rng`, namespaced by the plan seed and the
+call's address, so a chaos run is a pure function of ``(seed,
+fault_rate, workload)`` — re-running it reproduces the exact same fault
+sequence bit-for-bit, which is what lets the harness assert byte-level
+invariants instead of "usually works".
+
+Two addressing modes cover the two chaos shapes:
+
+* ``"call"`` — faults keyed on the backend-call index.  The full
+  taxonomy is available.  Deterministic for single-threaded runs (the
+  call order is the program order).
+* ``"content"`` — faults keyed on the *prompt text* (stable-hashed), so
+  the outcome for each prompt is independent of how concurrent callers
+  interleave their batches.  Restricted to fault kinds whose effect is a
+  pure function of the prompt: transient transport errors (absorbed by
+  retry before they can change any answer) and garbled completions
+  (always garbled for that prompt).  This is the mode the multi-threaded
+  chaos test runs under.
+
+Scripted plans (:meth:`FaultPlan.scripted`, :meth:`FaultPlan.flapping`)
+pin an explicit per-call schedule for walking specific state-machine
+paths — e.g. the circuit breaker's closed → open → half-open → closed
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import derive_rng, stable_hash
+
+__all__ = ["FAULT_KINDS", "CONTENT_FAULT_KINDS", "FaultPlan"]
+
+#: the full failure taxonomy the engine claims to handle, as injectable
+#: fault kinds (see :class:`repro.faults.backend.FaultyBackend` for the
+#: mechanics of each):
+#:
+#: * ``error``     — the whole call raises a transport ``BackendError``;
+#: * ``timeout``   — the call succeeds but consumes more simulated time
+#:   than the retry policy's per-attempt budget, so the engine discards
+#:   it as a ``BackendTimeout``;
+#: * ``garble``    — completions come back malformed (unparseable text);
+#: * ``truncate``  — the response list is one answer short;
+#: * ``overlong``  — the response list has one answer too many;
+#: * ``duplicate`` — every slot carries a copy of the first answer
+#:   (mis-associated responses: undetectable at the transport layer,
+#:   surfaces only as degraded answer quality).
+FAULT_KINDS = ("error", "timeout", "garble", "truncate", "overlong", "duplicate")
+
+#: kinds whose per-prompt outcome is interleaving-independent (see
+#: module docstring); the only kinds ``addressing="content"`` permits.
+CONTENT_FAULT_KINDS = ("error", "garble")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, reproducible schedule of injected backend faults."""
+
+    seed: int = 0
+    #: probability that any given address draws a fault, in [0, 1].
+    fault_rate: float = 0.0
+    #: fault kinds the plan may draw from (uniformly).
+    kinds: tuple[str, ...] = FAULT_KINDS
+    #: ``"call"`` (index-keyed) or ``"content"`` (prompt-keyed).
+    addressing: str = "call"
+    #: explicit per-call schedule; when set, rate/kind draws are bypassed
+    #: and calls beyond the script are fault-free.
+    script: tuple[str | None, ...] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate {self.fault_rate} outside [0, 1]")
+        if self.addressing not in ("call", "content"):
+            raise ValueError(f"unknown addressing {self.addressing!r}")
+        allowed = FAULT_KINDS if self.addressing == "call" else CONTENT_FAULT_KINDS
+        for kind in self.kinds:
+            if kind not in allowed:
+                raise ValueError(
+                    f"unknown or disallowed fault kind {kind!r} for "
+                    f"{self.addressing!r} addressing (allowed: {allowed})"
+                )
+        if not self.kinds and (self.fault_rate > 0.0 and self.script is None):
+            raise ValueError("fault_rate > 0 with no fault kinds to draw")
+        if self.script is not None:
+            for kind in self.script:
+                if kind is not None and kind not in FAULT_KINDS:
+                    raise ValueError(f"unknown scripted fault kind {kind!r}")
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def scripted(cls, schedule: "tuple[str | None, ...] | list[str | None]") -> "FaultPlan":
+        """Plan with an explicit per-call fault schedule."""
+        return cls(script=tuple(schedule))
+
+    @classmethod
+    def flapping(cls, failure_threshold: int, recovery_calls: int = 4) -> "FaultPlan":
+        """Script that walks a breaker closed → open → half-open → closed.
+
+        ``failure_threshold`` consecutive transport errors trip the
+        breaker open; one ``timeout`` fault burns enough simulated time
+        for the cooldown to elapse (the timed-out call itself also fails,
+        which is harmless while open); the remaining ``recovery_calls``
+        clean calls let the half-open probe succeed and re-close the
+        circuit.
+        """
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        return cls.scripted(
+            ("error",) * failure_threshold
+            + ("timeout",)
+            + (None,) * max(recovery_calls, 1)
+        )
+
+    # ------------------------------------------------------------- drawing
+
+    def fault_for_call(self, call_index: int) -> str | None:
+        """Fault kind for backend call number *call_index* (0-based)."""
+        if self.script is not None:
+            if 0 <= call_index < len(self.script):
+                return self.script[call_index]
+            return None
+        if self.fault_rate <= 0.0:
+            return None
+        rng = derive_rng(self.seed, "fault-plan", call_index)
+        if rng.random() >= self.fault_rate:
+            return None
+        return self.kinds[int(rng.integers(len(self.kinds)))]
+
+    def fault_for_prompt(self, prompt: str) -> str | None:
+        """Fault kind assigned to *prompt* under content addressing."""
+        if self.fault_rate <= 0.0:
+            return None
+        rng = derive_rng(self.seed, "fault-content", stable_hash(prompt))
+        if rng.random() >= self.fault_rate:
+            return None
+        return self.kinds[int(rng.integers(len(self.kinds)))]

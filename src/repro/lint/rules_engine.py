@@ -22,6 +22,11 @@ __all__ = []
 
 _ENGINE_SCOPE = "repro/engine"
 _EVAL_SCOPE = "repro/eval"
+#: packages whose time handling must flow through injectable seams: the
+#: engine (retry backoff, cache TTLs), the fault injectors (simulated
+#: timeouts), and serving (batch polling) are all driven on simulated
+#: clocks by tests and the chaos harness.
+_CLOCK_SCOPES = ("repro/engine", "repro/faults", "repro/serving")
 
 
 @rule(
@@ -102,6 +107,38 @@ def check_fallback_cache(ctx: FileContext) -> Iterator[Finding]:
                 f"{receiver}.put() inside {enclosing.name}(): a cached "
                 "fallback answer keeps masking the backend after it recovers",
                 hint="return fallback results without caching them",
+            )
+
+
+@rule(
+    "injectable-sleep",
+    family="engine-hygiene",
+    scope="file",
+    description="direct time.sleep/time.time calls in clock-injectable "
+    "packages (engine, faults, serving)",
+)
+def check_injectable_sleep(ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.in_package(*_CLOCK_SCOPES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in ("sleep", "time")
+        ):
+            # Referencing time.sleep/time.monotonic as a *default* for an
+            # injectable parameter is the approved seam; only direct calls
+            # are flagged (a default is a reference, never a Call node).
+            yield ctx.finding(
+                "injectable-sleep", "error", node,
+                f"time.{func.attr}() call bypasses the injectable clock "
+                "seam, so chaos/timeout tests cannot simulate it",
+                hint="accept clock/sleep callables (defaulting to "
+                "time.monotonic / time.sleep) and call those instead",
             )
 
 

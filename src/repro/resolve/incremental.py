@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Annotated, Iterable, Sequence
 
 from repro.concurrency import guarded_by
@@ -61,6 +62,18 @@ _SOURCE_SCORES = {"backend": 1.0, "cache": 1.0, "fallback": 0.5}
 def decision_score(result: MatchResult) -> float:
     """Evidence weight of one engine answer (keyed on its source)."""
     return _SOURCE_SCORES.get(result.source, 1.0)
+
+
+def _normalize_source(source: str) -> str:
+    """Collapse ``cache`` answers to ``backend`` in the decision log.
+
+    A cache hit *is* a backend answer (same completion, same decision) —
+    it only reached this store through the engine's memo table.  Folding
+    the two keeps a journaled run byte-identical whether it was
+    interrupted or not: a resumed run starts with a cold cache, so the
+    same logical answer may arrive via either source.
+    """
+    return "backend" if source == "cache" else source
 
 
 class TokenCandidateIndex:
@@ -139,6 +152,8 @@ class ResolutionStore:
         short_circuit: bool = True,
         must_link: Iterable[tuple[str, str]] = (),
         cannot_link: Iterable[tuple[str, str]] = (),
+        journal: str | Path | None = None,
+        _recovering: bool = False,
     ) -> None:
         if mode not in ("transitive", "correlation"):
             raise ValueError(f"unknown resolution mode {mode!r}")
@@ -163,6 +178,19 @@ class ResolutionStore:
         self._compared = set()
         self.engine_calls = 0
         self.short_circuited = 0
+        self._journal = None
+        if journal is not None:
+            from repro.faults.journal import JournalWriter
+
+            path = Path(journal)
+            if not _recovering and path.exists() and path.stat().st_size:
+                raise ValueError(
+                    f"journal {path} already has entries; resume it with "
+                    f"ResolutionStore.recover() instead"
+                )
+            self._journal = JournalWriter(
+                path, header={"kind": "resolve", "mode": mode}
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -192,6 +220,48 @@ class ResolutionStore:
             for a, b in self.must_link:
                 if a in self._records and b in self._records:
                     self._uf.union(a, b)
+        if self._journal is not None:
+            # Write-ahead: the record is acknowledged before any of its
+            # comparisons run, so a crash mid-comparison leaves it
+            # journaled-but-uncommitted and ``recover`` finishes it.
+            self._journal.append(
+                {
+                    "type": "record",
+                    "record_id": record.record_id,
+                    "description": record.description,
+                    "attributes": dict(record.attributes),
+                }
+            )
+        candidates, calls, skipped = self._decide_candidates(record)
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "type": "commit",
+                    "record_id": record.record_id,
+                    "candidates": candidates,
+                    "engine_calls": calls,
+                    "short_circuited": skipped,
+                }
+            )
+        cluster = self._cluster_of(record.record_id)
+        return IngestResult(
+            record_id=record.record_id,
+            candidates=candidates,
+            engine_calls=calls,
+            short_circuited=skipped,
+            cluster_id=cluster[0],
+            cluster_size=len(cluster),
+        )
+
+    def _decide_candidates(self, record: Record) -> tuple[int, int, int]:
+        """Block *record* and decide its pending pairs until none remain.
+
+        Returns ``(candidates, engine_calls, short_circuited)`` for this
+        record.  Shared by :meth:`ingest` and crash recovery: pairs whose
+        decisions are already journaled sit in ``_compared`` and are never
+        re-asked, so finishing an uncommitted record after a crash decides
+        exactly the pairs the interrupted run had not yet acknowledged.
+        """
         candidates = 0
         calls = 0
         skipped = 0
@@ -231,34 +301,155 @@ class ResolutionStore:
                 [(left, right) for _, left, right in todo]
             )
             calls += len(results)
-            with self._lock:
-                self.engine_calls += len(results)
-                for (other, _, _), result in zip(todo, results):
-                    first, second = sorted((record.record_id, other))
-                    self._decisions.append(
+            decided: list[tuple[str, PairDecision]] = []
+            for (other, _, _), result in zip(todo, results):
+                first, second = sorted((record.record_id, other))
+                decided.append(
+                    (
+                        other,
                         PairDecision(
                             left=first,
                             right=second,
                             match=result.decision,
                             score=decision_score(result),
-                            source=result.source,
-                        )
+                            source=_normalize_source(result.source),
+                        ),
                     )
-                    if self.mode == "transitive" and result.decision:
+                )
+            if self._journal is not None:
+                # Journal (and fsync) the chunk before applying it: once a
+                # decision is visible in memory it must survive a crash.
+                for _, decision in decided:
+                    self._journal.append(
+                        {
+                            "type": "decision",
+                            "left": decision.left,
+                            "right": decision.right,
+                            "match": decision.match,
+                            "score": decision.score,
+                            "source": decision.source,
+                        }
+                    )
+            with self._lock:
+                self.engine_calls += len(results)
+                for other, decision in decided:
+                    self._decisions.append(decision)
+                    if self.mode == "transitive" and decision.match:
                         self._uf.union(record.record_id, other)
-        cluster = self._cluster_of(record.record_id)
-        return IngestResult(
-            record_id=record.record_id,
-            candidates=candidates,
-            engine_calls=calls,
-            short_circuited=skipped,
-            cluster_id=cluster[0],
-            cluster_size=len(cluster),
-        )
+        return candidates, calls, skipped
 
     def ingest_all(self, records: Sequence[Record]) -> list[IngestResult]:
         """Ingest records in order (a convenience over repeated ``ingest``)."""
         return [self.ingest(record) for record in records]
+
+    # --------------------------------------------------------------- recovery
+
+    @classmethod
+    def recover(
+        cls,
+        path: str | Path,
+        engine: MatchingEngine,
+        **kwargs: object,
+    ) -> "ResolutionStore":
+        """Rebuild a journaled store after a crash and finish in-flight work.
+
+        Replays every acknowledged record and decision from the journal at
+        *path* (dropping a torn final line and truncating it from the
+        file), re-derives the union-find / candidate index / compared-pair
+        state, then re-runs the comparison loop for any record whose
+        ``commit`` entry never made it to disk.  Journaled pairs are never
+        re-asked, so the recovered store — and the continued run — is
+        byte-identical to one that was never interrupted (decision sources
+        are cache-normalized for exactly this reason).  The returned store
+        keeps journaling to the same file.
+        """
+        from repro.faults.journal import read_journal, repair
+
+        path = Path(path)
+        mode = str(kwargs.get("mode", "transitive"))
+        entries, _ = read_journal(path, expect={"kind": "resolve", "mode": mode})
+        repair(path)
+        store = cls(engine, journal=path, _recovering=True, **kwargs)  # type: ignore[arg-type]
+        pending = store._replay(path, entries)
+        for record in pending:
+            store._finish(record)
+        return store
+
+    def _replay(self, path: Path, entries: list[dict]) -> list[Record]:
+        """Apply journal *entries*; returns uncommitted records, in order."""
+        from repro.faults.journal import JournalError
+
+        records: list[Record] = []
+        committed: set[str] = set()
+        decisions: list[PairDecision] = []
+        skipped = 0
+        for entry in entries:
+            kind = entry.get("type")
+            if kind == "record":
+                records.append(
+                    Record(
+                        record_id=str(entry["record_id"]),
+                        attributes=dict(entry.get("attributes") or {}),
+                        description=str(entry["description"]),
+                    )
+                )
+            elif kind == "decision":
+                decisions.append(
+                    PairDecision(
+                        left=str(entry["left"]),
+                        right=str(entry["right"]),
+                        match=bool(entry["match"]),
+                        score=float(entry["score"]),
+                        source=str(entry["source"]),
+                    )
+                )
+            elif kind == "commit":
+                committed.add(str(entry["record_id"]))
+                skipped += int(entry.get("short_circuited", 0))
+            else:
+                raise JournalError(
+                    f"{path}: unknown journal entry type {kind!r}"
+                )
+        with self._lock:
+            for record in records:
+                if record.record_id in self._records:
+                    raise JournalError(
+                        f"{path}: record {record.record_id!r} journaled twice"
+                    )
+                self._records[record.record_id] = record
+                self._index.add(record.record_id, record.description)
+                self._uf.add(record.record_id)
+            for a, b in self.must_link:
+                if a in self._records and b in self._records:
+                    self._uf.union(a, b)
+            for decision in decisions:
+                self._decisions.append(decision)
+                self._compared.add(decision.key)
+                if self.mode == "transitive" and decision.match:
+                    self._uf.union(decision.left, decision.right)
+            self.engine_calls = len(decisions)
+            self.short_circuited = skipped
+        return [r for r in records if r.record_id not in committed]
+
+    def _finish(self, record: Record) -> None:
+        """Complete one journaled-but-uncommitted record after recovery.
+
+        The per-record counters restart from the resume point; pairs the
+        crashed run short-circuited (never journaled) are re-examined and
+        re-skipped here, so the store-level totals still match an
+        uninterrupted run's.
+        """
+        candidates, calls, skipped = self._decide_candidates(record)
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "type": "commit",
+                    "record_id": record.record_id,
+                    "candidates": candidates,
+                    "engine_calls": calls,
+                    "short_circuited": skipped,
+                }
+            )
 
     # --------------------------------------------------------------- read-outs
 

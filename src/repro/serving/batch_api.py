@@ -14,11 +14,28 @@ from dataclasses import dataclass, field
 
 from repro.llm.model import ChatModel
 
-__all__ = ["BatchRequest", "BatchResponse", "BatchJob", "BatchAPI"]
+__all__ = [
+    "BatchRequest",
+    "BatchResponse",
+    "BatchJob",
+    "BatchAPI",
+    "UnknownJobError",
+]
 
 #: Maximum number of requests the endpoint accepts per batch (the real
 #: endpoint caps at 50,000).
 MAX_BATCH_SIZE = 50_000
+
+
+class UnknownJobError(KeyError):
+    """A job id the endpoint has never issued (or from another endpoint)."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        return f"unknown batch job {self.job_id!r}: this endpoint never issued it"
 
 
 @dataclass(frozen=True)
@@ -94,9 +111,19 @@ class BatchAPI:
             job.error = "duplicate custom_id in batch"
         return job
 
+    def _job(self, job_id: str) -> BatchJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(job_id) from None
+
     def poll(self, job_id: str) -> BatchJob:
-        """Advance the job one state and return it (validating→…→completed)."""
-        job = self._jobs[job_id]
+        """Advance the job one state and return it (validating→…→completed).
+
+        Raises :class:`UnknownJobError` (never a bare ``KeyError``) for a
+        job id this endpoint did not issue.
+        """
+        job = self._job(job_id)
         if job.status == "validating":
             job.status = "in_progress"
         elif job.status == "in_progress":
@@ -105,8 +132,12 @@ class BatchAPI:
         return job
 
     def run_to_completion(self, job_id: str) -> list[BatchResponse]:
-        """Poll until terminal and return the responses."""
-        job = self._jobs[job_id]
+        """Poll until terminal and return the responses.
+
+        Raises :class:`UnknownJobError` for an id this endpoint never
+        issued, and ``RuntimeError`` when the job ends in ``failed``.
+        """
+        job = self._job(job_id)
         while job.status not in ("completed", "failed"):
             job = self.poll(job_id)
         if job.status == "failed":

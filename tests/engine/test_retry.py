@@ -36,6 +36,45 @@ class TestBackoff:
             RetryPolicy(max_attempts=0)
 
 
+class TestPolicyValidation:
+    """Every RetryPolicy field rejects its out-of-domain values eagerly."""
+
+    @pytest.mark.parametrize(
+        ("kwargs", "message"),
+        [
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"max_attempts": -3}, "max_attempts"),
+            ({"backoff_base": -0.01}, "backoff_base"),
+            ({"backoff_factor": 0.0}, "backoff_factor"),
+            ({"backoff_factor": 0.99}, "non-decreasing"),
+            ({"max_backoff": -1.0}, "max_backoff"),
+            ({"jitter": -0.1}, "jitter"),
+            ({"jitter": 1.01}, "jitter"),
+            ({"timeout": 0.0}, "timeout"),
+            ({"timeout": -2.0}, "timeout"),
+        ],
+    )
+    def test_out_of_domain_values_rejected(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            RetryPolicy(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 1},
+            {"backoff_base": 0.0},
+            {"backoff_factor": 1.0},  # constant delays are allowed
+            {"max_backoff": 0.0},
+            {"jitter": 0.0},
+            {"jitter": 1.0},
+            {"timeout": None},
+            {"timeout": 0.001},
+        ],
+    )
+    def test_boundary_values_accepted(self, kwargs):
+        RetryPolicy(**kwargs)  # must not raise
+
+
 class TestRunWithRetry:
     def test_success_needs_no_retry(self):
         sleep = RecordingSleep()
@@ -128,6 +167,25 @@ class TestCircuitBreaker:
         assert breaker.allow()
         breaker.record_failure()  # trial failed → straight back to open
         assert breaker.state == "open" and breaker.times_opened == 2
+
+    def test_flapping_sequence_walks_every_state(self):
+        """closed → open → half-open → open → half-open → closed."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.times_opened == 1
+        clock.advance(5.1)
+        assert breaker.allow() and breaker.state == "half-open"
+        breaker.record_failure()  # probe fails → straight back to open
+        assert breaker.state == "open" and breaker.times_opened == 2
+        assert not breaker.allow()  # new cooldown window restarts
+        clock.advance(5.1)
+        assert breaker.allow() and breaker.state == "half-open"
+        breaker.record_success()  # probe succeeds → fully closed
+        assert breaker.state == "closed"
+        breaker.record_failure()  # streak was reset: one failure stays closed
+        assert breaker.state == "closed" and breaker.allow()
 
     def test_run_with_retry_respects_open_breaker(self):
         breaker = CircuitBreaker(failure_threshold=1, cooldown=100.0,

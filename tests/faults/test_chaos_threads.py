@@ -1,0 +1,104 @@
+"""Multi-threaded chaos: content-addressed faults stay deterministic.
+
+The PR 3 concurrency smoke-test shape (N threads hammering one shared
+engine) re-run under fault injection.  Content addressing keys every
+fault on the prompt text, so the outcome per pair is independent of how
+the threads interleave their batches — two runs with the same seed must
+produce identical decisions, and every thread must see the same answers
+as a single-threaded run.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import MatchingEngine
+from repro.engine.retry import CircuitBreaker, RetryPolicy
+from repro.faults import (
+    CONTENT_FAULT_KINDS,
+    FaultPlan,
+    FaultyBackend,
+    ParityBackend,
+)
+
+THREADS = 6
+PAIRS_PER_THREAD = 150
+UNIQUE_PAIRS = 60
+FAULT_RATE = 0.4
+
+
+def workload():
+    """150 pairs over 60 unique ones: cache hits, dedup, and repeats."""
+    return [
+        (f"gadget number {i % UNIQUE_PAIRS} alpha edition",
+         f"gadget number {i % UNIQUE_PAIRS} beta edition")
+        for i in range(PAIRS_PER_THREAD)
+    ]
+
+
+def make_chaos_engine(seed):
+    plan = FaultPlan(seed=seed, fault_rate=FAULT_RATE,
+                     addressing="content", kinds=CONTENT_FAULT_KINDS)
+    backend = FaultyBackend(ParityBackend(), plan)
+    engine = MatchingEngine(
+        backend=backend,
+        retry=RetryPolicy(seed=seed),
+        # Transient errors must degrade to retries, never to the breaker
+        # tripping: an open breaker would make answers depend on *when*
+        # each thread's batch hit it, which content addressing cannot fix.
+        breaker=CircuitBreaker(failure_threshold=10**9),
+        sleep=lambda seconds: None,
+    )
+    return engine, backend
+
+
+def hammer(engine, pairs):
+    """Drive the engine from THREADS threads; returns per-thread decisions."""
+    barrier = threading.Barrier(THREADS)
+    decisions = [[] for _ in range(THREADS)]
+    errors = []
+
+    def worker(slot):
+        try:
+            barrier.wait()
+            decisions[slot] = [r.decision for r in engine.match_pairs(pairs)]
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(slot,))
+               for slot in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(t.is_alive() for t in threads), "worker deadlocked"
+    assert errors == []
+    return decisions
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_threaded_chaos_is_deterministic_per_seed(seed):
+    pairs = workload()
+
+    reference_engine, _ = make_chaos_engine(seed)
+    reference = [r.decision for r in reference_engine.match_pairs(pairs)]
+
+    engine, backend = make_chaos_engine(seed)
+    decisions = hammer(engine, pairs)
+    for slot in range(THREADS):
+        assert decisions[slot] == reference, f"thread {slot} diverged"
+
+    # The faults really fired, and retry absorbed every transient error.
+    injected = backend.injected_counts()
+    assert set(injected) <= set(CONTENT_FAULT_KINDS)
+    assert injected.get("garble", 0) > 0
+    stats = engine.stats
+    assert stats.requests == THREADS * PAIRS_PER_THREAD
+    assert stats.cache_hits + stats.cache_misses == stats.requests
+    assert stats.failures == 0 and stats.fallbacks == 0
+    assert stats.transport_errors == stats.retries
+
+    # Same seed, fresh engine, threaded again: byte-identical decisions.
+    again_engine, _ = make_chaos_engine(seed)
+    again = hammer(again_engine, pairs)
+    assert again == decisions

@@ -1,0 +1,141 @@
+"""Write-ahead journal: append/fsync, torn-tail detection, repair."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    JOURNAL_VERSION,
+    JournalError,
+    JournalWriter,
+    read_journal,
+    repair,
+)
+
+
+def write_entries(path, *entries, header=None):
+    with JournalWriter(path, header=header or {"kind": "test"}) as writer:
+        for entry in entries:
+            writer.append(entry)
+
+
+class TestWriter:
+    def test_fresh_file_gets_header_then_entries(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["version"] == JOURNAL_VERSION
+        assert header["kind"] == "test"
+        assert json.loads(lines[1]) == {"type": "work", "n": 1}
+
+    def test_reopening_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        write_entries(path, {"type": "work", "n": 2})  # reopen same file
+        records, torn = read_journal(path)
+        assert not torn
+        assert [r["n"] for r in records] == [1, 2]
+        headers = [l for l in path.read_text().splitlines()
+                   if json.loads(l)["type"] == "header"]
+        assert len(headers) == 1
+
+    def test_every_line_ends_with_newline(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work"})
+        assert path.read_bytes().endswith(b"\n")
+
+
+class TestRead:
+    def test_header_is_validated_against_expect(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, header={"kind": "resolve", "mode": "pairs"})
+        records, torn = read_journal(path, expect={"kind": "resolve"})
+        assert records == [] and not torn
+        with pytest.raises(JournalError, match="does not match"):
+            read_journal(path, expect={"kind": "eval"})
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b"")
+        with pytest.raises(JournalError, match="empty journal"):
+            read_journal(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"type": "work"}\n')
+        with pytest.raises(JournalError, match="not a header"):
+            read_journal(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"type": "header", "version": 99}\n')
+        with pytest.raises(JournalError, match="version"):
+            read_journal(path)
+
+
+class TestTornWrites:
+    def fixture(self, tmp_path, tail: bytes):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        with open(path, "ab") as handle:
+            handle.write(tail)
+        return path
+
+    def test_truncated_json_tail_is_dropped(self, tmp_path):
+        path = self.fixture(tmp_path, b'{"type": "work", "n":')
+        records, torn = read_journal(path)
+        assert torn
+        assert [r["n"] for r in records] == [1]
+
+    def test_parseable_tail_without_newline_is_still_torn(self, tmp_path):
+        # The JSON is complete but the fsync'd newline never landed: the
+        # writer never acknowledged this entry, so it must be redone.
+        path = self.fixture(tmp_path, b'{"type": "work", "n": 2}')
+        records, torn = read_journal(path)
+        assert torn
+        assert [r["n"] for r in records] == [1]
+
+    def test_midfile_corruption_is_not_a_torn_write(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"@@garbage@@\n")
+        write_entries(path, {"type": "work", "n": 2})  # appends after garbage
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            read_journal(path)
+
+
+class TestRepair:
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        clean_bytes = path.read_bytes()
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "work", "n":')
+        assert repair(path) is True
+        assert path.read_bytes() == clean_bytes
+        _, torn = read_journal(path)
+        assert not torn
+
+    def test_repair_is_a_noop_on_clean_journals(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        before = path.read_bytes()
+        assert repair(path) is False
+        assert path.read_bytes() == before
+
+    def test_append_after_repair_yields_a_valid_journal(self, tmp_path):
+        # Without the repair, the new entry would be concatenated onto the
+        # crash fragment and corrupt both lines.
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "work", "n": 2}')  # torn
+        repair(path)
+        write_entries(path, {"type": "work", "n": 3})
+        records, torn = read_journal(path)
+        assert not torn
+        assert [r["n"] for r in records] == [1, 3]

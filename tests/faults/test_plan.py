@@ -1,0 +1,103 @@
+"""FaultPlan: validation, determinism, scripted schedules."""
+
+import pytest
+
+from repro.faults import CONTENT_FAULT_KINDS, FAULT_KINDS, FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1, 2.0])
+    def test_fault_rate_outside_unit_interval_rejected(self, rate):
+        with pytest.raises(ValueError, match="fault_rate"):
+            FaultPlan(fault_rate=rate)
+
+    def test_unknown_addressing_rejected(self):
+        with pytest.raises(ValueError, match="addressing"):
+            FaultPlan(addressing="telepathy")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="meteor"):
+            FaultPlan(kinds=("meteor",))
+
+    def test_content_addressing_restricts_kinds(self):
+        # Batch-shape faults depend on how callers interleave, so content
+        # addressing only permits the interleaving-independent kinds.
+        with pytest.raises(ValueError, match="timeout"):
+            FaultPlan(addressing="content", kinds=("timeout",))
+        FaultPlan(addressing="content", kinds=CONTENT_FAULT_KINDS)  # allowed
+
+    def test_positive_rate_with_no_kinds_rejected(self):
+        with pytest.raises(ValueError, match="no fault kinds"):
+            FaultPlan(fault_rate=0.5, kinds=())
+
+    def test_scripted_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="meteor"):
+            FaultPlan.scripted(("error", "meteor"))
+
+
+class TestDrawing:
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(seed=3, fault_rate=0.0)
+        assert all(plan.fault_for_call(i) is None for i in range(100))
+        assert plan.fault_for_prompt("anything") is None
+
+    def test_rate_one_always_faults_with_known_kind(self):
+        plan = FaultPlan(seed=3, fault_rate=1.0)
+        kinds = {plan.fault_for_call(i) for i in range(100)}
+        assert None not in kinds
+        assert kinds <= set(FAULT_KINDS)
+
+    def test_draws_are_reproducible(self):
+        a = FaultPlan(seed=11, fault_rate=0.4)
+        b = FaultPlan(seed=11, fault_rate=0.4)
+        assert [a.fault_for_call(i) for i in range(200)] == [
+            b.fault_for_call(i) for i in range(200)
+        ]
+
+    def test_seeds_produce_different_schedules(self):
+        a = FaultPlan(seed=0, fault_rate=0.5)
+        b = FaultPlan(seed=1, fault_rate=0.5)
+        assert [a.fault_for_call(i) for i in range(200)] != [
+            b.fault_for_call(i) for i in range(200)
+        ]
+
+    def test_empirical_rate_tracks_configured_rate(self):
+        plan = FaultPlan(seed=7, fault_rate=0.3)
+        hits = sum(plan.fault_for_call(i) is not None for i in range(2000))
+        assert 0.2 <= hits / 2000 <= 0.4
+
+    def test_draws_are_independent_per_call(self):
+        # Asking for call 50 first must not change what call 0 draws.
+        plan = FaultPlan(seed=5, fault_rate=0.5)
+        backwards = [plan.fault_for_call(i) for i in reversed(range(50))]
+        forwards = [plan.fault_for_call(i) for i in range(50)]
+        assert backwards == list(reversed(forwards))
+
+    def test_prompt_draws_keyed_on_content_not_order(self):
+        plan = FaultPlan(seed=9, fault_rate=0.6, addressing="content",
+                         kinds=CONTENT_FAULT_KINDS)
+        prompts = [f"prompt number {i}" for i in range(40)]
+        by_prompt = {p: plan.fault_for_prompt(p) for p in prompts}
+        for p in reversed(prompts):  # different query order, same answers
+            assert plan.fault_for_prompt(p) == by_prompt[p]
+        drawn = set(by_prompt.values())
+        assert drawn - {None} <= set(CONTENT_FAULT_KINDS)
+        assert drawn - {None}, "rate 0.6 over 40 prompts should fault some"
+
+
+class TestScripted:
+    def test_script_is_followed_exactly_then_clean(self):
+        plan = FaultPlan.scripted(("error", None, "garble"))
+        assert plan.fault_for_call(0) == "error"
+        assert plan.fault_for_call(1) is None
+        assert plan.fault_for_call(2) == "garble"
+        assert plan.fault_for_call(3) is None  # beyond the script: clean
+        assert plan.fault_for_call(999) is None
+
+    def test_flapping_script_shape(self):
+        plan = FaultPlan.flapping(failure_threshold=3, recovery_calls=2)
+        assert plan.script == ("error", "error", "error", "timeout", None, None)
+
+    def test_flapping_requires_positive_threshold(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            FaultPlan.flapping(failure_threshold=0)

@@ -14,6 +14,8 @@ from tests.lint.conftest import run_rule
 ENGINE = "src/repro/engine/example.py"
 EVAL = "src/repro/eval/example.py"
 LLM = "src/repro/llm/example.py"
+FAULTS = "src/repro/faults/example.py"
+SERVING = "src/repro/serving/example.py"
 
 #: (rule, snippet, relpath) triples that MUST produce at least one finding.
 BAD = [
@@ -57,6 +59,9 @@ BAD = [
     ),
     ("float-eq", "exact = f1 == 100.0\n", EVAL),
     ("float-eq", "exact = 0.0 != precision\n", EVAL),
+    ("injectable-sleep", "import time\ntime.sleep(0.5)\n", ENGINE),
+    ("injectable-sleep", "import time\ntime.sleep(backoff)\n", FAULTS),
+    ("injectable-sleep", "import time\nstamp = time.time()\n", SERVING),
     (
         "marker-safety",
         '_HEDGES = ("They are likely the same entity.",)\n',
@@ -126,6 +131,17 @@ GOOD = [
     ),
     ("float-eq", "close = abs(f1 - 100.0) < 1e-9\n", EVAL),
     ("float-eq", "exact = count == 0\n", EVAL),
+    # referencing time.sleep as an injectable default is the approved seam
+    (
+        "injectable-sleep",
+        "import time\n"
+        "def run(sleep=time.sleep, clock=time.monotonic):\n"
+        "    sleep(1.0)\n"
+        "    return clock()\n",
+        ENGINE,
+    ),
+    # direct sleeps outside the clock-injectable packages are out of scope
+    ("injectable-sleep", "import time\ntime.sleep(0.5)\n", "scripts/example.py"),
     # float == outside eval code is out of scope for this rule
     ("float-eq", "exact = f1 == 100.0\n", "src/repro/analysis/example.py"),
     (

@@ -145,7 +145,13 @@ class TestProtocols:
         table = SymbolTable.build(REPO_ROOT, ("src/repro",))
         protocol = table.classes["repro.engine.backends.Backend"]
         impls = {c.name for c in table.protocol_implementations(protocol)}
-        assert impls == {"ModelBackend", "LocalBackend", "BatchAPIBackend"}
+        assert impls == {
+            "ModelBackend",
+            "LocalBackend",
+            "BatchAPIBackend",
+            "FaultyBackend",
+            "CrashingBackend",
+        }
 
 
 class TestMethodLookup:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.llm.model import build_model
 from repro.prompts.templates import COMPLEX_FORCE
-from repro.serving.batch_api import BatchAPI, BatchRequest
+from repro.serving.batch_api import BatchAPI, BatchRequest, UnknownJobError
 
 
 @pytest.fixture
@@ -72,10 +72,34 @@ class TestBatchAPI:
         assert name == "gpt-4o-mini:zero-shot"
 
 
+class TestUnknownJob:
+    """Foreign job ids raise a structured error, never a bare KeyError."""
+
+    def test_poll_unknown_id(self, api):
+        with pytest.raises(UnknownJobError) as exc_info:
+            api.poll("batch-999")
+        assert exc_info.value.job_id == "batch-999"
+        assert "never issued" in str(exc_info.value)
+        assert "batch-999" in str(exc_info.value)
+
+    def test_run_to_completion_unknown_id(self, api):
+        with pytest.raises(UnknownJobError, match="never issued"):
+            api.run_to_completion("nope")
+
+    def test_still_catchable_as_keyerror(self, api):
+        # Callers written against the old contract keep working.
+        with pytest.raises(KeyError):
+            api.poll("batch-999")
+
+    def test_ids_are_per_endpoint(self, api, product_split):
+        job = api.submit("gpt-4o-mini", _requests(product_split))
+        other = BatchAPI()
+        with pytest.raises(UnknownJobError):
+            other.poll(job.job_id)
+
+
 class TestBatchCounts:
     def test_counts_track_failures(self, api):
-        from repro.serving.batch_api import BatchRequest
-
         job = api.submit(
             "gpt-4o-mini",
             [
@@ -86,3 +110,26 @@ class TestBatchCounts:
         )
         api.run_to_completion(job.job_id)
         assert job.counts == {"total": 2, "completed": 2, "failed": 1}
+
+    def test_counts_before_execution_show_pending_work(self, api, product_split):
+        job = api.submit("gpt-4o-mini", _requests(product_split, n=3))
+        assert job.counts == {"total": 3, "completed": 0, "failed": 0}
+        api.poll(job.job_id)  # validating → in_progress: still nothing done
+        assert job.counts == {"total": 3, "completed": 0, "failed": 0}
+        api.poll(job.job_id)  # in_progress → completed
+        assert job.counts == {"total": 3, "completed": 3, "failed": 0}
+
+    def test_counts_with_every_request_failing(self, api):
+        job = api.submit(
+            "gpt-4o-mini",
+            [
+                BatchRequest(custom_id="bad-1", prompt="x"),
+                BatchRequest(custom_id="bad-2", prompt="y"),
+            ],
+        )
+        responses = api.run_to_completion(job.job_id)
+        assert all(not r.ok for r in responses)
+        # "completed" counts processed requests; per-request errors land
+        # in "failed" without failing the job itself.
+        assert job.status == "completed"
+        assert job.counts == {"total": 2, "completed": 2, "failed": 2}

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,6 +77,10 @@ class TestEngineCommand:
         out = capsys.readouterr().out
         assert "engine stats:" in out
         assert "hit_rate" in out and "batches" in out
+        # error accounting is split by class, not lumped
+        for counter in ("timeouts", "transport_errors", "circuit_open",
+                        "malformed"):
+            assert counter in out
 
     def test_dataset_workload(self, capsys):
         assert main(["engine", "--dataset", "abt-buy", "--quiet",
@@ -111,3 +117,37 @@ class TestEngineCommand:
         path.write_text(content)
         with pytest.raises(SystemExit, match=match):
             main(["engine", "--pairs", str(path)])
+
+
+class TestChaosCommand:
+    ARGS = ["chaos", "--fault-rate", "0.3", "--seed", "0",
+            "--pairs", "24", "--records", "10"]
+
+    def test_text_mode_reports_clean_grid(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "match" in out and "resolve" in out
+        assert "VIOLATION" not in out
+
+    def test_json_mode_is_byte_identical_across_runs(self, capsys):
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["ok"] is True
+        assert payload["fault_rates"] == [0.0, 0.3]
+        assert len(payload["runs"]) == 4  # 1 seed x 2 rates x 2 workloads
+
+    def test_kill_resume_roundtrip_flag(self, tmp_path, capsys):
+        journal = tmp_path / "wal.jsonl"
+        assert main(self.ARGS + ["--kill-every", "2", "--journal",
+                                 str(journal), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kill_resume"]["identical"] is True
+        assert payload["kill_resume"]["crashes"] > 0
+        assert journal.exists()
+
+    def test_rejects_out_of_range_rate(self, capsys):
+        assert main(["chaos", "--fault-rate", "1.5"]) == 2
