@@ -10,6 +10,8 @@ paths, the speedup, and the engine's cache hit rate, as text and as JSON.
 
 import time
 
+import numpy as np
+
 from repro._util import derive_rng
 from repro.datasets.registry import load_dataset
 from repro.engine import MatchingEngine
@@ -39,13 +41,15 @@ def test_engine_vs_sequential_throughput(benchmark):
     model = build_model(MODEL)
 
     def run():
+        sequential = []
+        sequential_latencies = []
         started = time.perf_counter()
-        sequential = [
-            bool(parse_yes_no(model.complete(
+        for p in workload:
+            pair_started = time.perf_counter()
+            sequential.append(bool(parse_yes_no(model.complete(
                 DEFAULT_PROMPT.render(p.left.description, p.right.description)
-            )))
-            for p in workload
-        ]
+            ))))
+            sequential_latencies.append(time.perf_counter() - pair_started)
         sequential_seconds = time.perf_counter() - started
 
         engine = MatchingEngine.for_model(model)
@@ -54,14 +58,23 @@ def test_engine_vs_sequential_throughput(benchmark):
         engine_seconds = time.perf_counter() - started
 
         assert [r.decision for r in results] == sequential  # same answers
-        return sequential_seconds, engine_seconds, engine.stats
+        return (
+            sequential_seconds, sequential_latencies, engine_seconds,
+            engine.stats,
+        )
 
-    sequential_seconds, engine_seconds, stats = benchmark.pedantic(
-        run, rounds=1, iterations=1
+    sequential_seconds, sequential_latencies, engine_seconds, stats = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
     )
     n = len(workload)
     sequential_rate = n / sequential_seconds
     engine_rate = n / engine_seconds
+    seq_p50, seq_p99 = (
+        float(v) for v in np.percentile(sequential_latencies, (50, 99))
+    )
+    # Engine per-pair latency comes from the engine's own recorder; the
+    # sequential loop is timed around each complete() call above.
+    engine_latency = stats.latency_percentiles((50, 99))
     payload = {
         "model": MODEL,
         "requests": n,
@@ -69,16 +82,30 @@ def test_engine_vs_sequential_throughput(benchmark):
         "sequential_pairs_per_sec": round(sequential_rate, 1),
         "engine_pairs_per_sec": round(engine_rate, 1),
         "speedup": round(engine_rate / sequential_rate, 2),
+        "sequential_latency": {
+            "p50": round(seq_p50, 6), "p99": round(seq_p99, 6),
+        },
+        "engine_latency": {
+            name: round(seconds, 6)
+            for name, seconds in engine_latency.items()
+        },
         "engine_stats": stats.as_dict(),
     }
     emit_json("bench_engine_throughput", payload)
+
+    def _ms(seconds: float) -> str:
+        return f"{seconds * 1e3:.3f}ms"
+
     emit(
         "bench_engine_throughput",
         format_table(
-            ["path", "pairs/sec", "cache hit rate"],
+            ["path", "pairs/sec", "p50", "p99", "cache hit rate"],
             [
-                ["sequential complete()", f"{sequential_rate:,.0f}", "—"],
+                ["sequential complete()", f"{sequential_rate:,.0f}",
+                 _ms(seq_p50), _ms(seq_p99), "—"],
                 ["MatchingEngine", f"{engine_rate:,.0f}",
+                 _ms(engine_latency.get("p50", 0.0)),
+                 _ms(engine_latency.get("p99", 0.0)),
                  f"{stats.hit_rate:.1%}"],
             ],
             title=f"Online engine throughput ({MODEL}, {n} requests, "

@@ -19,6 +19,15 @@ Subcommands::
         [--list-rules] [--deep] [--baseline FILE] [--update-baseline]
     repro-em chaos [--fault-rate F] [--seed N ...] [--kill-every N]
         [--pairs N] [--records N] [--journal FILE] [--format text|json]
+    repro-em serve [--offered-load F] [--requests N] [--tenants N]
+        [--persona NAME] [--dataset NAME] [--seed N] [--deadline F]
+        [--queue-capacity N] [--batch-size N] [--max-concurrency N]
+        [--rate F] [--burst F] [--quota N] [--shed-only]
+        [--chaos [--fault-rate F]] [--format text|json]
+
+Every ``--model``/``--persona`` option accepts canonical registry names
+and paper aliases; an unknown name exits with a one-line ``unknown
+persona: ...`` message listing the choices, never a traceback.
 """
 
 from __future__ import annotations
@@ -31,10 +40,25 @@ from repro.core.sensitivity import prompt_sensitivity
 from repro.datasets.io import write_dataset
 from repro.datasets.registry import DATASET_NAMES, load_dataset, table1_statistics
 from repro.eval.reports import format_table
-from repro.llm.registry import MODEL_NAMES
+from repro.llm.registry import MODEL_NAMES, get_persona
 from repro.prompts.templates import get_prompt
 
 __all__ = ["main", "build_parser"]
+
+
+def _resolve_model(name: str) -> str:
+    """Canonical persona for *name* (alias-aware); one-line exit on unknowns.
+
+    Model names are validated here rather than with argparse ``choices``
+    so paper aliases resolve and a typo produces the same structured
+    message everywhere instead of argparse's usage dump.
+    """
+    try:
+        return get_persona(name).name
+    except ValueError:
+        raise SystemExit(
+            f"unknown persona: {name} (choose from {', '.join(MODEL_NAMES)})"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,15 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
     match = sub.add_parser("match", help="match a single pair of descriptions")
     match.add_argument("left")
     match.add_argument("right")
-    match.add_argument("--model", default="gpt-4o-mini", choices=MODEL_NAMES)
+    match.add_argument("--model", default="gpt-4o-mini")
     match.add_argument("--prompt", default="default")
 
     zero = sub.add_parser("zero-shot", help="zero-shot F1 over benchmarks")
-    zero.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    zero.add_argument("--model", default="llama-3.1-8b")
     zero.add_argument("--datasets", default="wdc-small")
 
     ft = sub.add_parser("finetune", help="fine-tune and evaluate")
-    ft.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    ft.add_argument("--model", default="llama-3.1-8b")
     ft.add_argument("--train", default="wdc-small", choices=DATASET_NAMES)
     ft.add_argument("--explanations", default=None)
     ft.add_argument("--selection", default=None)
@@ -69,7 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     ft.add_argument("--eval", dest="eval_datasets", default=None)
 
     sens = sub.add_parser("sensitivity", help="prompt-sensitivity analysis")
-    sens.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    sens.add_argument("--model", default="llama-3.1-8b")
     sens.add_argument("--dataset", default="wdc-small", choices=DATASET_NAMES)
 
     val = sub.add_parser("validate", help="integrity-check a dataset")
@@ -87,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     eng.add_argument("--dataset", choices=DATASET_NAMES,
                      help="match a registered dataset's test split instead")
-    eng.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    eng.add_argument("--model", default="llama-3.1-8b")
     eng.add_argument("--prompt", default="default")
     eng.add_argument("--batch-size", type=int, default=32)
     eng.add_argument("--cache-size", type=int, default=4096)
@@ -105,7 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--split", default="test", choices=("train", "valid", "test"))
     res.add_argument("--limit", type=int, default=None, metavar="N",
                      help="resolve only the first N pairs of the split")
-    res.add_argument("--model", default="llama-3.1-8b", choices=MODEL_NAMES)
+    res.add_argument("--model", default="llama-3.1-8b")
     res.add_argument("--prompt", default="default")
     res.add_argument("--blocker", default="token", choices=("token", "embedding"))
     res.add_argument("--min-shared", type=int, default=1,
@@ -190,6 +214,51 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: a temporary file)",
     )
     chaos.add_argument("--format", choices=("text", "json"), default="text")
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a deterministic load session through the request "
+        "gateway (router -> admission -> queue -> engine) on simulated time",
+    )
+    serve.add_argument("--offered-load", type=float, default=200.0,
+                       help="mean arrival rate, requests/second (Poisson)")
+    serve.add_argument("--requests", type=int, default=64,
+                       help="total requests in the session")
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="tenants cycled round-robin over the requests")
+    serve.add_argument("--persona", default="default",
+                       help="persona every request names ('default' routes "
+                       "to the gateway default)")
+    serve.add_argument("--dataset", default="wdc-small", choices=DATASET_NAMES,
+                       help="dataset whose test split supplies the pairs")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="load-generator seed (arrival gaps + pair draws)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="SECS",
+                       help="per-request relative deadline (default: none)")
+    serve.add_argument("--queue-capacity", type=int, default=32)
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="dispatch chunk size (micro-batch ceiling)")
+    serve.add_argument("--max-concurrency", type=int, default=None,
+                       help="global cap on admitted in-flight requests")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant sustained admissions/second")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="per-tenant token-bucket capacity")
+    serve.add_argument("--quota", type=int, default=None,
+                       help="per-tenant lifetime admission ceiling")
+    serve.add_argument("--shed-only", action="store_true",
+                       help="shed on queue overflow instead of degrading "
+                       "to the threshold baseline")
+    serve.add_argument("--chaos", action="store_true",
+                       help="run the gateway chaos sweep instead of a "
+                       "load session")
+    serve.add_argument("--fault-rate", type=float, default=0.3,
+                       help="--chaos: fault rate; the sweep always also "
+                       "runs rate 0 (transparency check)")
+    serve.add_argument("--chaos-seed", action="append", type=int,
+                       dest="chaos_seeds", metavar="N",
+                       help="--chaos: sweep seed (repeatable; default: 0 1 2)")
+    serve.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 
 
@@ -616,6 +685,190 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if payload["ok"] else 1
 
 
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import serve_sweep
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print("--fault-rate must be in [0, 1]")
+        return 2
+    seeds = tuple(args.chaos_seeds) if args.chaos_seeds else (0, 1, 2)
+    rates = (0.0,) if args.fault_rate == 0.0 else (0.0, args.fault_rate)
+    reports = serve_sweep(
+        seeds=seeds, rates=rates, requests=args.requests, tenants=args.tenants
+    )
+    payload: dict[str, object] = {
+        "schema_version": 1,
+        "seeds": list(seeds),
+        "fault_rates": list(rates),
+        "runs": [report.as_dict() for report in reports],
+        "ok": all(report.ok for report in reports),
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["ok"] else 1
+    rows = [
+        [
+            report.seed,
+            f"{report.fault_rate:.2f}",
+            report.requests,
+            sum(report.injected.values()),
+            report.sources.get("fallback", 0)
+            + report.sources.get("degraded", 0),
+            "ok" if report.ok else "FAIL",
+        ]
+        for report in reports
+    ]
+    print(format_table(
+        ["seed", "rate", "requests", "faults", "degraded", "verdict"],
+        rows,
+        title=f"gateway chaos sweep ({len(reports)} runs, "
+        "all invariants checked)",
+    ))
+    for report in reports:
+        for violation in report.violations:
+            print(f"VIOLATION [serve seed={report.seed} "
+                  f"rate={report.fault_rate}]: {violation}")
+    return 0 if payload["ok"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import math
+
+    from repro.engine import MatchingEngine, ResultCache
+    from repro.engine.scheduler import Scheduler
+    from repro.faults.clock import ManualClock
+    from repro.serve import (
+        AdmissionController,
+        Gateway,
+        LoadProfile,
+        PersonaRouter,
+        TenantPolicy,
+        UnknownPersonaError,
+        generate_arrivals,
+        replay_simulated,
+        summarize,
+    )
+
+    if args.chaos:
+        return _cmd_serve_chaos(args)
+
+    # Simulated time end to end (arrivals, deadlines, token buckets,
+    # scheduler flushes), so the whole session — JSON output included —
+    # is byte-identical across runs and machines.
+    clock = ManualClock()
+    router = PersonaRouter(
+        engine_factory=lambda name: MatchingEngine.for_model(
+            name,
+            batch_size=args.batch_size,
+            scheduler=Scheduler(max_batch_size=args.batch_size, clock=clock),
+            cache=ResultCache(max_size=4096),
+        ),
+    )
+    try:
+        persona = router.resolve(args.persona)
+    except UnknownPersonaError as exc:
+        raise SystemExit(str(exc)) from None
+    admission = AdmissionController(
+        clock=clock,
+        default_policy=TenantPolicy(
+            rate=args.rate if args.rate is not None else math.inf,
+            burst=args.burst if args.burst is not None else math.inf,
+            quota=args.quota,
+        ),
+        max_concurrency=args.max_concurrency,
+    )
+    gateway = Gateway(
+        router,
+        admission,
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        workers=0,
+        clock=clock,
+        degrade_on_overload=not args.shed_only,
+    )
+    try:
+        profile = LoadProfile(
+            offered_load=args.offered_load,
+            requests=args.requests,
+            tenants=args.tenants,
+            persona=args.persona,
+            deadline=args.deadline,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}")
+        return 2
+    arrivals = generate_arrivals(profile, load_dataset(args.dataset).test.pairs)
+    outcomes = asyncio.run(replay_simulated(gateway, arrivals, clock))
+    summary = summarize(outcomes)
+    violations = gateway.stats.violations(in_queue=gateway.queue_depth)
+    violations += gateway.stats.reconcile_engines(router.engines())
+
+    payload: dict[str, object] = {
+        "schema_version": 1,
+        "offered_load": args.offered_load,
+        "requests": args.requests,
+        "tenants": args.tenants,
+        "persona": persona,
+        "dataset": args.dataset,
+        "seed": args.seed,
+        "deadline": args.deadline,
+        "queue_capacity": args.queue_capacity,
+        "batch_size": args.batch_size,
+        **summary,
+        "gateway_stats": gateway.stats.as_dict(),
+        "engine_stats": {
+            name: {
+                k: v for k, v in engine.stats.as_dict().items()
+                if k != "latency"
+            }
+            for name, engine in sorted(router.engines().items())
+        },
+        "violations": list(violations),
+        "ok": not violations,
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["ok"] else 1
+    latency = ", ".join(
+        f"{name}={seconds * 1e3:.2f}ms"
+        for name, seconds in summary["latency"].items()
+    ) or "n/a"
+    print(
+        f"{args.dataset} via {persona}: {summary['answered']}/"
+        f"{summary['requests']} answered at {args.offered_load:g} req/s "
+        f"over {summary['duration']:.3f}s simulated "
+        f"(goodput {summary['goodput']:g} req/s)"
+    )
+    print(f"latency: {latency}")
+    print("statuses: " + ", ".join(
+        f"{k}={v}" for k, v in summary["statuses"].items()
+    ))
+    print("sources: " + (", ".join(
+        f"{k}={v}" for k, v in summary["sources"].items()
+    ) or "n/a"))
+    stats = gateway.stats.as_dict()
+    rows = [
+        [tenant, lane["submitted"], lane["rejected"], lane["admitted"],
+         lane["completed"], lane["degraded"], lane["shed"], lane["expired"]]
+        for tenant, lane in stats["tenants"].items()
+    ]
+    print(format_table(
+        ["tenant", "submitted", "rejected", "admitted", "completed",
+         "degraded", "shed", "expired"],
+        rows,
+        title=f"per-tenant funnel (queue high-water "
+        f"{stats['queue_high_water']})",
+    ))
+    for violation in violations:
+        print(f"VIOLATION: {violation}")
+    return 0 if payload["ok"] else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.datasets.io import read_dataset
     from repro.datasets.validation import validate_dataset
@@ -635,6 +888,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "model", None) is not None:
+        args.model = _resolve_model(args.model)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "export":
@@ -659,6 +914,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

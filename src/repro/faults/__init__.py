@@ -25,8 +25,10 @@ from repro.faults.harness import (
     ChaosReport,
     ParityBackend,
     build_chaos_engine,
+    chaos_engine_on,
     chaos_match,
     chaos_resolve,
+    engine_stats_violations,
     kill_resume_roundtrip,
     resolution_snapshot,
     sweep,
@@ -57,8 +59,10 @@ __all__ = [
     "ParityBackend",
     "SimulatedCrash",
     "build_chaos_engine",
+    "chaos_engine_on",
     "chaos_match",
     "chaos_resolve",
+    "engine_stats_violations",
     "kill_resume_roundtrip",
     "read_journal",
     "repair",

@@ -50,8 +50,10 @@ __all__ = [
     "ChaosReport",
     "ParityBackend",
     "build_chaos_engine",
+    "chaos_engine_on",
     "chaos_match",
     "chaos_resolve",
+    "engine_stats_violations",
     "kill_resume_roundtrip",
     "resolution_snapshot",
     "sweep",
@@ -149,11 +151,11 @@ def build_chaos_engine(
         clock=clock,
         timeout_advance=_TIMEOUT_ADVANCE,
     )
-    engine = _engine_on(backend, clock, plan.seed, failure_threshold)
+    engine = chaos_engine_on(backend, clock, plan.seed, failure_threshold)
     return engine, backend, clock
 
 
-def _engine_on(backend, clock: ManualClock, seed: int, failure_threshold: int = 3) -> MatchingEngine:
+def chaos_engine_on(backend, clock: ManualClock, seed: int, failure_threshold: int = 3) -> MatchingEngine:
     """The harness's fixed engine configuration over any backend.
 
     The rate-0 transparency check compares a wrapped engine against an
@@ -228,7 +230,7 @@ class ChaosReport:
 # ---------------------------------------------------------------- invariants
 
 
-def _stats_violations(engine: MatchingEngine) -> list[str]:
+def engine_stats_violations(engine: MatchingEngine) -> list[str]:
     """Internal counter conservation every chaos shape must satisfy."""
     violations: list[str] = []
     stats = engine.stats.as_dict()
@@ -252,7 +254,7 @@ def _match_conservation_violations(
     engine: MatchingEngine, results: Sequence[MatchResult]
 ) -> list[str]:
     """Source-level conservation for the raw ``match_pairs`` shape."""
-    violations = _stats_violations(engine)
+    violations = engine_stats_violations(engine)
     stats = engine.stats.as_dict()
     sources = Counter(result.source for result in results)
     answered = sum(sources[s] for s in _VALID_SOURCES)
@@ -281,7 +283,7 @@ def _resolve_conservation_violations(
     engine: MatchingEngine, decisions: Sequence
 ) -> list[str]:
     """Conservation for the resolution shape (cache-normalized sources)."""
-    violations = _stats_violations(engine)
+    violations = engine_stats_violations(engine)
     stats = engine.stats.as_dict()
     sources = Counter(decision.source for decision in decisions)
     if len(decisions) != stats["requests"]:
@@ -360,7 +362,7 @@ def chaos_match(
     violations += _fallback_violations(results)
     if fault_rate == 0.0:
         # Transparency: the wrapper at rate 0 must change nothing.
-        plain = _engine_on(ParityBackend(), ManualClock(), seed)
+        plain = chaos_engine_on(ParityBackend(), ManualClock(), seed)
         baseline = plain.match_pairs(pairs)
         if baseline != results:
             violations.append(
@@ -410,7 +412,7 @@ def chaos_resolve(
         violations.append("some candidate pair was decided twice")
     violations += _resolve_conservation_violations(engine, decisions)
     if fault_rate == 0.0:
-        plain = ResolutionStore(_engine_on(ParityBackend(), ManualClock(), seed))
+        plain = ResolutionStore(chaos_engine_on(ParityBackend(), ManualClock(), seed))
         plain.ingest_all(records)
         if plain.clustering() != clustering:
             violations.append(

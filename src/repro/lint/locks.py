@@ -180,6 +180,21 @@ class LockAnalysis:
                     blocks = f"{target} (line {site.line}) -> {summary.blocks}"
         return acquires, blocks
 
+    @staticmethod
+    def _is_cv_wait_on_held(call: ast.Call, held: list) -> bool:
+        """True for ``X.wait(...)`` where ``X`` is a currently-held lock."""
+        func = call.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in ("wait", "wait_for")):
+            return False
+        try:
+            receiver = ast.unparse(func.value)
+        except Exception:  # pragma: no cover
+            return False
+        return any(
+            receiver == f"{lock.receiver}.{lock.attr}" for lock in held
+        )
+
     def _blocking_reason(self, fn: FunctionSymbol, call: ast.Call) -> str | None:
         """Why this call site blocks intrinsically, or None."""
         func = call.func
@@ -356,6 +371,11 @@ class LockAnalysis:
         held: list,
     ) -> None:
         reason = self._blocking_reason(fn, call)
+        if reason is not None and self._is_cv_wait_on_held(call, held):
+            # ``with self._cv: self._cv.wait()`` — a condition-variable
+            # wait *releases* the lock it is called on for the duration
+            # of the wait, so nothing is held while blocked.
+            reason = None
         if reason is None:
             site = sites.get(id(call))
             if site is not None and site.status == "resolved":

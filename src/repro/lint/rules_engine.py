@@ -24,9 +24,10 @@ _ENGINE_SCOPE = "repro/engine"
 _EVAL_SCOPE = "repro/eval"
 #: packages whose time handling must flow through injectable seams: the
 #: engine (retry backoff, cache TTLs), the fault injectors (simulated
-#: timeouts), and serving (batch polling) are all driven on simulated
-#: clocks by tests and the chaos harness.
-_CLOCK_SCOPES = ("repro/engine", "repro/faults", "repro/serving")
+#: timeouts), serving (batch polling), and the gateway (queue deadlines,
+#: load replay) are all driven on simulated clocks by tests and the
+#: chaos harnesses.
+_CLOCK_SCOPES = ("repro/engine", "repro/faults", "repro/serving", "repro/serve")
 
 
 @rule(
@@ -114,8 +115,9 @@ def check_fallback_cache(ctx: FileContext) -> Iterator[Finding]:
     "injectable-sleep",
     family="engine-hygiene",
     scope="file",
-    description="direct time.sleep/time.time calls in clock-injectable "
-    "packages (engine, faults, serving)",
+    description="ambient time calls (time.sleep/time.time, asyncio.sleep, "
+    "loop.time) in clock-injectable packages (engine, faults, serving, "
+    "serve)",
 )
 def check_injectable_sleep(ctx: FileContext) -> Iterator[Finding]:
     if not ctx.in_package(*_CLOCK_SCOPES):
@@ -124,9 +126,10 @@ def check_injectable_sleep(ctx: FileContext) -> Iterator[Finding]:
         if not isinstance(node, ast.Call):
             continue
         func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
         if (
-            isinstance(func, ast.Attribute)
-            and isinstance(func.value, ast.Name)
+            isinstance(func.value, ast.Name)
             and func.value.id == "time"
             and func.attr in ("sleep", "time")
         ):
@@ -140,6 +143,51 @@ def check_injectable_sleep(ctx: FileContext) -> Iterator[Finding]:
                 hint="accept clock/sleep callables (defaulting to "
                 "time.monotonic / time.sleep) and call those instead",
             )
+        elif (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "asyncio"
+            and func.attr == "sleep"
+            and not _is_zero_literal(node)
+        ):
+            # asyncio.sleep(0) is a pure scheduler yield — it suspends for
+            # exactly one loop pass regardless of any clock, so it stays
+            # legal; every nonzero duration must go through the seam.
+            yield ctx.finding(
+                "injectable-sleep", "error", node,
+                "ambient asyncio.sleep() waits on wall-clock time that "
+                "simulated-time tests cannot advance",
+                hint="accept a sleep_async callable (defaulting to "
+                "asyncio.sleep) or use ManualClock.sleep_async",
+            )
+        elif func.attr == "time" and _is_event_loop(func.value):
+            yield ctx.finding(
+                "injectable-sleep", "error", node,
+                "event-loop .time() reads the loop's wall clock, bypassing "
+                "the injectable clock seam",
+                hint="read timestamps from the injected clock callable "
+                "instead of the event loop",
+            )
+
+
+def _is_zero_literal(call: ast.Call) -> bool:
+    """True for ``asyncio.sleep(0)`` / ``asyncio.sleep(0.0)``."""
+    if len(call.args) != 1 or call.keywords:
+        return False
+    arg = call.args[0]
+    return isinstance(arg, ast.Constant) and arg.value == 0
+
+
+def _is_event_loop(expr: ast.expr) -> bool:
+    """Match ``loop``-named receivers and direct asyncio loop accessors."""
+    if isinstance(expr, ast.Name):
+        return "loop" in expr.id.lower()
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        return (
+            isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id == "asyncio"
+            and expr.func.attr in ("get_running_loop", "get_event_loop")
+        )
+    return False
 
 
 @rule(

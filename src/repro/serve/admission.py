@@ -1,0 +1,167 @@
+"""Admission control: per-tenant token buckets, quotas, a global cap.
+
+Every request the gateway accepts passes three gates, in order:
+
+1. **Global concurrency cap** — at most ``max_concurrency`` admitted
+   requests may be in flight (queued or dispatching) across all tenants;
+   beyond that, admission refuses with ``saturated``.  Checked first so
+   a saturated gateway refuses cheaply without consuming any tenant's
+   tokens.
+2. **Per-tenant quota** — a lifetime ceiling on admitted requests
+   (``quota_exceeded``); the budget never refills.
+3. **Per-tenant token bucket** — sustained ``rate`` requests/second with
+   bursts up to ``burst`` (``rate_limited``).  The bucket refills
+   continuously from the injectable clock, so tests drive it with
+   :class:`~repro.faults.clock.ManualClock` and never sleep.
+
+A token is consumed only when all gates pass, so a refusal never charges
+the tenant.  Admission and release are thread-safe: the event loop
+admits while dispatch threads release completed requests.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Annotated, Callable
+
+from repro.concurrency import guarded_by
+
+__all__ = ["AdmissionController", "TenantPolicy", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Rate/burst/quota knobs for one tenant (defaults: unlimited)."""
+
+    #: sustained admissions per second (``inf`` = unmetered).
+    rate: float = math.inf
+    #: bucket capacity; 0 means the tenant can never be admitted.
+    burst: float = math.inf
+    #: lifetime admission ceiling (None = unlimited).
+    quota: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst < 0:
+            raise ValueError(f"burst must be >= 0, got {self.burst}")
+        if self.quota is not None and self.quota < 0:
+            raise ValueError(f"quota must be >= 0, got {self.quota}")
+
+
+class TokenBucket:
+    """Classic token bucket on an injectable clock (thread-unsafe on its
+    own; the controller serializes access under its lock)."""
+
+    def __init__(
+        self, rate: float, capacity: float, clock: Callable[[], float]
+    ) -> None:
+        self.rate = rate
+        self.capacity = capacity
+        self.clock = clock
+        self._tokens = capacity
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0 and self.rate > 0 and not math.isinf(self.capacity):
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; never blocks."""
+        if math.isinf(self.capacity):
+            return True
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+class AdmissionController:
+    """The gateway's front door: decide, per request, admit or refuse."""
+
+    #: tenant → admitted-forever count (quota accounting).
+    _admitted: Annotated["dict[str, int]", guarded_by("_lock")]
+    #: admitted requests currently in flight (queued or dispatching).
+    in_flight: Annotated[int, guarded_by("_lock")]
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        default_policy: TenantPolicy = TenantPolicy(),
+        tenant_policies: "dict[str, TenantPolicy] | None" = None,
+        max_concurrency: int | None = None,
+    ) -> None:
+        if max_concurrency is not None and max_concurrency < 0:
+            raise ValueError(
+                f"max_concurrency must be >= 0, got {max_concurrency}"
+            )
+        self.clock = clock
+        self.default_policy = default_policy
+        self.tenant_policies = dict(tenant_policies or {})
+        self.max_concurrency = max_concurrency
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admitted: dict[str, int] = {}
+        self.in_flight = 0
+        self._lock = threading.Lock()
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.tenant_policies.get(tenant, self.default_policy)
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self.policy_for(tenant)
+            bucket = TokenBucket(policy.rate, policy.burst, self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> str | None:
+        """Try to admit one request; None on success, else the reason
+        ("saturated" / "quota_exceeded" / "rate_limited").
+
+        A successful admission holds one concurrency slot until
+        :meth:`release` is called for it.
+        """
+        with self._lock:
+            if (
+                self.max_concurrency is not None
+                and self.in_flight >= self.max_concurrency
+            ):
+                return "saturated"
+            policy = self.policy_for(tenant)
+            if (
+                policy.quota is not None
+                and self._admitted.get(tenant, 0) >= policy.quota
+            ):
+                return "quota_exceeded"
+            if not self._bucket_for(tenant).try_acquire():
+                return "rate_limited"
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            self.in_flight += 1
+            return None
+
+    def release(self, tenant: str) -> None:
+        """Free the concurrency slot of one admitted request."""
+        with self._lock:
+            if self.in_flight <= 0:
+                raise RuntimeError(
+                    f"release({tenant!r}) without a matching admit"
+                )
+            self.in_flight -= 1
+
+    def admitted_total(self, tenant: str) -> int:
+        """Lifetime admissions for *tenant* (quota accounting view)."""
+        with self._lock:
+            return self._admitted.get(tenant, 0)

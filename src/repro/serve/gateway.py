@@ -1,0 +1,462 @@
+"""The asyncio request gateway: bounded queue, backpressure, degradation.
+
+Request lifecycle::
+
+    await gateway.match(request)
+      → persona routing (unknown persona → structured 404, never a traceback)
+      → admission control (rate / quota / concurrency → 429)
+      → deadline check (already expired → 504, never dispatched)
+      → bounded request queue
+          — full → graceful degradation (threshold answer, source="degraded")
+                   or load shed (503) when degradation is disabled
+      → dispatch worker dequeues a persona-contiguous chunk
+          — deadline re-check: anything that expired while queued → 504
+          — circuit breaker open → degraded answers without touching the
+            backend
+          — otherwise the chunk goes through ``MatchingEngine.match_pairs``
+            (backpressure into the engine's micro-batching scheduler)
+      → the caller's future is resolved from the dispatch thread via
+        ``loop.call_soon_threadsafe``
+
+Async callers await a :class:`_QueuedRequest` future — the asyncio
+sibling of the engine's ``_Pending`` slot: written exactly once, by the
+dispatching side, and handed back through the owning event loop so no
+response ever crosses threads unsynchronized.
+
+Two drive modes share all of that code path:
+
+* **threaded** (``workers >= 1`` + ``await gateway.start()``): real
+  dispatch threads block on the queue; this is the serving/benchmark
+  mode.
+* **inline** (``workers=0``): nothing runs in the background; the test,
+  chaos harness, or CLI pumps the queue deterministically with
+  :meth:`Gateway.pump` / :func:`run_inline`.  Combined with
+  :class:`~repro.faults.clock.ManualClock` a whole serving session is a
+  pure function of its inputs.
+
+Time never comes from the ambient clock: the constructor takes ``clock``
+(and the queue wait accounting, deadline checks, and breaker reads all
+go through it), so the ``injectable-sleep`` lint rule holds for this
+package too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.baselines.threshold import ThresholdMatcher
+from repro.datasets.schema import EntityPair, Record, Split
+from repro.engine.engine import MatchingEngine
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import MatchRequest, MatchResponse
+from repro.serve.router import PersonaRouter, UnknownPersonaError
+from repro.serve.stats import GatewayStats
+
+__all__ = ["Gateway", "run_inline"]
+
+
+@dataclass
+class _QueuedRequest:
+    """One admitted request parked in the gateway queue.
+
+    The future is created on (and resolved through) the submitting
+    caller's event loop; the dispatch thread only ever touches it via
+    ``loop.call_soon_threadsafe``.
+    """
+
+    request: MatchRequest
+    persona: str
+    loop: asyncio.AbstractEventLoop
+    future: "asyncio.Future[MatchResponse]"
+    enqueued_at: float
+
+
+class Gateway:
+    """Async front door over per-persona matching engines."""
+
+    def __init__(
+        self,
+        router: PersonaRouter,
+        admission: AdmissionController | None = None,
+        *,
+        queue_capacity: int = 256,
+        batch_size: int = 32,
+        workers: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        fallback: ThresholdMatcher | None = None,
+        stats: GatewayStats | None = None,
+        degrade_on_overload: bool = True,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.router = router
+        self.admission = admission
+        self.queue_capacity = queue_capacity
+        self.batch_size = batch_size
+        self.workers = workers
+        self.stats = stats if stats is not None else GatewayStats()
+        #: gateway-level degraded matcher (overload / open breaker); the
+        #: same threshold baseline the engine falls back to, so degraded
+        #: answers stay checkable against a standalone ThresholdMatcher.
+        self.fallback = fallback if fallback is not None else ThresholdMatcher()
+        self.degrade_on_overload = degrade_on_overload
+        self._clock = clock
+        self._queue: "deque[_QueuedRequest]" = deque()
+        self._cv = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> "Gateway":
+        """Spawn the dispatch threads (no-op in inline mode)."""
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"gateway-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting work and join the dispatch threads.
+
+        Anything still queued is drained by the workers before they
+        exit, so every admitted request is answered.
+        """
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    async def __aenter__(self) -> "Gateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    # -------------------------------------------------------------- matching
+
+    async def match(self, request: MatchRequest) -> MatchResponse:
+        """Answer one request (structured response, never a traceback)."""
+        try:
+            persona = self.router.resolve(request.persona)
+        except UnknownPersonaError as exc:
+            self.stats.record_submitted(request.tenant, "")
+            self.stats.record_error(request.tenant)
+            return self._response(
+                request, "error", persona="", reason=str(exc)
+            )
+        self.stats.record_submitted(request.tenant, persona)
+
+        if self.admission is not None:
+            refusal = self.admission.admit(request.tenant)
+            if refusal is not None:
+                self.stats.record_rejected(request.tenant, persona, refusal)
+                return self._response(
+                    request, "rejected", persona=persona, reason=refusal
+                )
+
+        now = self._clock()
+        if request.deadline is not None and now >= request.deadline:
+            # Dead on arrival: admitted, released, never queued.
+            return self._settle_unqueued(request, persona, "expired",
+                                         reason="deadline_expired")
+
+        loop = asyncio.get_running_loop()
+        item = _QueuedRequest(
+            request=request,
+            persona=persona,
+            loop=loop,
+            future=loop.create_future(),
+            enqueued_at=now,
+        )
+        with self._cv:
+            if len(self._queue) >= self.queue_capacity:
+                overloaded = True
+            else:
+                overloaded = False
+                self._queue.append(item)
+                depth = len(self._queue)
+                self._cv.notify()
+        if overloaded:
+            if self.degrade_on_overload:
+                return self._settle_unqueued(
+                    request, persona, "degraded", reason="queue_full"
+                )
+            return self._settle_unqueued(
+                request, persona, "shed", reason="queue_full"
+            )
+        self.stats.record_admitted(request.tenant, persona, depth)
+        return await item.future
+
+    async def match_many(
+        self, requests: Sequence[MatchRequest]
+    ) -> list[MatchResponse]:
+        """Concurrent submission of a whole workload (threaded mode)."""
+        return list(
+            await asyncio.gather(*(self.match(r) for r in requests))
+        )
+
+    # ----------------------------------------------------------- dispatching
+
+    def pump(self) -> int:
+        """Dispatch one persona-contiguous chunk inline (workers=0 mode).
+
+        Returns the number of requests handled; 0 when the queue is
+        empty.  Must only be called from the event-loop thread of the
+        submitting callers, and never concurrently with started workers.
+        """
+        chunk = self._take_chunk(block=False)
+        if not chunk:
+            return 0
+        self._process(chunk)
+        return len(chunk)
+
+    def pump_all(self) -> int:
+        """Pump until the queue is empty; returns requests handled."""
+        handled = 0
+        while True:
+            step = self.pump()
+            if step == 0:
+                return handled
+            handled += step
+
+    def _worker_loop(self) -> None:
+        while True:
+            chunk = self._take_chunk(block=True)
+            if chunk is None:
+                return
+            if chunk:
+                self._process(chunk)
+
+    def _take_chunk(self, block: bool) -> "list[_QueuedRequest] | None":
+        """Pop up to ``batch_size`` same-persona items from the queue head.
+
+        Grouping is persona-contiguous so dispatch order stays the
+        arrival order — a chunk never overtakes an earlier request bound
+        for a different engine.  Returns None when the gateway is closed
+        and drained (threaded workers exit on it).
+        """
+        with self._cv:
+            while block and not self._queue and not self._closed:
+                self._cv.wait()
+            if not self._queue:
+                return None if (block and self._closed) else []
+            persona = self._queue[0].persona
+            chunk = []
+            while (
+                self._queue
+                and len(chunk) < self.batch_size
+                and self._queue[0].persona == persona
+            ):
+                chunk.append(self._queue.popleft())
+            return chunk
+
+    def _process(self, chunk: "list[_QueuedRequest]") -> None:
+        """Answer one dequeued chunk (runs on a dispatch thread)."""
+        persona = chunk[0].persona
+        now = self._clock()
+        live: list[_QueuedRequest] = []
+        for item in chunk:
+            deadline = item.request.deadline
+            if deadline is not None and now >= deadline:
+                # Expired while queued: shed without ever dispatching.
+                self._settle(item, "expired", reason="deadline_expired")
+            else:
+                live.append(item)
+        if not live:
+            return
+        engine = self.router.engine(persona)
+        if self._breaker_open(engine, now):
+            self._degrade(live, reason="circuit_open")
+            return
+        try:
+            results = engine.match_pairs(
+                [(item.request.left, item.request.right) for item in live]
+            )
+        except Exception:
+            # The engine's own retry/fallback machinery answers transport
+            # failures internally; anything escaping here is unexpected —
+            # degrade the chunk so no caller hangs, then let the error
+            # surface. (SimulatedCrash derives from BaseException and
+            # sails past this handler by design.)
+            self._degrade(live, reason="dispatch_error")
+            raise
+        for item, result in zip(live, results):
+            self.stats.record_outcome(
+                item.request.tenant, item.persona, "completed"
+            )
+            self._release(item.request.tenant)
+            self._resolve(
+                item,
+                MatchResponse(
+                    request=item.request,
+                    status="ok",
+                    decision=result.decision,
+                    response=result.response,
+                    source=result.source,
+                    persona=item.persona,
+                ),
+            )
+
+    # ------------------------------------------------------------ degradation
+
+    @staticmethod
+    def _breaker_open(engine: MatchingEngine, now: float) -> bool:
+        """Whether the engine's breaker is open with cooldown remaining.
+
+        Lock-free peek at the breaker's state: a race can only delay
+        degradation by one chunk, never corrupt it — the engine itself
+        re-checks under its own lock on dispatch.
+        """
+        breaker = engine.breaker
+        return (
+            breaker.state == "open"
+            and now - breaker.opened_at < breaker.cooldown
+        )
+
+    @staticmethod
+    def _normalize(text: str) -> str:
+        """Whitespace normalization, matching the engine's raw-pair path."""
+        return " ".join(text.split())
+
+    def _degraded_decisions(
+        self, pairs: "list[tuple[str, str]]"
+    ) -> "list[bool]":
+        split = Split(
+            name="degraded",
+            pairs=[
+                EntityPair(
+                    pair_id=f"degraded-{i}",
+                    left=Record(record_id=f"dg-{i}-l", attributes={},
+                                description=self._normalize(left)),
+                    right=Record(record_id=f"dg-{i}-r", attributes={},
+                                 description=self._normalize(right)),
+                    label=False,
+                )
+                for i, (left, right) in enumerate(pairs)
+            ],
+        )
+        return [bool(d) for d in self.fallback.predict(split)]
+
+    def _degrade(self, items: "list[_QueuedRequest]", reason: str) -> None:
+        """Answer *items* with the gateway's threshold matcher."""
+        decisions = self._degraded_decisions(
+            [(item.request.left, item.request.right) for item in items]
+        )
+        for item, decision in zip(items, decisions):
+            self.stats.record_outcome(
+                item.request.tenant, item.persona, "degraded"
+            )
+            self._release(item.request.tenant)
+            self._resolve(
+                item,
+                MatchResponse(
+                    request=item.request,
+                    status="ok",
+                    decision=decision,
+                    response=None,
+                    source="degraded",
+                    persona=item.persona,
+                    reason=reason,
+                ),
+            )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _response(
+        self,
+        request: MatchRequest,
+        status: str,
+        persona: str,
+        reason: str = "",
+        decision: bool | None = None,
+        source: str = "",
+    ) -> MatchResponse:
+        return MatchResponse(
+            request=request,
+            status=status,
+            decision=decision,
+            response=None,
+            source=source,
+            persona=persona,
+            reason=reason,
+        )
+
+    def _settle_unqueued(
+        self, request: MatchRequest, persona: str, outcome: str, reason: str
+    ) -> MatchResponse:
+        """Terminal outcome for an admitted request that never queued."""
+        self.stats.record_admitted(request.tenant, persona, self.queue_depth)
+        self.stats.record_outcome(request.tenant, persona, outcome)
+        self._release(request.tenant)
+        if outcome == "degraded":
+            [decision] = self._degraded_decisions([(request.left, request.right)])
+            return self._response(
+                request, "ok", persona=persona, reason=reason,
+                decision=decision, source="degraded",
+            )
+        status = "expired" if outcome == "expired" else "shed"
+        return self._response(request, status, persona=persona, reason=reason)
+
+    def _settle(self, item: _QueuedRequest, outcome: str, reason: str) -> None:
+        """Terminal non-answered outcome for a queued request."""
+        self.stats.record_outcome(item.request.tenant, item.persona, outcome)
+        self._release(item.request.tenant)
+        status = "expired" if outcome == "expired" else "shed"
+        self._resolve(
+            item,
+            self._response(
+                item.request, status, persona=item.persona, reason=reason
+            ),
+        )
+
+    def _release(self, tenant: str) -> None:
+        if self.admission is not None:
+            self.admission.release(tenant)
+
+    @staticmethod
+    def _set_result(
+        future: "asyncio.Future[MatchResponse]", response: MatchResponse
+    ) -> None:
+        if not future.done():
+            future.set_result(response)
+
+    def _resolve(self, item: _QueuedRequest, response: MatchResponse) -> None:
+        item.loop.call_soon_threadsafe(self._set_result, item.future, response)
+
+
+async def run_inline(
+    gateway: Gateway, requests: Sequence[MatchRequest]
+) -> list[MatchResponse]:
+    """Submit a workload and pump it to completion, deterministically.
+
+    Inline-mode driver (``workers=0``): every request is submitted as a
+    task, then the queue is pumped until all responses resolve.  With a
+    :class:`~repro.faults.clock.ManualClock` the whole session — chunk
+    boundaries included — is a pure function of the request sequence.
+    """
+    tasks = [asyncio.ensure_future(gateway.match(r)) for r in requests]
+    while not all(task.done() for task in tasks):
+        # Scheduler yield (zero simulated time): lets submissions reach
+        # their queue slots and resolved futures wake their awaiters.
+        await asyncio.sleep(0)
+        gateway.pump_all()
+    return [task.result() for task in tasks]

@@ -1,0 +1,252 @@
+"""Deterministic open-loop load generation for the gateway.
+
+An *open-loop* generator decides every arrival time ahead of the run
+(seeded Poisson process at the offered load) and submits each request at
+its scheduled instant whether or not earlier requests have completed —
+the arrival process never slows down to match the service rate, which is
+what makes saturation measurable (a closed loop would self-throttle and
+hide the overload).
+
+Everything is seeded through :func:`repro._util.derive_rng`, so a
+profile expands to the byte-identical request sequence on every run:
+arrival gaps, pair draws over the given workload, and the round-robin
+tenant assignment.  Replay takes its clock and async sleeper as
+injectables: real time (``time.perf_counter`` + ``asyncio.sleep``) for
+the saturation benchmark, simulated time
+(:class:`~repro.faults.clock.ManualClock`) for chaos runs and the
+byte-identical ``repro-em serve`` CLI session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Sequence
+
+import numpy as np
+
+from repro._util import derive_rng
+from repro.faults.clock import ManualClock
+from repro.serve.gateway import Gateway
+from repro.serve.protocol import DEFAULT_PERSONA, MatchRequest, MatchResponse
+
+__all__ = [
+    "Arrival",
+    "LoadProfile",
+    "ReplayOutcome",
+    "generate_arrivals",
+    "replay",
+    "replay_simulated",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One load point: how much traffic, shaped how."""
+
+    #: mean offered load, requests per second (Poisson arrivals).
+    offered_load: float
+    #: total requests to generate.
+    requests: int
+    #: tenants cycled round-robin as ``tenant-0 .. tenant-N-1``.
+    tenants: int = 1
+    persona: str = DEFAULT_PERSONA
+    #: per-request relative deadline in seconds (None = no deadline).
+    deadline: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offered_load <= 0:
+            raise ValueError("offered_load must be positive")
+        if self.requests < 1:
+            raise ValueError("requests must be positive")
+        if self.tenants < 1:
+            raise ValueError("tenants must be positive")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: submit *request* at time *at* (seconds)."""
+
+    at: float
+    request: MatchRequest
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """One replayed request with its timing, for latency accounting."""
+
+    arrival: Arrival
+    response: MatchResponse
+    #: when the request was actually submitted (>= scheduled time when
+    #: the generator fell behind; latency is measured from the schedule
+    #: to stay free of coordinated omission).
+    submitted_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        """Schedule-to-completion latency, relative to the replay start."""
+        return self.completed_at - self.arrival.at
+
+
+def generate_arrivals(
+    profile: LoadProfile, pairs: Sequence[tuple]
+) -> list[Arrival]:
+    """Expand a profile into its deterministic arrival schedule.
+
+    *pairs* is the workload to draw from — ``(left, right)`` description
+    tuples (dataset pairs via ``split.pairs`` work too: anything with
+    ``left.description`` / ``right.description`` attributes).
+    """
+    if not pairs:
+        raise ValueError("cannot generate load over an empty pair list")
+    rng = derive_rng(profile.seed, "serve-loadgen", profile.requests)
+    arrivals: list[Arrival] = []
+    at = 0.0
+    for i in range(profile.requests):
+        at += float(rng.exponential(1.0 / profile.offered_load))
+        drawn = pairs[int(rng.integers(len(pairs)))]
+        if isinstance(drawn, tuple):
+            left, right = drawn
+        else:  # EntityPair-shaped workload
+            left, right = drawn.left.description, drawn.right.description
+        arrivals.append(
+            Arrival(
+                at=at,
+                request=MatchRequest(
+                    tenant=f"tenant-{i % profile.tenants}",
+                    left=left,
+                    right=right,
+                    persona=profile.persona,
+                    deadline=None if profile.deadline is None
+                    else at + profile.deadline,
+                    request_id=f"req-{i:06d}",
+                ),
+            )
+        )
+    return arrivals
+
+
+async def replay(
+    gateway: Gateway,
+    arrivals: Sequence[Arrival],
+    *,
+    clock: Callable[[], float],
+    sleep_async: Callable[[float], Awaitable[None]],
+) -> list[ReplayOutcome]:
+    """Open-loop replay on an injected clock (threaded-gateway mode).
+
+    Submits each arrival at its scheduled offset from the replay start —
+    sleeping only while ahead of schedule, never waiting on completions —
+    then gathers every response.  All timestamps come from *clock*, so
+    the same routine serves the real-time benchmark and simulated runs.
+    """
+    start = clock()
+    tasks: list[asyncio.Task] = []
+    submitted: list[float] = []
+
+    async def timed(request: MatchRequest) -> tuple[MatchResponse, float]:
+        response = await gateway.match(request)
+        return response, clock() - start
+
+    for arrival in arrivals:
+        delay = (start + arrival.at) - clock()
+        if delay > 0:
+            await sleep_async(delay)
+        submitted.append(clock() - start)
+        tasks.append(asyncio.ensure_future(timed(arrival.request)))
+    answered = await asyncio.gather(*tasks)
+    return [
+        ReplayOutcome(
+            arrival=arrival,
+            response=response,
+            submitted_at=submitted_at,
+            completed_at=completed_at,
+        )
+        for arrival, submitted_at, (response, completed_at)
+        in zip(arrivals, submitted, answered)
+    ]
+
+
+async def replay_simulated(
+    gateway: Gateway,
+    arrivals: Sequence[Arrival],
+    clock: ManualClock,
+    pump_every: int = 8,
+) -> list[ReplayOutcome]:
+    """Deterministic replay on simulated time (inline-mode gateway).
+
+    The clock jumps straight to each arrival instant, and the queue is
+    pumped once every *pump_every* submissions — modelling a dispatcher
+    that frees up at that cadence, so micro-batches and backpressure
+    genuinely form — but the whole session, chunk boundaries and all, is
+    a pure function of ``(arrivals, gateway configuration, pump_every)``.
+    """
+    if pump_every < 1:
+        raise ValueError("pump_every must be positive")
+    start = clock()
+    tasks: list[asyncio.Task] = []
+    submitted: list[float] = []
+
+    async def timed(request: MatchRequest) -> tuple[MatchResponse, float]:
+        response = await gateway.match(request)
+        return response, clock() - start
+
+    for i, arrival in enumerate(arrivals):
+        clock.advance(max(0.0, (start + arrival.at) - clock()))
+        submitted.append(clock() - start)
+        tasks.append(asyncio.ensure_future(timed(arrival.request)))
+        # Yield so the submission reaches its queue slot before the next
+        # arrival (or a pump) can reorder around it.
+        await asyncio.sleep(0)
+        if (i + 1) % pump_every == 0:
+            gateway.pump_all()
+    while not all(task.done() for task in tasks):
+        await asyncio.sleep(0)
+        gateway.pump_all()
+    answered = [task.result() for task in tasks]
+    return [
+        ReplayOutcome(
+            arrival=arrival,
+            response=response,
+            submitted_at=submitted_at,
+            completed_at=completed_at,
+        )
+        for arrival, submitted_at, (response, completed_at)
+        in zip(arrivals, submitted, answered)
+    ]
+
+def summarize(
+    outcomes: "Sequence[ReplayOutcome]", qs: tuple = (50, 95, 99)
+) -> dict:
+    """Roll one replay up into the numbers the benchmark and CLI report.
+
+    Latency percentiles cover *answered* (``ok``) requests only —
+    schedule-to-completion, so queueing delay under overload is included
+    and coordinated omission is not.  ``goodput`` is answered requests
+    per second of replay (first scheduled arrival to last completion).
+    """
+    statuses = Counter(o.response.status for o in outcomes)
+    sources = Counter(
+        o.response.source for o in outcomes if o.response.source
+    )
+    answered = [o for o in outcomes if o.response.ok]
+    latency: dict[str, float] = {}
+    if answered:
+        values = np.percentile(
+            np.asarray([o.latency for o in answered]), qs
+        )
+        latency = {f"p{q}": float(v) for q, v in zip(qs, values)}
+    duration = max((o.completed_at for o in outcomes), default=0.0)
+    return {
+        "requests": len(outcomes),
+        "answered": len(answered),
+        "statuses": dict(sorted(statuses.items())),
+        "sources": dict(sorted(sources.items())),
+        "latency": {k: round(v, 6) for k, v in latency.items()},
+        "duration": round(duration, 6),
+        "goodput": round(len(answered) / duration, 4) if duration else 0.0,
+    }

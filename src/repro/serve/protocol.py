@@ -1,0 +1,116 @@
+"""Request/response schema of the serving gateway.
+
+One :class:`MatchRequest` is a single candidate pair from one tenant,
+optionally pinned to a named model persona and carrying an absolute
+deadline on the gateway's clock.  The gateway always answers with a
+:class:`MatchResponse` — never a traceback: routing, admission, and
+overload problems come back as structured 4xx/5xx-style statuses so a
+caller (or a load generator) can account for every request.
+
+Status taxonomy (``status`` / ``code`` / typical ``reason``):
+
+* ``ok`` / 200 — answered; ``source`` says by whom (``backend``,
+  ``cache``, ``fallback`` from inside the engine, or ``degraded`` when
+  the gateway itself answered with the threshold matcher under overload
+  or an open circuit breaker).
+* ``error`` / 404 — the request named an unknown persona; the reason
+  carries the one-line ``unknown persona: ...`` message.
+* ``rejected`` / 429 — refused by admission control before entering the
+  queue (``rate_limited`` / ``quota_exceeded`` / ``saturated``).
+* ``shed`` / 503 — load-shed on a full queue with degradation disabled.
+* ``expired`` / 504 — the deadline passed on arrival or while queued;
+  the pair was never dispatched to a backend.
+
+Deadline semantics: ``deadline`` is *absolute* simulated/monotonic time
+(same clock the gateway was built with).  The gateway checks it on
+arrival and again at dequeue time, so a request that outlives its
+deadline in the queue is expired, never dispatched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DEFAULT_PERSONA",
+    "MatchRequest",
+    "MatchResponse",
+    "STATUS_CODES",
+]
+
+#: persona name that routes to the gateway's configured default engine.
+DEFAULT_PERSONA = "default"
+
+#: status → wire-style numeric code (4xx/5xx shaped, JSON-friendly).
+STATUS_CODES = {
+    "ok": 200,
+    "error": 404,
+    "rejected": 429,
+    "shed": 503,
+    "expired": 504,
+}
+
+
+@dataclass(frozen=True)
+class MatchRequest:
+    """One tenant's request to match a single candidate pair."""
+
+    tenant: str
+    left: str
+    right: str
+    #: persona name, paper alias, or ``"default"``.
+    persona: str = DEFAULT_PERSONA
+    #: absolute gateway-clock deadline; None = no deadline.
+    deadline: float | None = None
+    #: caller-chosen id echoed back in the response (for correlation).
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+        if not isinstance(self.left, str) or not isinstance(self.right, str):
+            raise ValueError("left/right must be description strings")
+
+
+@dataclass(frozen=True)
+class MatchResponse:
+    """The gateway's structured answer for one request."""
+
+    request: MatchRequest
+    status: str
+    #: parsed matching decision (None unless the request was answered).
+    decision: bool | None
+    #: raw model completion (None for cache-normalized/degraded answers).
+    response: str | None
+    #: "backend" | "cache" | "fallback" | "degraded" | "" (unanswered).
+    source: str
+    #: canonical persona the request routed to ("" when routing failed).
+    persona: str
+    #: machine-readable detail for non-ok statuses.
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUS_CODES:
+            raise ValueError(f"unknown response status {self.status!r}")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def code(self) -> int:
+        """4xx/5xx-style numeric code for the status."""
+        return STATUS_CODES[self.status]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable view (used by the CLI and the load generator)."""
+        return {
+            "tenant": self.request.tenant,
+            "request_id": self.request.request_id,
+            "persona": self.persona,
+            "status": self.status,
+            "code": self.code,
+            "decision": self.decision,
+            "source": self.source,
+            "reason": self.reason,
+        }

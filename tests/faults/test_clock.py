@@ -1,0 +1,188 @@
+"""ManualClock: the sync seam, the async seam, and the tick pump."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.faults.clock import ManualClock
+
+
+async def drain():
+    """Let released sleepers resume (release callback + task resumption)."""
+    for _ in range(5):
+        await asyncio.sleep(0)
+
+
+class TestSyncSeam:
+    def test_starts_at_start_and_only_moves_on_advance(self):
+        clock = ManualClock(start=5.0)
+        assert clock() == 5.0
+        assert clock() == 5.0
+        clock.advance(1.5)
+        assert clock() == 6.5
+
+    def test_negative_advance_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_sleep_consumes_simulated_time(self):
+        clock = ManualClock()
+        clock.sleep(2.0)
+        clock.sleep(-1.0)  # negative sleeps are a no-op, like time.sleep(0)
+        assert clock() == 2.0
+
+
+class TestAsyncSleep:
+    def test_nonpositive_sleep_returns_without_parking(self):
+        clock = ManualClock()
+
+        async def scenario():
+            await clock.sleep_async(0.0)
+            await clock.sleep_async(-3.0)
+            return clock.pending_wakeups()
+
+        assert asyncio.run(scenario()) == 0
+        assert clock() == 0.0
+
+    def test_sleeper_wakes_only_when_clock_reaches_deadline(self):
+        clock = ManualClock()
+        order = []
+
+        async def sleeper():
+            await clock.sleep_async(10.0)
+            order.append("woke")
+
+        async def scenario():
+            task = asyncio.ensure_future(sleeper())
+            await asyncio.sleep(0)
+            assert clock.pending_wakeups() == 1
+            clock.advance(9.999)
+            await asyncio.sleep(0)
+            assert not task.done()  # one microsecond short: still parked
+            order.append("almost")
+            clock.advance(0.001)
+            await task
+
+        asyncio.run(scenario())
+        assert order == ["almost", "woke"]
+
+    def test_one_advance_wakes_every_due_sleeper(self):
+        clock = ManualClock()
+
+        async def scenario():
+            tasks = [
+                asyncio.ensure_future(clock.sleep_async(t))
+                for t in (1.0, 2.0, 5.0)
+            ]
+            await asyncio.sleep(0)
+            clock.advance(2.0)
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            return [t.done() for t in tasks], clock.pending_wakeups()
+
+        done, parked = asyncio.run(scenario())
+        assert done == [True, True, False]
+        assert parked == 1
+
+    def test_advance_from_worker_thread_wakes_async_sleeper(self):
+        clock = ManualClock()
+
+        async def scenario():
+            thread = threading.Thread(target=lambda: clock.advance(3.0))
+            sleeper = asyncio.ensure_future(clock.sleep_async(2.0))
+            await asyncio.sleep(0)
+            thread.start()
+            await sleeper
+            thread.join()
+            return clock()
+
+        assert asyncio.run(scenario()) == 3.0
+
+
+class TestWaitFor:
+    def test_returns_result_when_awaitable_beats_timeout(self):
+        clock = ManualClock()
+
+        async def quick():
+            return "answer"
+
+        async def scenario():
+            return await clock.wait_for(quick(), timeout=1.0)
+
+        assert asyncio.run(scenario()) == "answer"
+
+    def test_raises_and_cancels_when_simulated_deadline_passes(self):
+        clock = ManualClock()
+        cancelled = []
+
+        async def slow():
+            try:
+                await clock.sleep_async(100.0)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+
+        async def scenario():
+            waiter = asyncio.ensure_future(clock.wait_for(slow(), timeout=5.0))
+            while clock.pending_wakeups() < 2:  # slow() + the timeout sleeper
+                await asyncio.sleep(0)
+            clock.advance(5.0)
+            with pytest.raises(TimeoutError):
+                await waiter
+            await asyncio.sleep(0)
+
+        asyncio.run(scenario())
+        assert cancelled == [True]
+
+
+class TestTickPump:
+    def test_tick_advances_to_earliest_wakeup(self):
+        clock = ManualClock()
+
+        async def scenario():
+            a = asyncio.ensure_future(clock.sleep_async(3.0))
+            b = asyncio.ensure_future(clock.sleep_async(7.0))
+            await asyncio.sleep(0)
+            assert clock.next_wakeup() == 3.0
+            assert clock.tick() == 3.0
+            await drain()
+            assert a.done() and not b.done()
+            assert clock.tick() == 7.0
+            await drain()
+            assert b.done()
+            assert clock.tick() is None  # nothing parked: pump is dry
+
+        asyncio.run(scenario())
+
+    def test_timeouts_driven_purely_by_simulated_time(self):
+        # The satellite's point: an asyncio timeout fires with zero real
+        # sleeping, via the pump alone.
+        clock = ManualClock()
+
+        async def scenario():
+            waiter = asyncio.ensure_future(
+                clock.wait_for(clock.sleep_async(60.0), timeout=30.0)
+            )
+            while clock.pending_wakeups() < 2:  # sleeper + timeout parked
+                await asyncio.sleep(0)
+            while clock.tick() is not None:
+                await drain()
+            with pytest.raises(TimeoutError):
+                await waiter
+
+        asyncio.run(scenario())
+        assert clock() == 30.0
+
+    def test_next_wakeup_purges_done_futures(self):
+        clock = ManualClock()
+
+        async def scenario():
+            task = asyncio.ensure_future(clock.sleep_async(1.0))
+            await asyncio.sleep(0)
+            task.cancel()
+            await asyncio.sleep(0)
+            return clock.next_wakeup()
+
+        assert asyncio.run(scenario()) is None

@@ -31,6 +31,23 @@ class Left:
                 self.counter += 1
 
 
+class Queue:
+    items: Annotated[list, guarded_by("_cv")]
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self.items: list = []
+
+    def take(self):
+        with self._cv:
+            while not self.items:
+                # waiting on the held condition releases it for the
+                # whole wait — the canonical consumer idiom, not
+                # blocking-under-lock
+                self._cv.wait()
+            return self.items.pop(0)
+
+
 class Right:
     total: Annotated[int, guarded_by("_lock")]
 

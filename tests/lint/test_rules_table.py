@@ -16,6 +16,7 @@ EVAL = "src/repro/eval/example.py"
 LLM = "src/repro/llm/example.py"
 FAULTS = "src/repro/faults/example.py"
 SERVING = "src/repro/serving/example.py"
+SERVE = "src/repro/serve/example.py"
 
 #: (rule, snippet, relpath) triples that MUST produce at least one finding.
 BAD = [
@@ -62,6 +63,21 @@ BAD = [
     ("injectable-sleep", "import time\ntime.sleep(0.5)\n", ENGINE),
     ("injectable-sleep", "import time\ntime.sleep(backoff)\n", FAULTS),
     ("injectable-sleep", "import time\nstamp = time.time()\n", SERVING),
+    (
+        "injectable-sleep",
+        "import asyncio\nasync def f():\n    await asyncio.sleep(0.5)\n",
+        SERVE,
+    ),
+    (
+        "injectable-sleep",
+        "import asyncio\nasync def f():\n    await asyncio.sleep(delay)\n",
+        SERVE,
+    ),
+    (
+        "injectable-sleep",
+        "import asyncio\nloop = asyncio.get_running_loop()\nt = loop.time()\n",
+        SERVE,
+    ),
     (
         "marker-safety",
         '_HEDGES = ("They are likely the same entity.",)\n',
@@ -142,6 +158,26 @@ GOOD = [
     ),
     # direct sleeps outside the clock-injectable packages are out of scope
     ("injectable-sleep", "import time\ntime.sleep(0.5)\n", "scripts/example.py"),
+    # asyncio.sleep(0) is a pure scheduler yield, not a timed wait
+    (
+        "injectable-sleep",
+        "import asyncio\nasync def f():\n    await asyncio.sleep(0)\n",
+        SERVE,
+    ),
+    # taking the sleeper as an injectable parameter is the approved seam
+    (
+        "injectable-sleep",
+        "import asyncio\n"
+        "async def run(sleep_async=asyncio.sleep):\n"
+        "    await sleep_async(0.5)\n",
+        SERVE,
+    ),
+    # ambient asyncio sleeps outside the clock-injectable packages pass
+    (
+        "injectable-sleep",
+        "import asyncio\nasync def f():\n    await asyncio.sleep(0.5)\n",
+        "scripts/example.py",
+    ),
     # float == outside eval code is out of scope for this rule
     ("float-eq", "exact = f1 == 100.0\n", "src/repro/analysis/example.py"),
     (

@@ -1,0 +1,40 @@
+"""Test doubles for the serve suite: a controllable fake engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+
+from repro._util import stable_hash
+
+
+@dataclass
+class FakeEngine:
+    """Engine stand-in exposing exactly what the gateway touches.
+
+    ``match_pairs`` answers with stable-hash parity (same rule as the
+    engine suite's ParityBackend), records every dispatched chunk, and
+    keeps ``stats.requests`` in sync so gateway reconciliation holds.
+    The breaker is a plain namespace tests can flip open.
+    """
+
+    chunks: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.stats = SimpleNamespace(requests=0)
+        self.breaker = SimpleNamespace(
+            state="closed", opened_at=0.0, cooldown=2.0
+        )
+
+    def match_pairs(self, pairs):
+        pairs = list(pairs)
+        self.chunks.append(pairs)
+        self.stats.requests += len(pairs)
+        return [
+            SimpleNamespace(
+                decision=stable_hash(left, right) % 2 == 0,
+                response="Yes.",
+                source="backend",
+            )
+            for left, right in pairs
+        ]

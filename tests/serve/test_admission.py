@@ -1,0 +1,194 @@
+"""Admission control: token buckets, quotas, the global cap — edge cases."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.faults.clock import ManualClock
+from repro.serve import (
+    AdmissionController,
+    Gateway,
+    MatchRequest,
+    PersonaRouter,
+    TenantPolicy,
+    TokenBucket,
+)
+
+from tests.serve.doubles import FakeEngine
+
+PERSONA = "llama-3.1-8b"
+
+
+def _controller(clock=None, **kwargs) -> AdmissionController:
+    return AdmissionController(clock=clock or ManualClock(), **kwargs)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": -1.0},
+            {"burst": -0.5},
+            {"quota": -1},
+        ],
+    )
+    def test_negative_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantPolicy(**kwargs)
+
+    def test_negative_max_concurrency_rejected(self):
+        with pytest.raises(ValueError):
+            _controller(max_concurrency=-1)
+
+
+class TestTokenBucket:
+    def test_infinite_capacity_always_admits(self):
+        bucket = TokenBucket(rate=0.0, capacity=math.inf, clock=ManualClock())
+        assert all(bucket.try_acquire() for _ in range(1000))
+
+    def test_zero_capacity_never_admits(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=100.0, capacity=0.0, clock=clock)
+        assert not bucket.try_acquire()
+        clock.advance(3600.0)  # refill can never exceed zero capacity
+        assert not bucket.try_acquire()
+
+    def test_refills_continuously_up_to_capacity(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, capacity=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # one token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(1000.0)  # refill clamps at capacity
+        assert bucket.tokens == 4.0
+
+
+# Table-driven edge cases: (policies/cap, admit script) -> expected reasons.
+# Script entries are (op, tenant) where op is "admit" or "release"; expected
+# lists the admit() result for each "admit" in order (None = admitted).
+ADMISSION_CASES = [
+    pytest.param(
+        {"default_policy": TenantPolicy(burst=0.0)},
+        [("admit", "a"), ("admit", "a")],
+        ["rate_limited", "rate_limited"],
+        id="zero-capacity-bucket-never-admits",
+    ),
+    pytest.param(
+        {"default_policy": TenantPolicy(rate=1.0, burst=3.0)},
+        [("admit", "a")] * 4,
+        [None, None, None, "rate_limited"],
+        id="burst-exactly-at-capacity",
+    ),
+    pytest.param(
+        {"max_concurrency": 2},
+        [("admit", "a"), ("admit", "a"), ("admit", "b"),
+         ("release", "a"), ("admit", "b")],
+        [None, None, "saturated", None],
+        id="two-tenants-share-global-cap",
+    ),
+    pytest.param(
+        {"default_policy": TenantPolicy(quota=2)},
+        [("admit", "a"), ("admit", "a"), ("release", "a"),
+         ("release", "a"), ("admit", "a"), ("admit", "b")],
+        [None, None, "quota_exceeded", None],
+        id="quota-is-lifetime-release-does-not-refill",
+    ),
+    pytest.param(
+        {"default_policy": TenantPolicy(quota=0), "max_concurrency": 0},
+        [("admit", "a")],
+        ["saturated"],
+        id="saturated-outranks-quota",
+    ),
+    pytest.param(
+        {
+            "default_policy": TenantPolicy(rate=1.0, burst=1.0),
+            "tenant_policies": {"vip": TenantPolicy()},
+        },
+        [("admit", "a"), ("admit", "a"), ("admit", "vip"), ("admit", "vip")],
+        [None, "rate_limited", None, None],
+        id="per-tenant-policy-overrides-default",
+    ),
+]
+
+
+class TestAdmissionTable:
+    @pytest.mark.parametrize("kwargs, script, expected", ADMISSION_CASES)
+    def test_admission_sequence(self, kwargs, script, expected):
+        controller = _controller(**kwargs)
+        outcomes = []
+        for op, tenant in script:
+            if op == "admit":
+                outcomes.append(controller.admit(tenant))
+            else:
+                controller.release(tenant)
+        assert outcomes == expected
+
+
+class TestControllerBehaviour:
+    def test_refusal_never_consumes_tokens(self):
+        clock = ManualClock()
+        controller = _controller(
+            clock=clock, default_policy=TenantPolicy(rate=1.0, burst=1.0)
+        )
+        assert controller.admit("a") is None
+        # Three refused attempts must not drain the refill accrued so far.
+        clock.advance(0.9)
+        for _ in range(3):
+            assert controller.admit("a") == "rate_limited"
+        clock.advance(0.1)  # exactly one token accrued over the full second
+        assert controller.admit("a") is None
+
+    def test_quota_checked_before_bucket(self):
+        controller = _controller(
+            default_policy=TenantPolicy(rate=0.0, burst=0.0, quota=0)
+        )
+        assert controller.admit("a") == "quota_exceeded"
+
+    def test_release_without_admit_raises(self):
+        controller = _controller()
+        with pytest.raises(RuntimeError):
+            controller.release("a")
+
+    def test_in_flight_and_admitted_total_track_the_funnel(self):
+        controller = _controller(max_concurrency=8)
+        for _ in range(3):
+            assert controller.admit("a") is None
+        controller.release("a")
+        assert controller.in_flight == 2
+        assert controller.admitted_total("a") == 3
+        assert controller.admitted_total("ghost") == 0
+
+
+class TestDeadlineOnArrival:
+    def test_already_expired_request_is_admitted_then_expired(self):
+        # The satellite's edge case: a request whose absolute deadline has
+        # already passed when it arrives is counted admitted -> expired
+        # (so conservation holds) but never queued, never dispatched.
+        clock = ManualClock(start=100.0)
+        engine = FakeEngine()
+        router = PersonaRouter(
+            default=PERSONA, personas=(PERSONA,),
+            engine_factory=lambda name: engine,
+        )
+        controller = _controller(clock=clock)
+        gateway = Gateway(
+            router, controller, workers=0, clock=clock, queue_capacity=4
+        )
+        request = MatchRequest(
+            tenant="a", left="x", right="y", persona=PERSONA, deadline=99.0
+        )
+
+        response = asyncio.run(gateway.match(request))
+
+        assert response.status == "expired" and response.code == 504
+        assert response.reason == "deadline_expired"
+        assert engine.chunks == []  # never dispatched
+        assert gateway.queue_depth == 0
+        assert controller.in_flight == 0  # slot released
+        total = gateway.stats.as_dict()["total"]
+        assert total["admitted"] == 1 and total["expired"] == 1
+        assert gateway.stats.violations() == []

@@ -1,0 +1,73 @@
+"""Persona routing: aliases, lazy engines, structured unknown-persona errors."""
+
+import pytest
+
+from repro.llm.registry import MODEL_NAMES
+from repro.serve import PersonaRouter, UnknownPersonaError
+
+from tests.serve.doubles import FakeEngine
+
+
+class TestResolve:
+    def test_default_and_empty_route_to_the_default_persona(self):
+        router = PersonaRouter(default="llama-3.1-8b")
+        assert router.resolve("default") == "llama-3.1-8b"
+        assert router.resolve("") == "llama-3.1-8b"
+        assert router.default == "llama-3.1-8b"
+
+    def test_paper_aliases_resolve_to_canonical_names(self):
+        router = PersonaRouter()
+        assert router.resolve("llama-8b") == "llama-3.1-8b"
+        assert router.resolve("gpt-4o-mini-2024-07-18") == "gpt-4o-mini"
+
+    def test_default_may_itself_be_an_alias(self):
+        router = PersonaRouter(default="llama-8b")
+        assert router.default == "llama-3.1-8b"
+
+    def test_serves_every_registered_persona_by_default(self):
+        assert PersonaRouter().personas == MODEL_NAMES
+
+    def test_unknown_persona_raises_structured_error(self):
+        router = PersonaRouter()
+        with pytest.raises(UnknownPersonaError) as exc_info:
+            router.resolve("not-a-model")
+        error = exc_info.value
+        assert error.persona == "not-a-model"
+        assert error.choices[0] == "default"
+        assert set(MODEL_NAMES) <= set(error.choices)
+        assert str(error).startswith("unknown persona: not-a-model (choose from ")
+
+    def test_known_persona_outside_served_set_is_unknown_here(self):
+        router = PersonaRouter(
+            default="llama-3.1-8b", personas=("llama-3.1-8b",)
+        )
+        with pytest.raises(UnknownPersonaError) as exc_info:
+            router.resolve("gpt-4o")
+        assert exc_info.value.choices == ("default", "llama-3.1-8b")
+
+    def test_default_must_be_among_served_personas(self):
+        with pytest.raises(ValueError):
+            PersonaRouter(default="gpt-4o", personas=("llama-3.1-8b",))
+
+
+class TestEngines:
+    def test_engine_built_lazily_and_exactly_once_per_persona(self):
+        built = []
+
+        def factory(name):
+            built.append(name)
+            return FakeEngine()
+
+        router = PersonaRouter(engine_factory=factory)
+        assert built == []
+        first = router.engine("llama-3.1-8b")
+        again = router.engine("llama-8b")  # alias: same persona, same engine
+        other = router.engine("gpt-4o")
+        assert first is again and first is not other
+        assert built == ["llama-3.1-8b", "gpt-4o"]
+
+    def test_engines_snapshot_maps_canonical_names(self):
+        router = PersonaRouter(engine_factory=lambda name: FakeEngine())
+        assert router.engines() == {}
+        router.engine("default")
+        assert list(router.engines()) == [router.default]

@@ -119,6 +119,72 @@ class TestEngineCommand:
             main(["engine", "--pairs", str(path)])
 
 
+class TestUnknownPersona:
+    """Every model-taking subcommand exits with the same one-line message."""
+
+    CASES = [
+        pytest.param(["match", "a", "b", "--model", "gpt-5-ultra"], id="match"),
+        pytest.param(["zero-shot", "--model", "gpt-5-ultra"], id="zero-shot"),
+        pytest.param(["finetune", "--model", "gpt-5-ultra"], id="finetune"),
+        pytest.param(["sensitivity", "--model", "gpt-5-ultra"], id="sensitivity"),
+        pytest.param(["engine", "--dataset", "abt-buy",
+                      "--model", "gpt-5-ultra"], id="engine"),
+        pytest.param(["resolve", "--dataset", "abt-buy",
+                      "--model", "gpt-5-ultra"], id="resolve"),
+        pytest.param(["serve", "--persona", "gpt-5-ultra",
+                      "--requests", "4"], id="serve"),
+    ]
+
+    @pytest.mark.parametrize("argv", CASES)
+    def test_one_line_exit_no_traceback(self, argv):
+        with pytest.raises(SystemExit) as exc_info:
+            main(argv)
+        message = str(exc_info.value)
+        assert message.startswith("unknown persona: gpt-5-ultra (choose from ")
+        assert "\n" not in message
+
+    def test_aliases_still_resolve(self, capsys):
+        assert main(["match", "Jabra Evolve 80", "Jabra Evolve-80 stereo",
+                     "--model", "llama-8b"]) == 0
+        assert capsys.readouterr().out.strip() in ("MATCH", "NO MATCH")
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--requests", "24", "--offered-load", "400",
+            "--tenants", "2", "--seed", "0"]
+
+    def test_text_mode_reports_a_clean_session(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "24/24 answered" in out
+        assert "per-tenant funnel" in out
+        assert "VIOLATION" not in out
+
+    def test_json_mode_is_byte_identical_across_runs(self, capsys):
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["requests"] == 24 and payload["answered"] == 24
+        assert payload["ok"] is True and payload["violations"] == []
+
+    def test_admission_shapes_the_funnel(self, capsys):
+        assert main(self.ARGS + ["--rate", "50", "--burst", "5",
+                                 "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["statuses"].get("rejected", 0) > 0
+        assert payload["ok"] is True and payload["violations"] == []
+
+    def test_chaos_mode_reports_clean_sweep(self, capsys):
+        assert main(["serve", "--chaos", "--fault-rate", "0.3",
+                     "--requests", "32", "--chaos-seed", "0",
+                     "--chaos-seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" not in out
+
+
 class TestChaosCommand:
     ARGS = ["chaos", "--fault-rate", "0.3", "--seed", "0",
             "--pairs", "24", "--records", "10"]
