@@ -1,0 +1,102 @@
+"""Lint walker throughput: serial vs thread-pooled per-file phase.
+
+The per-file parse+walk phase of :func:`repro.lint.run_lint` fans out
+over a thread pool when ``jobs`` > 1.  This benchmark times the shallow
+lint of the default roots at a sweep of worker counts, asserts every
+parallel run produces byte-identical output to the serial run, and
+reports wall-clock plus speedup.  ``ast.parse`` releases the GIL poorly,
+so the expected win is modest — the point of the numbers is honesty, not
+marketing.
+
+Runs standalone (CI smoke) or under pytest-benchmark::
+
+    PYTHONPATH=src python -m benchmarks.bench_lint --smoke
+    PYTHONPATH=src python -m pytest benchmarks/bench_lint.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from pathlib import Path
+
+from repro.lint import DEFAULT_ROOTS, run_lint
+from repro.lint.findings import format_json
+
+from benchmarks._output import emit, emit_json
+from repro.eval.reports import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FULL_REPEATS = 3
+SMOKE_REPEATS = 1
+
+
+def _time_run(jobs: int | None, repeats: int) -> tuple[float, str]:
+    """Best-of-*repeats* wall-clock plus the rendered JSON output."""
+    best = float("inf")
+    payload = ""
+    for _ in range(repeats):
+        start = time.perf_counter()
+        findings = run_lint(REPO_ROOT, paths=list(DEFAULT_ROOTS), jobs=jobs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        payload = format_json(findings)
+    return best, payload
+
+
+def run_sweep(repeats: int) -> dict[str, object]:
+    """Serial baseline, then a jobs sweep; outputs must be identical."""
+    serial_s, serial_out = _time_run(None, repeats)
+    rows: list[dict[str, object]] = [
+        {"jobs": "serial", "wall_s": round(serial_s, 4), "speedup": 1.0}
+    ]
+    cpus = os.cpu_count() or 1
+    for jobs in sorted({2, 4, cpus}):
+        if jobs < 2:
+            continue
+        wall, out = _time_run(jobs, repeats)
+        if out != serial_out:
+            raise AssertionError(f"jobs={jobs} output diverged from serial run")
+        rows.append(
+            {
+                "jobs": jobs,
+                "wall_s": round(wall, 4),
+                "speedup": round(serial_s / wall, 2),
+            }
+        )
+    return {"cpus": cpus, "repeats": repeats, "rows": rows}
+
+
+def render(result: dict[str, object]) -> str:
+    rows = [
+        [row["jobs"], f"{row['wall_s']:.4f}", f"{row['speedup']:.2f}x"]
+        for row in result["rows"]
+    ]
+    return format_table(
+        ["jobs", "wall_s", "speedup"],
+        rows,
+        title=(
+            "lint walker: shallow pass over default roots "
+            f"(cpus={result['cpus']}, best of {result['repeats']})"
+        ),
+    )
+
+
+def test_parallel_output_identical_and_measured() -> None:
+    result = run_sweep(SMOKE_REPEATS)
+    assert len(result["rows"]) >= 2
+    assert all(row["wall_s"] > 0 for row in result["rows"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="single repeat")
+    args = parser.parse_args()
+    result = run_sweep(SMOKE_REPEATS if args.smoke else FULL_REPEATS)
+    emit("bench_lint", render(result))
+    emit_json("bench_lint", result)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ Subcommands::
         [--no-short-circuit]
     repro-em lint [PATHS ...] [--rule ID ...] [--format text|json]
         [--list-rules] [--deep] [--baseline FILE] [--update-baseline]
+        [--jobs N] [--changed-only] [--base REF] [--timings]
     repro-em chaos [--fault-rate F] [--seed N ...] [--kill-every N]
         [--pairs N] [--records N] [--journal FILE] [--format text|json]
     repro-em serve [--offered-load F] [--requests N] [--tenants N]
@@ -33,6 +34,7 @@ persona: ...`` message listing the choices, never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.pipeline import TailorMatch
@@ -183,6 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="rewrite the baseline file from the current findings and "
         "exit 0 (ratchet: review the diff — it should only shrink)",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1, metavar="N",
+        help="thread-pool width for the per-file parse+walk phase "
+        "(default: CPU count; output is identical to a serial run)",
+    )
+    lint.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files changed vs --base (git diff + untracked); "
+        "--deep still analyzes the whole program",
+    )
+    lint.add_argument(
+        "--base", metavar="REF", default="HEAD",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    lint.add_argument(
+        "--timings", action="store_true",
+        help="include per-analysis wall-clock in the --deep JSON summary "
+        "(off by default: timings break byte-identical output)",
     )
 
     chaos = sub.add_parser(
@@ -545,6 +566,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.lint import RULES, format_json, format_text, run_lint
     from repro.lint.deep import run_deep
+    from repro.lint.walker import changed_files
 
     if args.list_rules:
         # Importing the deep runner above registers project-scoped rules.
@@ -561,15 +583,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if args.update_baseline:
             print("lint: --update-baseline requires --deep", file=sys.stderr)
             return 2
+    paths = args.paths or None
+    if args.changed_only:
+        if paths:
+            print("lint: --changed-only and explicit paths are mutually "
+                  "exclusive", file=sys.stderr)
+            return 2
+        try:
+            changed = changed_files(".", base=args.base)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        paths = changed
     try:
-        findings = run_lint(".", paths=args.paths or None, rules=args.rules)
+        if args.changed_only and not paths:
+            findings = []  # nothing changed: shallow phase has no input.
+        else:
+            findings = run_lint(
+                ".", paths=paths, rules=args.rules, jobs=args.jobs
+            )
     except (ValueError, FileNotFoundError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
     summary = None
     if args.deep:
         try:
-            deep_findings, summary = run_deep(".", rules=args.rules)
+            deep_findings, summary = run_deep(
+                ".", rules=args.rules, timings=args.timings
+            )
         except ValueError as exc:
             print(f"lint: {exc}", file=sys.stderr)
             return 2

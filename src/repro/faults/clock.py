@@ -24,6 +24,9 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from typing import Annotated
+
+from repro.concurrency import guarded_by
 
 __all__ = ["ManualClock"]
 
@@ -40,11 +43,19 @@ class ManualClock:
     wall clock.
     """
 
+    #: the timeline and its parked sleepers — advanced from arbitrary
+    #: threads, read by the async seam on the loop; always under ``_lock``.
+    _now: Annotated[float, guarded_by("_lock")]
+    #: parked async sleepers: (wake-up time, owning loop, future).
+    _waiters: Annotated[
+        "list[tuple[float, asyncio.AbstractEventLoop, asyncio.Future]]",
+        guarded_by("_lock"),
+    ]
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = start
         self._lock = threading.Lock()
-        #: parked async sleepers: (wake-up time, owning loop, future).
-        self._waiters: list[tuple[float, asyncio.AbstractEventLoop, asyncio.Future]] = []
+        self._waiters = []
 
     def __call__(self) -> float:
         with self._lock:

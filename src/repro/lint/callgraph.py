@@ -54,6 +54,9 @@ class CallSite:
     targets: list[str] = field(default_factory=list)
     #: "resolved" | "unresolved" | "external" | "dynamic" | "builtin"
     status: str = "unresolved"
+    #: the call expression is directly awaited (``await f(...)``) — async
+    #: analyses treat awaited sites as suspension points, not blockers.
+    awaited: bool = False
 
     @property
     def line(self) -> int:
@@ -414,12 +417,18 @@ def build_call_graph(table: SymbolTable) -> CallGraph:
     for fn in table.functions.values():
         resolver = _Resolver(graph, fn)
         sites: list[CallSite] = []
+        awaited_calls = {
+            id(node.value)
+            for node in ast.walk(fn.node)
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call)
+        }
         # Nested defs/lambdas are not separate symbols: their call sites are
         # attributed to the enclosing function, which is what the analyses
         # (taint, locks, exceptions) need anyway.
         for node in ast.walk(fn.node):
             if isinstance(node, ast.Call):
                 site = resolver.resolve(node)
+                site.awaited = id(node) in awaited_calls
                 sites.append(site)
                 for target in site.targets:
                     graph.callers.setdefault(target, set()).add(fn.qualname)

@@ -9,14 +9,17 @@ summary (call-graph resolution accounting) for the JSON output.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
 # Importing the deep rule modules registers them.
+import repro.lint.rules_deep_async  # noqa: F401
 import repro.lint.rules_deep_exceptions  # noqa: F401
 import repro.lint.rules_deep_locks  # noqa: F401
 import repro.lint.rules_deep_taint  # noqa: F401
+from repro.lint.asyncflow import AsyncFlowAnalysis
 from repro.lint.callgraph import CallGraph, build_call_graph
 from repro.lint.dataflow import ExceptionAnalysis, TaintAnalysis
 from repro.lint.findings import Finding
@@ -42,29 +45,55 @@ class DeepContext:
     taint: TaintAnalysis
     escapes: ExceptionAnalysis
     locks: LockAnalysis
+    asyncflow: AsyncFlowAnalysis
+    #: per-analysis wall-clock seconds; None unless timings were requested
+    #: (the default keeps the JSON report byte-identical across runs).
+    timings: dict | None = None
 
     def summary(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "modules": len(self.table.modules),
             "classes": len(self.table.classes),
             "functions": len(self.table.functions),
             "callgraph": self.graph.summary(),
+            "async": self.asyncflow.summary(),
         }
+        if self.timings is not None:
+            out["timings"] = self.timings
+        return out
 
 
 def build_context(
-    root: Path | str = ".", package_dirs: tuple[str, ...] = DEEP_ROOTS
+    root: Path | str = ".",
+    package_dirs: tuple[str, ...] = DEEP_ROOTS,
+    timings: bool = False,
 ) -> DeepContext:
     root = Path(root)
-    table = SymbolTable.build(root, package_dirs)
-    graph = build_call_graph(table)
+    elapsed: dict[str, float] = {}
+
+    def timed(name: str, make):
+        start = time.perf_counter()
+        result = make()
+        elapsed[name] = round(time.perf_counter() - start, 4)
+        return result
+
+    table = timed("symbols", lambda: SymbolTable.build(root, package_dirs))
+    graph = timed("callgraph", lambda: build_call_graph(table))
+    taint = timed("taint", lambda: TaintAnalysis(table, graph))
+    escapes = timed("exceptions", lambda: ExceptionAnalysis(table, graph))
+    locks = timed("locks", lambda: LockAnalysis(table, graph))
+    asyncflow = timed(
+        "asyncflow", lambda: AsyncFlowAnalysis(table, graph, locks)
+    )
     return DeepContext(
         root=root,
         table=table,
         graph=graph,
-        taint=TaintAnalysis(table, graph),
-        escapes=ExceptionAnalysis(table, graph),
-        locks=LockAnalysis(table, graph),
+        taint=taint,
+        escapes=escapes,
+        locks=locks,
+        asyncflow=asyncflow,
+        timings=elapsed if timings else None,
     )
 
 
@@ -73,13 +102,20 @@ def run_deep(
     package_dirs: tuple[str, ...] = DEEP_ROOTS,
     rules: Iterable[str] | None = None,
     context: DeepContext | None = None,
+    timings: bool = False,
 ) -> tuple[list[Finding], dict[str, object]]:
     """Run project-scoped rules; returns (sorted findings, summary).
 
     ``rules`` filters by id exactly like the shallow walker — non-project
     ids in the filter are simply not run here (the CLI runs both layers).
+    ``timings`` adds per-analysis wall-clock to the summary — off by
+    default so the JSON report stays byte-identical across runs.
     """
-    ctx = context if context is not None else build_context(root, package_dirs)
+    ctx = (
+        context
+        if context is not None
+        else build_context(root, package_dirs, timings=timings)
+    )
     project_rules = [r for r in iter_rules(rules) if r.scope == "project"]
 
     findings: list[Finding] = []

@@ -14,7 +14,10 @@ __all__ = ["Finding", "SCHEMA_VERSION", "SEVERITIES", "format_text", "format_jso
 
 #: version of the JSON report schema.  Bump when the payload shape
 #: changes; consumers (CI annotations, dashboards) pin against this.
-SCHEMA_VERSION = 1
+#: v2: ``summary`` gained the ``async`` section (context classification
+#: and await/call-site resolution accounting) and an optional ``timings``
+#: section (present only when timings are explicitly requested).
+SCHEMA_VERSION = 2
 
 #: Recognized severities, most severe first.  Both fail the lint run; the
 #: distinction only signals how direct the evidence is ("error" = the rule

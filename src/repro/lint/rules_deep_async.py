@@ -1,0 +1,110 @@
+"""Deep rules: the thread↔loop contract of the async gateway, enforced.
+
+Three project-scoped rules over
+:class:`repro.lint.asyncflow.AsyncFlowAnalysis`:
+
+* ``deep-async-blocking`` — a coroutine (transitively) makes a call that
+  blocks the thread running it — ``time.sleep``, file I/O, un-awaited
+  waits/joins/acquires, blocking queue operations, or any path reaching
+  a Protocol-declared I/O method — without hopping to an executor.  One
+  stalled coroutine stalls *every* task on that loop;
+* ``deep-async-future`` — a future born on the event loop is completed
+  (``set_result``/``set_exception``) from thread-classified code instead
+  of through ``loop.call_soon_threadsafe``, or a coroutine object is
+  created and then neither awaited nor handed to a task — silently
+  discarded work;
+* ``deep-async-race`` — a field is written from thread-classified code
+  and accessed from loop-classified code (or vice versa) with no
+  ``guarded_by`` declaration and no ``call_soon_threadsafe`` hand-off
+  establishing the ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+
+@rule(
+    "deep-async-blocking",
+    family="concurrency",
+    scope="project",
+    description="coroutine makes a transitively-blocking call on the loop",
+)
+def check_loop_blocking(ctx) -> Iterator[Finding]:
+    for v in ctx.asyncflow.blocking:
+        yield Finding(
+            rule="deep-async-blocking",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=f"coroutine {v.fn} blocks the event loop: {v.reason}",
+            hint="hop the blocking work to a thread with "
+            "`await loop.run_in_executor(None, ...)` (or asyncio.to_thread), "
+            "or use the async variant of the primitive",
+        )
+
+
+@rule(
+    "deep-async-future",
+    family="concurrency",
+    scope="project",
+    description="loop-owned future completed off-loop, or coroutine never awaited",
+)
+def check_future_discipline(ctx) -> Iterator[Finding]:
+    for v in ctx.asyncflow.future_violations:
+        yield Finding(
+            rule="deep-async-future",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=(
+                f"{v.fn} calls {v.receiver}.{v.method}(...) from "
+                f"{v.context}-classified context; loop-owned futures must be "
+                "completed via loop.call_soon_threadsafe"
+            ),
+            hint="post the completion to the owning loop: "
+            "`loop.call_soon_threadsafe(fut.set_result, value)`",
+        )
+    for u in ctx.asyncflow.unawaited:
+        yield Finding(
+            rule="deep-async-future",
+            severity="error",
+            path=u.relpath,
+            line=u.line,
+            message=(
+                f"coroutine object {u.callee}(...) created in {u.fn} is "
+                f"{u.how}: it never runs"
+            ),
+            hint="await it, or schedule it with asyncio.create_task(...) and "
+            "keep the task reference",
+        )
+
+
+@rule(
+    "deep-async-race",
+    family="concurrency",
+    scope="project",
+    description="field crosses the thread↔loop boundary without ordering",
+)
+def check_thread_loop_races(ctx) -> Iterator[Finding]:
+    for r in ctx.asyncflow.races:
+        cls_name = r.cls.rsplit(".", 1)[-1]
+        yield Finding(
+            rule="deep-async-race",
+            severity="error",
+            path=r.write.relpath,
+            line=r.write.line,
+            message=(
+                f"{cls_name}.{r.field_name} is written in {r.write.fn} "
+                f"({r.write.context} context) and {r.other.kind} in "
+                f"{r.other.fn} ({r.other.context} context, "
+                f"{r.other.relpath}:{r.other.line}) with no guarded_by lock "
+                "or call_soon_threadsafe hand-off"
+            ),
+            hint="declare the field `Annotated[T, guarded_by(\"<lock>\")]` "
+            "and access it under that lock, or hand the value across via "
+            "loop.call_soon_threadsafe",
+        )

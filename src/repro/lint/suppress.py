@@ -11,6 +11,14 @@ Two placements are honoured:
   ``--``) is the justification; the linter keeps it out of the match but
   humans should always write one.
 
+  On an ``async def`` / ``async with`` / ``async for`` *header* line the
+  directive covers the whole statement body, not just the header — the
+  deep async rules anchor findings inside coroutine bodies, so a
+  header-only suppression would never reach them::
+
+      async def pump_forever(self):  # repro-lint: disable=deep-async-blocking
+          ...  # every line of the body is covered
+
 * **own line (block)** — a standalone comment suppresses the named rules
   for the whole statement that starts on the next code line (including a
   multi-line statement body)::
@@ -82,9 +90,25 @@ class SuppressionIndex:
                 _tokenize.ENCODING,
             ):
                 code_lines.add(tok.start[0])
+        # ``async def`` / ``async with`` / ``async for`` header lines: a
+        # same-line directive there covers the whole statement span
+        # (mirroring the except-block special case below — findings from
+        # the async analyses land inside the body, not on the header).
+        async_spans: dict[int, int] = {}
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.AsyncFunctionDef, ast.AsyncWith, ast.AsyncFor)
+            ):
+                async_spans.setdefault(
+                    node.lineno, getattr(node, "end_lineno", node.lineno)
+                )
         for line, rules in comments:
             if line in code_lines:
                 by_line.setdefault(line, set()).update(rules)
+                end = async_spans.get(line)
+                if end is not None:
+                    for covered in range(line, end + 1):
+                        by_line.setdefault(covered, set()).update(rules)
             else:
                 standalone.append((line, rules))
         # A standalone directive covers the full span of the statement

@@ -54,6 +54,11 @@ class FunctionSymbol:
         return self.cls is not None
 
     @property
+    def is_coroutine(self) -> bool:
+        """Whether this is an ``async def`` (its body runs on an event loop)."""
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
     def line(self) -> int:
         return self.node.lineno
 

@@ -10,6 +10,8 @@ file:line locations).
 
 from __future__ import annotations
 
+import subprocess
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -22,7 +24,7 @@ from repro.lint.findings import Finding
 from repro.lint.registry import FileContext, iter_rules
 from repro.lint.suppress import SuppressionIndex
 
-__all__ = ["DEFAULT_ROOTS", "iter_python_files", "run_lint"]
+__all__ = ["DEFAULT_ROOTS", "changed_files", "iter_python_files", "run_lint"]
 
 #: linted by default: the library itself plus the executable side trees.
 DEFAULT_ROOTS = ("src/repro", "scripts", "benchmarks")
@@ -67,15 +69,79 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def changed_files(root: Path | str = ".", base: str = "HEAD") -> list[str]:
+    """Python files changed vs *base* (``git diff``) plus untracked ones.
+
+    Paths are repo-relative, restricted to the default lint roots, and
+    deleted files are dropped.  Raises ``ValueError`` when *root* is not
+    a git checkout or *base* does not resolve — a silent empty answer
+    would make ``--changed-only`` pass vacuously.
+    """
+    root = Path(root)
+    names: list[str] = []
+    for cmd in (
+        ["git", "-C", str(root), "diff", "--name-only", base, "--"],
+        ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            raise ValueError(
+                f"changed-files lookup failed ({' '.join(cmd[3:])}): "
+                f"{detail[0] if detail else 'git error'}"
+            )
+        names.extend(line.strip() for line in proc.stdout.splitlines())
+    out = []
+    for name in sorted(set(names)):
+        if not name.endswith(".py") or not (root / name).is_file():
+            continue
+        if any(
+            name == r or name.startswith(f"{r}/") for r in DEFAULT_ROOTS
+        ):
+            out.append(name)
+    return out
+
+
+def _lint_one_file(
+    path: Path, root: Path, file_rules: list
+) -> tuple[str, list[Finding], SuppressionIndex | None]:
+    """Parse + file-rule phase for one file (safe to run on any thread)."""
+    relpath = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        ctx = FileContext.from_source(source, relpath, path=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="syntax-error",
+            severity="error",
+            path=relpath,
+            line=exc.lineno or 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return relpath, [finding], None
+    index = SuppressionIndex.from_source(source, ctx.tree)
+    kept = [
+        finding
+        for file_rule in file_rules
+        for finding in file_rule.check(ctx)
+        if not index.is_suppressed(finding.rule, finding.line)
+    ]
+    return relpath, kept, index
+
+
 def run_lint(
     root: Path | str = ".",
     paths: Iterable[str] | None = None,
     rules: Iterable[str] | None = None,
+    jobs: int | None = None,
 ) -> list[Finding]:
     """Lint the repository; returns unsuppressed findings, sorted.
 
     ``rules`` filters by rule id (``ValueError`` on unknown ids).  Files
     that fail to parse produce a non-suppressible ``syntax-error`` finding.
+    ``jobs`` > 1 fans the per-file parse+walk phase out over a thread
+    pool; results are merged in file order, so the output is byte-for-byte
+    identical to a serial run.
     """
     root = Path(root)
     selected = list(iter_rules(rules))
@@ -85,28 +151,18 @@ def run_lint(
     findings: list[Finding] = []
     suppressions: dict[str, SuppressionIndex] = {}
 
-    for path in iter_python_files(root, paths):
-        relpath = _relpath(path, root)
-        source = path.read_text(encoding="utf-8")
-        try:
-            ctx = FileContext.from_source(source, relpath, path=path)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(
-                    rule="syntax-error",
-                    severity="error",
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    message=f"file does not parse: {exc.msg}",
-                )
+    files = list(iter_python_files(root, paths))
+    if jobs is not None and jobs > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            per_file = list(
+                pool.map(lambda p: _lint_one_file(p, root, file_rules), files)
             )
-            continue
-        index = SuppressionIndex.from_source(source, ctx.tree)
-        suppressions[relpath] = index
-        for file_rule in file_rules:
-            for finding in file_rule.check(ctx):
-                if not index.is_suppressed(finding.rule, finding.line):
-                    findings.append(finding)
+    else:
+        per_file = [_lint_one_file(p, root, file_rules) for p in files]
+    for relpath, file_findings, index in per_file:
+        findings.extend(file_findings)
+        if index is not None:
+            suppressions[relpath] = index
 
     for repo_rule in repo_rules:
         for finding in repo_rule.check(root):

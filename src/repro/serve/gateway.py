@@ -47,9 +47,10 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Annotated, Callable, Sequence
 
 from repro.baselines.threshold import ThresholdMatcher
+from repro.concurrency import guarded_by
 from repro.datasets.schema import EntityPair, Record, Split
 from repro.engine.engine import MatchingEngine
 from repro.serve.admission import AdmissionController
@@ -78,6 +79,11 @@ class _QueuedRequest:
 
 class Gateway:
     """Async front door over per-persona matching engines."""
+
+    #: shared queue state — touched by the event loop (submission) and
+    #: the dispatch threads (dequeue), always under ``_cv``.
+    _queue: Annotated["deque[_QueuedRequest]", guarded_by("_cv")]
+    _closed: Annotated[bool, guarded_by("_cv")]
 
     def __init__(
         self,
@@ -136,8 +142,11 @@ class Gateway:
         with self._cv:
             self._closed = True
             self._cv.notify_all()
+        loop = asyncio.get_running_loop()
         for thread in self._threads:
-            thread.join()
+            # Joining on the loop would stall every other task for the
+            # length of the drain; hop the join to an executor thread.
+            await loop.run_in_executor(None, thread.join)
         self._threads.clear()
 
     async def __aenter__(self) -> "Gateway":
@@ -458,5 +467,7 @@ async def run_inline(
         # Scheduler yield (zero simulated time): lets submissions reach
         # their queue slots and resolved futures wake their awaiters.
         await asyncio.sleep(0)
+        # repro-lint: disable=deep-async-blocking — inline mode IS the
+        # dispatcher: workers=0, pump never blocks (non-blocking take).
         gateway.pump_all()
     return [task.result() for task in tasks]

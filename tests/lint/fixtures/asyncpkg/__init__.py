@@ -1,0 +1,8 @@
+"""Fixture package for the deep async analyses (asyncflow).
+
+``bad_*`` modules each violate exactly one async rule;  the matching
+``good_*`` module does the same job the sanctioned way and must produce
+zero findings.  ``regression_gateway.py`` is distilled from the real
+violations the analyzer surfaced in ``repro.serve`` when the rules first
+ran.
+"""

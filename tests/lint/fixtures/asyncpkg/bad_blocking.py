@@ -1,0 +1,37 @@
+"""Coroutines that block the event loop, one primitive per function."""
+
+import queue
+import threading
+import time
+
+
+async def slow_sleep() -> None:
+    time.sleep(0.1)
+
+
+async def slow_io(path) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+async def slow_lock(lock: threading.Lock) -> None:
+    lock.acquire()
+    lock.release()
+
+
+async def slow_queue() -> object:
+    inbox = queue.Queue()
+    return inbox.get()
+
+
+async def slow_transitively() -> int:
+    return crunch()
+
+
+def crunch() -> int:
+    return burn()
+
+
+def burn() -> int:
+    time.sleep(0.5)
+    return 1

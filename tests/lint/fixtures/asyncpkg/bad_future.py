@@ -1,0 +1,28 @@
+"""Future discipline broken both ways: off-loop completion, dead coroutines."""
+
+import asyncio
+import threading
+
+
+class Completer:
+    """Resolves a loop-owned future directly from its worker thread."""
+
+    def __init__(self) -> None:
+        self.thread = None
+
+    def start(self, fut: "asyncio.Future") -> None:
+        self.thread = threading.Thread(target=self._finish, args=(fut,))
+        self.thread.start()
+
+    def _finish(self, fut: "asyncio.Future") -> None:
+        fut.set_result(42)
+
+
+async def work() -> int:
+    return 1
+
+
+async def fire_and_forget() -> int:
+    work()
+    pending = work()
+    return 0

@@ -1,0 +1,19 @@
+"""A field mutated by a worker thread and read by a coroutine, unguarded."""
+
+import threading
+
+
+class Shared:
+    def __init__(self) -> None:
+        self.items = []
+        self.thread = None
+
+    def start(self) -> None:
+        self.thread = threading.Thread(target=self._worker)
+        self.thread.start()
+
+    def _worker(self) -> None:
+        self.items.append(1)
+
+    async def drain(self) -> list:
+        return list(self.items)

@@ -1,0 +1,10 @@
+"""guarded_by marker, mirroring repro.concurrency for the fixture tree."""
+
+
+class GuardedBy:
+    def __init__(self, lock_attr: str) -> None:
+        self.lock_attr = lock_attr
+
+
+def guarded_by(lock_attr: str) -> GuardedBy:
+    return GuardedBy(lock_attr)

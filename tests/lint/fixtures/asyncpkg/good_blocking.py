@@ -1,0 +1,18 @@
+"""The same jobs as bad_blocking, done without stalling the loop."""
+
+import asyncio
+import time
+
+
+async def polite_sleep() -> None:
+    await asyncio.sleep(0.1)
+
+
+async def hopped_crunch(loop) -> int:
+    # The CPU burn runs on an executor thread; the coroutine suspends.
+    return await loop.run_in_executor(None, burn)
+
+
+def burn() -> int:
+    time.sleep(0.5)
+    return 1

@@ -1,0 +1,33 @@
+"""Future discipline kept: loop-routed completion, tracked coroutines."""
+
+import asyncio
+import threading
+
+
+class LoopCompleter:
+    """Thread-side completion routed through the owning event loop."""
+
+    def __init__(self) -> None:
+        self.thread = None
+
+    def start(self, loop, fut: "asyncio.Future") -> None:
+        self.thread = threading.Thread(target=self._finish, args=(loop, fut))
+        self.thread.start()
+
+    def _finish(self, loop, fut: "asyncio.Future") -> None:
+        loop.call_soon_threadsafe(self._publish, fut)
+
+    @staticmethod
+    def _publish(fut: "asyncio.Future") -> None:
+        if not fut.done():
+            fut.set_result(42)
+
+
+async def work() -> int:
+    return 1
+
+
+async def awaited_work() -> int:
+    value = await work()
+    task = asyncio.ensure_future(work())
+    return value + await task

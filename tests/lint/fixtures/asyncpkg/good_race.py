@@ -1,0 +1,45 @@
+"""The same sharing shape, ordered both sanctioned ways."""
+
+import threading
+from typing import Annotated
+
+from asyncpkg.concurrency import guarded_by
+
+
+class GuardedShared:
+    """Declared guard: every access holds the lock (deep-lock-field checks)."""
+
+    items: Annotated[list, guarded_by("_lock")]
+
+    def __init__(self) -> None:
+        self.items = []
+        self._lock = threading.Lock()
+        self.thread = None
+
+    def start(self) -> None:
+        self.thread = threading.Thread(target=self._worker)
+        self.thread.start()
+
+    def _worker(self) -> None:
+        with self._lock:
+            self.items.append(1)
+
+    async def drain(self) -> list:
+        with self._lock:
+            return list(self.items)
+
+
+class Handoff:
+    """call_soon_threadsafe hand-off: the edge is the happens-before."""
+
+    def __init__(self) -> None:
+        self.result = None
+
+    def publish_from_thread(self, loop, value) -> None:
+        loop.call_soon_threadsafe(self._publish, value)
+
+    def _publish(self, value) -> None:
+        self.result = value
+
+    async def read(self):
+        return self.result

@@ -1,0 +1,35 @@
+"""Regression: the exact shapes the analyzer surfaced in repro.serve.
+
+When the async rules first ran over the real tree they flagged the
+gateway's ``async close()`` joining its dispatch threads on the event
+loop, and the queue/closed flag shared between the loop (submission) and
+the workers (dequeue) with no declared guard.  This module preserves
+those shapes in miniature so the rules keep catching them.
+"""
+
+import threading
+
+
+class MiniGateway:
+    def __init__(self) -> None:
+        self._queue = []
+        self._closed = False
+        self._threads = []
+
+    def start(self) -> None:
+        thread = threading.Thread(target=self._worker_loop)
+        thread.start()
+        self._threads.append(thread)
+
+    async def submit(self, item) -> None:
+        self._queue.append(item)
+
+    def _worker_loop(self) -> None:
+        while not self._closed:
+            if self._queue:
+                self._queue.pop()
+
+    async def close(self) -> None:
+        self._closed = True
+        for thread in self._threads:
+            thread.join()

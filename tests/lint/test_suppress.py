@@ -2,6 +2,8 @@
 
 import textwrap
 
+import pytest
+
 from repro.lint.suppress import SuppressionIndex
 
 from tests.lint.conftest import run_rule
@@ -106,6 +108,84 @@ class TestBlock:
         )
         assert len(findings) == 1
         assert findings[0].line == 5
+
+
+class TestAsyncHeaders:
+    """A same-line directive on an ``async`` block header covers its span,
+    mirroring the standalone-comment treatment of ``except`` blocks."""
+
+    TABLE = [
+        (
+            "async_def_header_covers_body",
+            "import time\n"
+            "\n"
+            "\n"
+            "async def handler():  # repro-lint: disable=ambient-clock — t\n"
+            "    return time.time()\n",
+            [],
+        ),
+        (
+            "async_with_header_covers_block_only",
+            "import time\n"
+            "\n"
+            "\n"
+            "async def handler(cm):\n"
+            "    async with cm:  # repro-lint: disable=ambient-clock — scoped\n"
+            "        t = time.time()\n"
+            "    return time.time()\n",
+            [7],
+        ),
+        (
+            "async_for_header_covers_block",
+            "import time\n"
+            "\n"
+            "\n"
+            "async def handler(items, out):\n"
+            "    async for item in items:  # repro-lint: disable=ambient-clock — t\n"
+            "        out.append((item, time.time()))\n",
+            [],
+        ),
+        (
+            "directive_does_not_leak_past_span",
+            "import time\n"
+            "\n"
+            "\n"
+            "async def covered():  # repro-lint: disable=ambient-clock — t\n"
+            "    return time.time()\n"
+            "\n"
+            "\n"
+            "async def uncovered():\n"
+            "    return time.time()\n",
+            [9],
+        ),
+        (
+            "wrong_rule_name_does_not_suppress",
+            "import time\n"
+            "\n"
+            "\n"
+            "async def handler():  # repro-lint: disable=unseeded-rng\n"
+            "    return time.time()\n",
+            [5],
+        ),
+        (
+            "sync_def_header_stays_line_scoped",
+            "import time\n"
+            "\n"
+            "\n"
+            "def handler():  # repro-lint: disable=ambient-clock — t\n"
+            "    return time.time()\n",
+            [5],
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "source, expected_lines",
+        [case[1:] for case in TABLE],
+        ids=[case[0] for case in TABLE],
+    )
+    def test_table(self, source, expected_lines):
+        findings = run_rule("ambient-clock", source)
+        assert [f.line for f in findings] == expected_lines
 
 
 class TestParsing:

@@ -1,12 +1,14 @@
 """Walker behaviour, the `repro-em lint` CLI, and the self-lint gate."""
 
 import json
+import subprocess
 
 import pytest
 
 from repro.cli import main
 from repro.lint import DEFAULT_ROOTS, run_lint
 from repro.lint.findings import Finding, format_json, format_text
+from repro.lint.walker import changed_files
 
 BAD_FIXTURE = "tests/lint/fixtures/bad_determinism.py"
 CLEAN_FIXTURE = "tests/lint/fixtures/clean_module.py"
@@ -88,6 +90,84 @@ class TestCli:
     def test_rule_filter_on_clean_rule(self):
         # the bad fixture has no engine-hygiene fallback violation
         assert main(["lint", "--rule", "fallback-cache", BAD_FIXTURE]) == 0
+
+
+class TestParallel:
+    def test_threaded_run_matches_serial_byte_for_byte(self, repo_root):
+        serial = run_lint(repo_root, paths=[BAD_FIXTURE, CLEAN_FIXTURE], jobs=1)
+        threaded = run_lint(repo_root, paths=[BAD_FIXTURE, CLEAN_FIXTURE], jobs=4)
+        assert serial  # the comparison must not pass vacuously
+        assert format_json(serial) == format_json(threaded)
+
+    def test_threaded_whole_tree_matches_serial(self, repo_root):
+        serial = run_lint(repo_root, paths=list(DEFAULT_ROOTS))
+        threaded = run_lint(repo_root, paths=list(DEFAULT_ROOTS), jobs=8)
+        assert format_json(serial) == format_json(threaded)
+
+    def test_jobs_one_and_none_are_equivalent(self, repo_root):
+        assert run_lint(repo_root, paths=[BAD_FIXTURE], jobs=None) == run_lint(
+            repo_root, paths=[BAD_FIXTURE], jobs=1
+        )
+
+
+class TestChangedFiles:
+    @staticmethod
+    def _git(repo, *argv):
+        subprocess.run(
+            ["git", "-C", str(repo), *argv], check=True, capture_output=True
+        )
+
+    @pytest.fixture()
+    def scratch_repo(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "config", "user.email", "lint@test")
+        self._git(tmp_path, "config", "user.name", "lint")
+        (tmp_path / "src" / "repro" / "a.py").write_text("x = 1\n")
+        (tmp_path / "src" / "repro" / "gone.py").write_text("g = 1\n")
+        (tmp_path / "notes.txt").write_text("hi\n")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        return tmp_path
+
+    def test_modified_and_untracked_python_under_roots(self, scratch_repo):
+        (scratch_repo / "src" / "repro" / "a.py").write_text("x = 2\n")
+        (scratch_repo / "src" / "repro" / "b.py").write_text("y = 1\n")
+        (scratch_repo / "top.py").write_text("z = 1\n")  # outside roots
+        (scratch_repo / "notes.txt").write_text("changed\n")  # not python
+        got = changed_files(scratch_repo)
+        assert got == ["src/repro/a.py", "src/repro/b.py"]
+
+    def test_clean_tree_yields_nothing(self, scratch_repo):
+        assert changed_files(scratch_repo) == []
+
+    def test_deleted_files_are_dropped(self, scratch_repo):
+        (scratch_repo / "src" / "repro" / "gone.py").unlink()
+        assert changed_files(scratch_repo) == []
+
+    def test_outside_a_checkout_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="changed-files lookup failed"):
+            changed_files(tmp_path)
+
+    def test_bad_base_raises(self, scratch_repo):
+        with pytest.raises(ValueError, match="changed-files lookup failed"):
+            changed_files(scratch_repo, base="no-such-ref")
+
+
+class TestCliScoping:
+    def test_changed_only_conflicts_with_explicit_paths(self, capsys):
+        assert main(["lint", "--changed-only", BAD_FIXTURE]) == 2
+        assert "--changed-only" in capsys.readouterr().err
+
+    def test_changed_only_on_the_repo_exits_cleanly(self, capsys):
+        # Whatever is in flight vs HEAD must satisfy the self-lint gate,
+        # so the scoped run agrees with the whole-tree run above.
+        assert main(["lint", "--changed-only"]) == 0
+        assert "findings" in capsys.readouterr().out
+
+    def test_jobs_flag_smoke(self, capsys):
+        assert main(["lint", "--jobs", "2", BAD_FIXTURE]) == 1
+        assert "bad_determinism.py" in capsys.readouterr().out
 
 
 class TestFindingRendering:
