@@ -194,7 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--changed-only", action="store_true",
         help="lint only files changed vs --base (git diff + untracked); "
-        "--deep still analyzes the whole program",
+        "--deep still analyzes the whole program and says so in the "
+        "summary's scope block",
+    )
+    lint.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="incremental --deep cache directory: an unchanged tree "
+        "reuses the previous findings verbatim, a changed one reuses "
+        "per-file parse trees (safe to delete at any time)",
     )
     lint.add_argument(
         "--base", metavar="REF", default="HEAD",
@@ -583,6 +590,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if args.update_baseline:
             print("lint: --update-baseline requires --deep", file=sys.stderr)
             return 2
+        if args.cache:
+            print("lint: --cache requires --deep", file=sys.stderr)
+            return 2
     paths = args.paths or None
     if args.changed_only:
         if paths:
@@ -607,9 +617,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     summary = None
     if args.deep:
+        cache = None
+        if args.cache:
+            from repro.lint.cache import AnalysisCache
+
+            cache = AnalysisCache(Path(args.cache))
         try:
             deep_findings, summary = run_deep(
-                ".", rules=args.rules, timings=args.timings
+                ".",
+                rules=args.rules,
+                timings=args.timings,
+                cache=cache,
+                changed=paths if args.changed_only else None,
             )
         except ValueError as exc:
             print(f"lint: {exc}", file=sys.stderr)

@@ -25,13 +25,34 @@ The analyzer then enforces, across the whole program:
 
 The annotation is metadata only — it has no runtime effect beyond being
 introspectable via ``typing.get_type_hints(..., include_extras=True)``.
+
+The resource-lifecycle analyzer (``deep-resource-*`` rules) adds two more
+declarative conventions:
+
+* :func:`shutdown_order` — a class that owns several resources declares
+  the order its release method must tear them down in::
+
+      class Gateway:
+          __shutdown_order__ = shutdown_order("_cv", "_threads")
+
+  Read as "drain/notify ``_cv`` before joining ``_threads``"; the
+  ``deep-shutdown-order`` rule checks the release events in ``close`` /
+  ``shutdown`` / ``stop`` / ``__exit__`` against the declared sequence.
+
+* :func:`idempotent` — decorates a release method that is safe to call
+  more than once (it checks its own closed flag); the
+  ``deep-resource-double-close`` rule then accepts paths that release
+  the same resource twice through it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
-__all__ = ["GuardedBy", "guarded_by"]
+__all__ = ["GuardedBy", "ShutdownOrder", "guarded_by", "idempotent", "shutdown_order"]
+
+_F = TypeVar("_F", bound=Callable)
 
 
 @dataclass(frozen=True)
@@ -44,3 +65,28 @@ class GuardedBy:
 def guarded_by(lock_attr: str) -> GuardedBy:
     """Declare that a field is protected by ``self.<lock_attr>``."""
     return GuardedBy(lock_attr)
+
+
+@dataclass(frozen=True)
+class ShutdownOrder:
+    """Marker: resources in *attrs* must be released in this order."""
+
+    attrs: tuple[str, ...]
+
+
+def shutdown_order(*attrs: str) -> ShutdownOrder:
+    """Declare the teardown sequence of a class's owned resources.
+
+    Assign the result to a class-level ``__shutdown_order__`` attribute;
+    the ``deep-shutdown-order`` rule checks every release method against
+    it.  Listing an attribute also marks it as *owned*: storing a fresh
+    resource there satisfies the leak rule's ownership requirement.
+    """
+    if not attrs:
+        raise ValueError("shutdown_order needs at least one attribute name")
+    return ShutdownOrder(tuple(attrs))
+
+
+def idempotent(fn: _F) -> _F:
+    """Mark a release method as safe to call repeatedly (metadata only)."""
+    return fn

@@ -396,10 +396,10 @@ def chaos_resolve(
         records = synthetic_records(record_count, seed=seed)
     plan = FaultPlan(seed=seed, fault_rate=fault_rate, kinds=kinds)
     engine, backend, _ = build_chaos_engine(plan)
-    store = ResolutionStore(engine, journal=journal)
-    store.ingest_all(records)
-    clustering = store.clustering()
-    decisions = store.decisions()
+    with ResolutionStore(engine, journal=journal) as store:
+        store.ingest_all(records)
+        clustering = store.clustering()
+        decisions = store.decisions()
 
     violations: list[str] = []
     clustered = sorted(m for cluster in clustering.clusters for m in cluster)
@@ -412,13 +412,17 @@ def chaos_resolve(
         violations.append("some candidate pair was decided twice")
     violations += _resolve_conservation_violations(engine, decisions)
     if fault_rate == 0.0:
-        plain = ResolutionStore(chaos_engine_on(ParityBackend(), ManualClock(), seed))
-        plain.ingest_all(records)
-        if plain.clustering() != clustering:
+        with ResolutionStore(
+            chaos_engine_on(ParityBackend(), ManualClock(), seed)
+        ) as plain:
+            plain.ingest_all(records)
+            plain_clustering = plain.clustering()
+            plain_decisions = plain.decisions()
+        if plain_clustering != clustering:
             violations.append(
                 "rate-0 clustering differs from the un-wrapped engine's"
             )
-        if plain.decisions() != decisions:
+        if plain_decisions != decisions:
             violations.append(
                 "rate-0 decision log differs from the un-wrapped engine's"
             )
@@ -520,23 +524,24 @@ def kill_resume_roundtrip(
         raise ValueError("kill_every must be at least 1 (0 never progresses)")
     records = synthetic_records(record_count, seed=seed)
 
-    reference_store = ResolutionStore(
+    with ResolutionStore(
         MatchingEngine(
             backend=ParityBackend(),
             retry=RetryPolicy(timeout=_TIMEOUT_BUDGET, seed=seed),
         )
-    )
-    reference_store.ingest_all(records)
-    reference = resolution_snapshot(reference_store)
+    ) as reference_store:
+        reference_store.ingest_all(records)
+        reference = resolution_snapshot(reference_store)
 
     path = Path(journal)
     crashes = 0
-    store: ResolutionStore | None = None
+    resumed: dict | None = None
     for _ in range(max_incarnations):
         engine = MatchingEngine(
             backend=CrashingBackend(ParityBackend(), kill_after=kill_every),
             retry=RetryPolicy(timeout=_TIMEOUT_BUDGET, seed=seed),
         )
+        store: ResolutionStore | None = None
         try:
             if path.exists() and path.stat().st_size:
                 store = ResolutionStore.recover(path, engine)
@@ -548,12 +553,19 @@ def kill_resume_roundtrip(
         except SimulatedCrash:
             crashes += 1
             continue
+        finally:
+            # Each incarnation's journal handle dies with it, exactly as
+            # a real process death would drop the fd — resume must work
+            # from the on-disk journal alone.  (A closed store stays
+            # readable, so the snapshot below still works.)
+            if store is not None:
+                store.close()
+        resumed = resolution_snapshot(store)
         break
     else:  # pragma: no cover — kill_every >= 1 guarantees progress
         raise RuntimeError("kill/resume loop failed to converge")
 
-    assert store is not None
-    resumed = resolution_snapshot(store)
+    assert resumed is not None
     return {
         "seed": seed,
         "records": record_count,

@@ -9,8 +9,14 @@ Two layers share one rule registry and one finding/suppression model:
   --deep``) builds a project symbol table and call graph, then runs
   inter-procedural rules: determinism *taint* from source to sink
   through helper hops, the ``@guarded_by`` lock discipline (guarded
-  fields, ordering cycles, blocking under locks), and exception types
-  escaping protocol boundaries.
+  fields, ordering cycles, blocking under locks), exception types
+  escaping protocol boundaries, async execution contexts (loop
+  blocking, future discipline, thread/loop races), and resource
+  lifecycles (leaks with provenance, double-close, declared
+  ``shutdown_order`` teardown contracts).  ``run_deep(cache=...)``
+  reuses parse trees and whole results through
+  :class:`repro.lint.cache.AnalysisCache` — warm runs are
+  byte-identical and dependency-aware invalidation keeps them honest.
 
 Usage::
 
@@ -24,9 +30,11 @@ Usage::
 or from the command line: ``repro-em lint [--deep] [--format json]``.
 
 Suppress a finding in place with ``# repro-lint: disable=<rule>`` (same
-line) or on the line above a statement (covers the whole block); always
-include a justification after the rule list.  Deep findings accepted
-historically live in ``lint-baseline.json`` (see ``--update-baseline``).
+line) or on the line above a statement (covers the whole block), or for
+an entire file with ``# repro-lint: disable-file=<rule>`` anywhere in
+it; always include a justification after the rule list.  Deep findings
+accepted historically live in ``lint-baseline.json`` (see
+``--update-baseline``).
 """
 
 from repro.lint.findings import SCHEMA_VERSION, Finding, format_json, format_text

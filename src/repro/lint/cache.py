@@ -1,0 +1,342 @@
+"""Incremental analysis cache for ``--deep``.
+
+The deep analyzer is whole-program: its fixpoints (locks, exceptions,
+async contexts, resources) run over every function at once, so there is
+no sound way to re-analyze "just the changed file" — a leaf edit can
+flip a caller's execution context three modules away, and Protocol
+fan-out creates dependencies the import graph never sees.  What *can* be
+reused safely:
+
+* **Per-file parse trees**, keyed by content hash.  A file whose bytes
+  are unchanged re-loads its pickled AST instead of re-parsing
+  (:meth:`AnalysisCache.tree_loader` plugs into ``SymbolTable.build``).
+* **The whole analysis result**, keyed by the dependency fingerprint of
+  every file plus the active rule set.  A file's *dependency
+  fingerprint* hashes its own content digest together with the digests
+  of everything it (transitively) imports; when every fingerprint
+  matches the cached run, no analyzed code changed and the cached
+  findings and summary are returned verbatim — byte-identical by
+  construction, at snapshot-hashing cost.  This is the warm path the
+  bench gate measures.
+
+Invalidation is dependency-aware over the import graph: editing
+``faults/journal.py`` flips the fingerprint of every transitive importer
+(``resolve/incremental.py``, ``faults/harness.py``, ...) but leaves
+unrelated files' fingerprints — and their cached parse trees — intact.
+:meth:`AnalysisCache.stale_files` exposes exactly that dependent set,
+which is what makes ``--changed-only --deep`` honest: the summary
+reports how far a change actually reaches.  Editing the analyzer
+invalidates everything automatically, because ``src/repro/lint`` is
+itself part of the analyzed tree.
+
+Anything unreadable in the cache directory (truncated pickle, corrupted
+manifest, wrong format version) degrades to a miss, never an error: the
+cache can be deleted at any time.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.symbols import iter_package_files
+
+__all__ = ["AnalysisCache", "Snapshot", "take_snapshot"]
+
+#: bump when the on-disk layout or keying scheme changes.
+CACHE_FORMAT = 1
+
+#: one import per line is all the codebase uses; indented matches catch
+#: function-local imports (``from repro.faults.journal import ...``).
+_IMPORT_RE = re.compile(
+    r"^\s*(?:from\s+([A-Za-z_][\w.]*)\s+import\s|import\s+(.+))", re.MULTILINE
+)
+
+
+@dataclass
+class FileState:
+    """One analyzed file as the cache sees it."""
+
+    relpath: str
+    module: str
+    path: Path
+    source: str
+    #: sha256 of the file's bytes.
+    digest: str
+    #: sha256 of own digest + every transitive import's digest.
+    dep_fingerprint: str = ""
+    #: modules this file imports (restricted to the analyzed tree).
+    imports: tuple = ()
+
+
+@dataclass
+class Snapshot:
+    """Content digests + import graph of the analyzed tree, pre-analysis."""
+
+    files: dict = field(default_factory=dict)  # relpath -> FileState
+    by_module: dict = field(default_factory=dict)  # module -> relpath
+
+    def fingerprint(self) -> str:
+        """Digest of the whole tree's dependency fingerprints."""
+        h = hashlib.sha256()
+        for relpath in sorted(self.files):
+            state = self.files[relpath]
+            h.update(relpath.encode())
+            h.update(state.dep_fingerprint.encode())
+        return h.hexdigest()
+
+    def dependents_of(self, relpaths) -> set:
+        """*relpaths* plus everything that transitively imports them."""
+        reverse: dict[str, set] = {rel: set() for rel in self.files}
+        for rel, state in self.files.items():
+            for mod in state.imports:
+                target = self.by_module.get(mod)
+                if target is not None:
+                    reverse[target].add(rel)
+        stale = set()
+        frontier = [rel for rel in relpaths if rel in self.files]
+        while frontier:
+            rel = frontier.pop()
+            if rel in stale:
+                continue
+            stale.add(rel)
+            frontier.extend(reverse.get(rel, ()))
+        return stale
+
+
+def _imported_modules(source: str, known_modules) -> tuple:
+    """In-tree modules *source* imports, resolved to their defining file.
+
+    ``from repro.resolve import incremental`` names either a module or a
+    symbol in ``repro.resolve``; both candidates are checked against the
+    known set.  Dotted imports also depend on every ancestor package.
+    """
+    found = set()
+
+    def add(dotted: str) -> None:
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:i])
+            if candidate in known_modules:
+                found.add(candidate)
+
+    for match in _IMPORT_RE.finditer(source):
+        if match.group(1):
+            add(match.group(1))
+        else:
+            for clause in match.group(2).split(","):
+                name = clause.strip().split(" as ")[0].strip()
+                if name:
+                    add(name)
+    return tuple(sorted(found))
+
+
+def take_snapshot(
+    root: Path | str, package_dirs: tuple[str, ...]
+) -> Snapshot:
+    """Hash every analyzed file and fingerprint the import graph.
+
+    Mirrors ``SymbolTable.build``'s enumeration exactly — same package
+    dirs, same module naming — so a cache hit covers precisely the file
+    set the analysis would have read.
+    """
+    root = Path(root)
+    snap = Snapshot()
+    for package_dir in package_dirs:
+        pkg_path = (root / package_dir).resolve()
+        base = pkg_path.parent
+        for path in iter_package_files(pkg_path):
+            parts = list(path.relative_to(base).with_suffix("").parts)
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            module = ".".join(parts)
+            try:
+                relpath = path.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relpath = path.as_posix()
+            source = path.read_text(encoding="utf-8")
+            snap.files[relpath] = FileState(
+                relpath=relpath,
+                module=module,
+                path=path,
+                source=source,
+                digest=hashlib.sha256(source.encode()).hexdigest(),
+            )
+            snap.by_module[module] = relpath
+
+    for state in snap.files.values():
+        state.imports = _imported_modules(state.source, snap.by_module)
+
+    # Transitive dependency closure (BFS per file: cycle-safe, and the
+    # tree is ~120 files — quadratic worst case is still instant).
+    for state in snap.files.values():
+        seen: set[str] = set()
+        frontier = [state.module]
+        while frontier:
+            mod = frontier.pop()
+            if mod in seen:
+                continue
+            seen.add(mod)
+            rel = snap.by_module.get(mod)
+            if rel is not None:
+                frontier.extend(snap.files[rel].imports)
+        h = hashlib.sha256(state.digest.encode())
+        for mod in sorted(seen - {state.module}):
+            rel = snap.by_module.get(mod)
+            if rel is not None:
+                h.update(mod.encode())
+                h.update(snap.files[rel].digest.encode())
+        state.dep_fingerprint = h.hexdigest()
+    return snap
+
+
+class AnalysisCache:
+    """On-disk cache directory; see the module docstring for the model."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.trees_dir = self.directory / "trees"
+        self.manifest_path = self.directory / "manifest.json"
+        #: counters surfaced in the ``--deep`` summary's ``cache`` block.
+        self.stats = {"tree_hits": 0, "tree_misses": 0, "deep_hit": False}
+
+    # ------------------------------------------------------------- manifest
+
+    def _load_manifest(self) -> dict:
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(manifest, dict):
+            return {}
+        if manifest.get("format") != CACHE_FORMAT:
+            return {}
+        return manifest
+
+    # ------------------------------------------------------------ tree reuse
+
+    def tree_loader(self, snapshot: Snapshot):
+        """A ``SymbolTable.build`` hook reusing pickled ASTs by digest.
+
+        On a miss the loader parses, stores, and returns the tree itself
+        (so fresh parses are cached for the next run); syntax errors fall
+        back to ``None`` and the builder's own error path.
+        """
+
+        def load(relpath: str, source: str) -> ast.Module | None:
+            state = snapshot.files.get(relpath)
+            if state is None or state.source != source:
+                digest = hashlib.sha256(source.encode()).hexdigest()
+            else:
+                digest = state.digest
+            cached = self.trees_dir / f"{digest}.pkl"
+            try:
+                with open(cached, "rb") as handle:
+                    tree = pickle.load(handle)
+                if isinstance(tree, ast.Module):
+                    self.stats["tree_hits"] += 1
+                    return tree
+            except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                    AttributeError, ImportError):
+                pass
+            self.stats["tree_misses"] += 1
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                return None
+            try:
+                self.trees_dir.mkdir(parents=True, exist_ok=True)
+                tmp = cached.with_suffix(".tmp")
+                with open(tmp, "wb") as handle:
+                    pickle.dump(tree, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                tmp.replace(cached)
+            except OSError:
+                pass  # read-only cache dir: still usable, just cold.
+            return tree
+
+        return load
+
+    # ------------------------------------------------------------ deep entry
+
+    @staticmethod
+    def deep_key(snapshot: Snapshot, rules) -> str:
+        """Cache key: tree fingerprint + active rule ids + format."""
+        h = hashlib.sha256()
+        h.update(f"format={CACHE_FORMAT}".encode())
+        h.update(snapshot.fingerprint().encode())
+        for rule_id in sorted(rules if rules is not None else ["<all>"]):
+            h.update(rule_id.encode())
+        return h.hexdigest()
+
+    def load_deep(self, key: str):
+        """Cached ``(findings, summary)`` for *key*, or None."""
+        manifest = self._load_manifest()
+        entry = manifest.get("deep")
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        try:
+            findings = [Finding(**f) for f in entry["findings"]]
+            summary = entry["summary"]
+        except (KeyError, TypeError):
+            return None
+        if not isinstance(summary, dict):
+            return None
+        self.stats["deep_hit"] = True
+        return findings, summary
+
+    def store_deep(
+        self,
+        key: str,
+        findings,
+        summary: dict,
+        snapshot: Snapshot,
+    ) -> None:
+        """Persist the analysis result and prune stale pickled trees."""
+        manifest = {
+            "format": CACHE_FORMAT,
+            "deep": {
+                "key": key,
+                "findings": [vars(f) for f in findings],
+                "summary": summary,
+            },
+            "files": {
+                rel: {
+                    "digest": state.digest,
+                    "dep_fingerprint": state.dep_fingerprint,
+                }
+                for rel, state in sorted(snapshot.files.items())
+            },
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.manifest_path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(manifest, sort_keys=True, indent=1))
+            tmp.replace(self.manifest_path)
+        except OSError:
+            return
+        live = {state.digest for state in snapshot.files.values()}
+        try:
+            for stale in self.trees_dir.glob("*.pkl"):
+                if stale.stem not in live:
+                    stale.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    # -------------------------------------------------------- change scoping
+
+    def stale_files(self, snapshot: Snapshot, changed) -> list:
+        """Files whose analysis a change to *changed* can affect.
+
+        The changed files themselves plus every transitive importer —
+        the dependency-aware invalidation set the summary reports for
+        ``--changed-only --deep``.  (The global fixpoints still run over
+        the whole tree; this is the honest blast radius, not a pruning.)
+        """
+        in_tree = [rel for rel in changed if rel in snapshot.files]
+        return sorted(snapshot.dependents_of(in_tree))

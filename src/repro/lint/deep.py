@@ -18,13 +18,16 @@ from typing import Iterable
 import repro.lint.rules_deep_async  # noqa: F401
 import repro.lint.rules_deep_exceptions  # noqa: F401
 import repro.lint.rules_deep_locks  # noqa: F401
+import repro.lint.rules_deep_resources  # noqa: F401
 import repro.lint.rules_deep_taint  # noqa: F401
 from repro.lint.asyncflow import AsyncFlowAnalysis
+from repro.lint.cache import AnalysisCache, take_snapshot
 from repro.lint.callgraph import CallGraph, build_call_graph
 from repro.lint.dataflow import ExceptionAnalysis, TaintAnalysis
 from repro.lint.findings import Finding
 from repro.lint.locks import LockAnalysis
 from repro.lint.registry import iter_rules
+from repro.lint.resources import ResourceAnalysis
 from repro.lint.suppress import SuppressionIndex
 from repro.lint.symbols import SymbolTable
 
@@ -46,6 +49,7 @@ class DeepContext:
     escapes: ExceptionAnalysis
     locks: LockAnalysis
     asyncflow: AsyncFlowAnalysis
+    resources: ResourceAnalysis
     #: per-analysis wall-clock seconds; None unless timings were requested
     #: (the default keeps the JSON report byte-identical across runs).
     timings: dict | None = None
@@ -57,6 +61,7 @@ class DeepContext:
             "functions": len(self.table.functions),
             "callgraph": self.graph.summary(),
             "async": self.asyncflow.summary(),
+            "resources": self.resources.summary(),
         }
         if self.timings is not None:
             out["timings"] = self.timings
@@ -67,6 +72,7 @@ def build_context(
     root: Path | str = ".",
     package_dirs: tuple[str, ...] = DEEP_ROOTS,
     timings: bool = False,
+    tree_loader=None,
 ) -> DeepContext:
     root = Path(root)
     elapsed: dict[str, float] = {}
@@ -77,7 +83,10 @@ def build_context(
         elapsed[name] = round(time.perf_counter() - start, 4)
         return result
 
-    table = timed("symbols", lambda: SymbolTable.build(root, package_dirs))
+    table = timed(
+        "symbols",
+        lambda: SymbolTable.build(root, package_dirs, tree_loader=tree_loader),
+    )
     graph = timed("callgraph", lambda: build_call_graph(table))
     taint = timed("taint", lambda: TaintAnalysis(table, graph))
     escapes = timed("exceptions", lambda: ExceptionAnalysis(table, graph))
@@ -85,6 +94,7 @@ def build_context(
     asyncflow = timed(
         "asyncflow", lambda: AsyncFlowAnalysis(table, graph, locks)
     )
+    resources = timed("resources", lambda: ResourceAnalysis(table, graph))
     return DeepContext(
         root=root,
         table=table,
@@ -93,6 +103,7 @@ def build_context(
         escapes=escapes,
         locks=locks,
         asyncflow=asyncflow,
+        resources=resources,
         timings=elapsed if timings else None,
     )
 
@@ -103,6 +114,8 @@ def run_deep(
     rules: Iterable[str] | None = None,
     context: DeepContext | None = None,
     timings: bool = False,
+    cache: "AnalysisCache | None" = None,
+    changed: Iterable[str] | None = None,
 ) -> tuple[list[Finding], dict[str, object]]:
     """Run project-scoped rules; returns (sorted findings, summary).
 
@@ -110,11 +123,42 @@ def run_deep(
     ids in the filter are simply not run here (the CLI runs both layers).
     ``timings`` adds per-analysis wall-clock to the summary — off by
     default so the JSON report stays byte-identical across runs.
+
+    With ``cache`` (an :class:`repro.lint.cache.AnalysisCache`), the run
+    first fingerprints the tree: an exact match returns the cached
+    findings and summary verbatim (byte-identical to the run that stored
+    them, plus a ``cache`` stats block); a miss re-analyzes — reusing
+    cached parse trees for unchanged files — and stores the result.  The
+    stored summary never includes timings or cache stats, so warm and
+    cold output differ only in those fields.
+
+    ``changed`` (the ``--changed-only`` file list) never narrows the
+    analysis — the fixpoints are whole-program — but adds a ``scope``
+    block to the summary stating exactly that, including the
+    dependency-aware blast radius when a cache is available.
     """
+    rules = list(rules) if rules is not None else None
+    changed = list(changed) if changed is not None else None
+    snapshot = key = None
+    tree_loader = None
+    if cache is not None and context is None:
+        snapshot = take_snapshot(root, package_dirs)
+        key = cache.deep_key(snapshot, rules)
+        hit = cache.load_deep(key)
+        if hit is not None:
+            findings, summary = hit
+            summary = dict(summary)
+            summary["cache"] = _cache_stats(cache, snapshot)
+            if changed is not None:
+                summary["scope"] = _scope_stats(cache, snapshot, changed)
+            return findings, summary
+        tree_loader = cache.tree_loader(snapshot)
     ctx = (
         context
         if context is not None
-        else build_context(root, package_dirs, timings=timings)
+        else build_context(
+            root, package_dirs, timings=timings, tree_loader=tree_loader
+        )
     )
     project_rules = [r for r in iter_rules(rules) if r.scope == "project"]
 
@@ -137,4 +181,54 @@ def run_deep(
             continue
         kept.append(finding)
 
-    return sorted(kept, key=Finding.sort_key), ctx.summary()
+    result = sorted(kept, key=Finding.sort_key)
+    summary = ctx.summary()
+    if cache is not None and key is not None and snapshot is not None:
+        stored = {k: v for k, v in summary.items() if k != "timings"}
+        cache.store_deep(key, result, stored, snapshot)
+        summary = dict(summary)
+        summary["cache"] = _cache_stats(cache, snapshot)
+    if changed is not None:
+        summary = dict(summary)
+        summary["scope"] = _scope_stats(cache, snapshot, changed)
+    return result, summary
+
+
+def _cache_stats(cache: "AnalysisCache", snapshot) -> dict[str, object]:
+    """The ``cache`` block of the schema-v3 summary."""
+    return {
+        "enabled": True,
+        "files": len(snapshot.files),
+        "deep_hit": cache.stats["deep_hit"],
+        "tree_hits": cache.stats["tree_hits"],
+        "tree_misses": cache.stats["tree_misses"],
+    }
+
+
+def _scope_stats(
+    cache: "AnalysisCache | None", snapshot, changed: list
+) -> dict[str, object]:
+    """The ``scope`` block: what --changed-only --deep actually analyzed.
+
+    The deep analysis is whole-program, so --changed-only never narrows
+    it; this block says so out loud instead of letting the flag imply a
+    narrower run than actually happened.
+    """
+    scope: dict[str, object] = {"changed_only": True}
+    if cache is not None and snapshot is not None:
+        stale = cache.stale_files(snapshot, changed)
+        scope["analysis"] = (
+            "cached" if cache.stats["deep_hit"] else "full"
+        )
+        scope["changed_in_tree"] = sum(
+            1 for p in changed if p in snapshot.files
+        )
+        scope["stale_files"] = len(stale)
+    else:
+        scope["analysis"] = "full"
+        scope["note"] = (
+            "deep analysis is whole-program; --changed-only does not "
+            "narrow it.  Pass --cache DIR to reuse the previous result "
+            "when no analyzed file changed."
+        )
+    return scope

@@ -17,7 +17,12 @@ __all__ = ["Finding", "SCHEMA_VERSION", "SEVERITIES", "format_text", "format_jso
 #: v2: ``summary`` gained the ``async`` section (context classification
 #: and await/call-site resolution accounting) and an optional ``timings``
 #: section (present only when timings are explicitly requested).
-SCHEMA_VERSION = 2
+#: v3: ``summary`` gained the ``resources`` census (resource classes,
+#: acquisition/managed sites, leak/double-close/order counts), an
+#: optional ``cache`` block (hit/miss stats, present only when --cache is
+#: passed), and an optional ``scope`` block (present only with
+#: --changed-only --deep, reporting the analysis's true extent).
+SCHEMA_VERSION = 3
 
 #: Recognized severities, most severe first.  Both fail the lint run; the
 #: distinction only signals how direct the evidence is ("error" = the rule

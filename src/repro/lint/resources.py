@@ -1,0 +1,993 @@
+"""Resource lifecycle: release-on-all-paths, proven over the call graph.
+
+The reproduction is held together by resources with explicit teardown —
+fsync'd journal handles, dispatch threads, executors, lazily-built
+engines.  A resource that escapes every owner leaks a file descriptor or
+a thread per request; a double release corrupts teardown; releasing in
+the wrong order deadlocks a drain.  This module computes, once per
+``--deep`` run:
+
+**Class ownership summaries.**  A project class is a *resource class*
+when some method stores a fresh resource into an instance attribute
+(``self._handle = open(...)``, ``self._threads.append(thread)``) — the
+property propagates through composition (a class storing a resource
+class is itself one).  An attribute is *owned* when a release method
+(``close``/``aclose``/``shutdown``/``stop``/``join``/``release``/
+``__exit__``/``__aexit__``) releases it — directly, or element-wise by
+iterating it — or when it is listed in the class's
+``__shutdown_order__ = shutdown_order(...)`` declaration
+(:mod:`repro.concurrency`).
+
+**Per-function summaries**, fixpointed over the call graph: whether a
+function returns a fresh resource it acquired (factory chains carry
+hop-by-hop provenance, like the taint and blocking analyses), and which
+parameters it sinks (releases, or stores under an owner) — so passing a
+resource to a close-taking callee counts as an ownership transfer.
+
+**Path interpretation.**  Each function body is abstract-interpreted
+over its structured control flow — both branches of every ``if``, loop
+bodies twice (to catch cross-iteration rebinds), ``try`` bodies with
+handlers entered from the pre-``try`` state and ``finally`` applied to
+every exit — tracking each binding through *live* → *released*.
+Acquisitions managed by ``with``/``async with`` are released on all
+paths by construction.  Violations:
+
+* **leak** — a path reaches a function exit (fall-through, ``return``,
+  explicit ``raise``) with a live resource, a live binding is rebound,
+  an acquisition is discarded as a bare expression, or a resource is
+  stored on ``self`` under an attribute no release method covers;
+* **double close** — one path releases the same binding twice and the
+  release method is not declared ``@idempotent``
+  (:mod:`repro.concurrency`); builtin releases (``file.close``,
+  ``Thread.join``, ``Executor.shutdown``) are idempotent by contract;
+* **shutdown order** — release events in a release method contradict
+  the class's declared ``shutdown_order(...)`` sequence, a declared
+  attribute does not exist, or it is never released at all.
+
+``threading.Thread(..., daemon=True)`` is exempt from acquisition —
+daemon threads are explicitly fire-and-forget.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.symbols import ClassSymbol, FunctionSymbol, SymbolTable
+
+__all__ = [
+    "DoubleClose",
+    "Leak",
+    "OrderViolation",
+    "Provenance",
+    "ResourceAnalysis",
+]
+
+#: method names that make a method a *release method* of its class.
+_RELEASE_METHOD_NAMES = frozenset(
+    {"close", "aclose", "shutdown", "stop", "join", "release",
+     "__exit__", "__aexit__", "__del__"}
+)
+
+#: call/attribute names that release a resource (establish ownership).
+_OWNING_RELEASES = frozenset(
+    {"close", "aclose", "shutdown", "stop", "join", "release",
+     "terminate", "kill", "cancel", "wait"}
+)
+
+#: additionally count as teardown *events* for shutdown-order checking
+#: (draining or waking a primitive is sequencing-relevant even though it
+#: does not by itself release anything).
+_ORDER_EVENT_NAMES = _OWNING_RELEASES | frozenset(
+    {"notify", "notify_all", "clear", "drain"}
+)
+
+#: builtin acquisition kinds and the method names that release them.
+_KIND_RELEASES = {
+    "file": frozenset({"close"}),
+    "thread": frozenset({"join"}),
+    "executor": frozenset({"shutdown"}),
+    "process": frozenset({"wait", "kill", "terminate"}),
+}
+
+#: container methods that move their argument into the receiver.
+_STORE_METHODS = frozenset(
+    {"append", "appendleft", "add", "insert", "put", "put_nowait", "extend"}
+)
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a resource came from: kind, site, and any factory hops."""
+
+    #: "file" | "thread" | "executor" | "process" | resource-class qualname
+    kind: str
+    relpath: str
+    line: int
+    #: hop descriptions, acquisition-last ("store = recover(...) at a.py:3").
+    chain: tuple = ()
+
+    def describe(self) -> str:
+        short = self.kind.rsplit(".", 1)[-1] if "." in self.kind else self.kind
+        origin = f"{short} acquired at {self.relpath}:{self.line}"
+        if not self.chain:
+            return origin
+        return " -> ".join((*self.chain, origin))
+
+
+@dataclass
+class _Tracked:
+    """One binding currently holding a resource on the walked path."""
+
+    prov: Provenance
+    name: str
+    #: "live" | "released" | "maybe" (released on some merged path only)
+    state: str = "live"
+    release_line: int | None = None
+
+
+@dataclass
+class Leak:
+    """A resource some path abandons without release or transfer."""
+
+    fn: str
+    relpath: str
+    line: int
+    name: str
+    prov: Provenance
+    #: "function exit" | "return" | "exception path" | "rebound" |
+    #: "discarded" | "unowned self store"
+    how: str
+
+
+@dataclass
+class DoubleClose:
+    """One path releases the same resource twice, non-idempotently."""
+
+    fn: str
+    relpath: str
+    line: int
+    name: str
+    prov: Provenance
+    first_line: int
+
+
+@dataclass
+class OrderViolation:
+    """A release method contradicts the declared shutdown_order."""
+
+    cls: str
+    fn: str
+    relpath: str
+    line: int
+    message: str
+
+
+@dataclass
+class _FnSummary:
+    """What one function does with resources, as seen by its callers."""
+
+    #: fresh resource this function hands back to its caller, or None.
+    returns: Provenance | None = None
+    #: parameter names the function sinks (releases or stores-with-owner).
+    sink_params: frozenset = frozenset()
+
+
+@dataclass
+class _ClassInfo:
+    release_methods: dict[str, FunctionSymbol] = field(default_factory=dict)
+    #: attrs a release method tears down (or shutdown_order declares).
+    owned_attrs: set = field(default_factory=set)
+    #: release method names declared @idempotent.
+    idempotent: set = field(default_factory=set)
+    #: attrs that hold resources (assignment or container store).
+    resource_attrs: set = field(default_factory=set)
+
+
+class ResourceAnalysis:
+    """Ownership summaries + the release-on-all-paths interpretation."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        self.leaks: list[Leak] = []
+        self.double_closes: list[DoubleClose] = []
+        self.order_violations: list[OrderViolation] = []
+        self._class_info: dict[str, _ClassInfo] = {}
+        self._resource_classes: set = set()
+        self._fn_summaries: dict[str, _FnSummary] = {}
+        self._sites = {
+            caller: {id(site.node): site for site in sites}
+            for caller, sites in graph.sites.items()
+        }
+        #: deterministic census counters for the ``--deep`` summary.
+        self._acquisitions = 0
+        self._managed = 0
+        self._seen: set = set()
+
+        self._collect_class_info()
+        self._fixpoint_resource_classes()
+        self._fixpoint_fn_summaries()
+        self._check_all_functions()
+        self._check_shutdown_orders()
+        self.leaks.sort(key=lambda v: (v.relpath, v.line, v.name))
+        self.double_closes.sort(key=lambda v: (v.relpath, v.line, v.name))
+        self.order_violations.sort(key=lambda v: (v.relpath, v.line, v.message))
+
+    # ----------------------------------------------------------- class pass
+
+    def _collect_class_info(self) -> None:
+        for qual, cls in self.table.classes.items():
+            info = _ClassInfo()
+            for name, method in cls.methods.items():
+                if name in _RELEASE_METHOD_NAMES:
+                    info.release_methods[name] = method
+                    if any(
+                        dec.split("(")[0].split(".")[-1] == "idempotent"
+                        for dec in method.decorators
+                    ):
+                        info.idempotent.add(name)
+            for method in info.release_methods.values():
+                info.owned_attrs |= self._released_attrs(method)
+            info.owned_attrs |= set(self.table.shutdown_order_of(qual))
+            self._class_info[qual] = info
+
+    def _released_attrs(self, fn: FunctionSymbol) -> set:
+        """Self attributes a method releases, directly or element-wise."""
+        return {
+            attr
+            for attr, _line, name in self._release_events(fn)
+            if name in _OWNING_RELEASES
+        }
+
+    def _release_events(self, fn: FunctionSymbol) -> list:
+        """Ordered ``(attr, line, event_name)`` teardown events in *fn*.
+
+        Catches ``self.<a>.close()``-style direct calls, ``with
+        self.<a>:``-free event names, and element-wise releases through a
+        loop variable bound by ``for v in self.<a>:`` (including a bare
+        ``v.join`` reference handed to an executor).
+        """
+        loop_vars: dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                attr = self._self_attr(node.iter)
+                if attr is None and isinstance(node.iter, ast.Call):
+                    # list(self._threads) / tuple(...) wrappers.
+                    if node.iter.args:
+                        attr = self._self_attr(node.iter.args[0])
+                if attr is not None and isinstance(node.target, ast.Name):
+                    loop_vars[node.target.id] = attr
+        events = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in _ORDER_EVENT_NAMES:
+                continue
+            recv = node.value
+            attr = self._self_attr(recv)
+            if attr is None and isinstance(recv, ast.Name):
+                attr = loop_vars.get(recv.id)
+            if attr is not None:
+                events.append((attr, node.lineno, node.attr))
+        events.sort(key=lambda e: (e[1], e[0]))
+        return events
+
+    @staticmethod
+    def _self_attr(expr: ast.expr) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _fixpoint_resource_classes(self) -> None:
+        """Classes that (transitively) hold resources in attributes."""
+        for _ in range(len(self.table.classes) + 1):
+            changed = False
+            for qual, cls in self.table.classes.items():
+                info = self._class_info[qual]
+                for method in cls.methods.values():
+                    for attr in self._stored_resource_attrs(method):
+                        if attr not in info.resource_attrs:
+                            info.resource_attrs.add(attr)
+                            changed = True
+                if info.resource_attrs and qual not in self._resource_classes:
+                    self._resource_classes.add(qual)
+                    changed = True
+            if not changed:
+                break
+
+    def _stored_resource_attrs(self, fn: FunctionSymbol):
+        """Attrs *fn* assigns (or container-stores) a fresh resource into."""
+        acquired_locals: set = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                prov = self._acquisition_of(fn, value)
+                if isinstance(target, ast.Name):
+                    if prov is not None:
+                        acquired_locals.add(target.id)
+                else:
+                    attr = self._self_attr(target)
+                    if attr is not None and (
+                        prov is not None
+                        or (
+                            isinstance(value, ast.Name)
+                            and value.id in acquired_locals
+                        )
+                    ):
+                        yield attr
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _STORE_METHODS and node.args:
+                    attr = self._self_attr(node.func.value)
+                    arg = node.args[0]
+                    if attr is not None and (
+                        (isinstance(arg, ast.Name) and arg.id in acquired_locals)
+                        or self._acquisition_of(fn, arg) is not None
+                    ):
+                        yield attr
+
+    # -------------------------------------------------------- acquisitions
+
+    def _site_for(self, fn: FunctionSymbol, call: ast.Call):
+        return self._sites.get(fn.qualname, {}).get(id(call))
+
+    def _acquisition_of(
+        self, fn: FunctionSymbol, node: ast.expr
+    ) -> Provenance | None:
+        """Provenance when *node* acquires a fresh resource, else None."""
+        if isinstance(node, ast.Await):
+            node = node.value
+        if not isinstance(node, ast.Call):
+            return None
+        site = self._site_for(fn, node)
+        if site is not None and site.status == "resolved":
+            for target in site.targets:
+                owner, _, leaf = target.rpartition(".")
+                if leaf == "__init__" and owner in self._resource_classes:
+                    return Provenance(
+                        kind=owner, relpath=fn.relpath, line=node.lineno
+                    )
+                summary = self._fn_summaries.get(target)
+                if summary is not None and summary.returns is not None:
+                    got = summary.returns
+                    hop = (
+                        f"{site.callee_text}(...) at {fn.relpath}:{node.lineno}"
+                    )
+                    return replace(got, chain=(hop, *got.chain))
+            return None
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else getattr(func, "id", "")
+        )
+        kind = None
+        if name == "open":
+            kind = "file"
+        elif name == "Thread":
+            daemon = any(
+                kw.arg == "daemon"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            kind = None if daemon else "thread"
+        elif name in ("ThreadPoolExecutor", "ProcessPoolExecutor"):
+            kind = "executor"
+        elif name == "Popen":
+            kind = "process"
+        if kind is None:
+            return None
+        return Provenance(kind=kind, relpath=fn.relpath, line=node.lineno)
+
+    def _release_names_for(self, prov: Provenance) -> frozenset:
+        builtin = _KIND_RELEASES.get(prov.kind)
+        if builtin is not None:
+            return builtin
+        info = self._class_info.get(prov.kind)
+        if info is not None and info.release_methods:
+            return frozenset(info.release_methods)
+        return _OWNING_RELEASES
+
+    def _release_is_idempotent(self, prov: Provenance, method: str) -> bool:
+        if prov.kind in _KIND_RELEASES:
+            return True  # file.close/Thread.join/shutdown are idempotent.
+        info = self._class_info.get(prov.kind)
+        return info is not None and method in info.idempotent
+
+    # ------------------------------------------------------- fn summaries
+
+    def _fixpoint_fn_summaries(self) -> None:
+        for qualname in self.table.functions:
+            self._fn_summaries[qualname] = _FnSummary()
+        for _ in range(10):
+            changed = False
+            for qualname, fn in self.table.functions.items():
+                summary = self._summarize_fn(fn)
+                if summary != self._fn_summaries[qualname]:
+                    self._fn_summaries[qualname] = summary
+                    changed = True
+            if not changed:
+                break
+
+    def _summarize_fn(self, fn: FunctionSymbol) -> _FnSummary:
+        returns: Provenance | None = None
+        acquired_locals: dict[str, Provenance] = {}
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                prov = self._acquisition_of(fn, node.value)
+                if prov is not None:
+                    acquired_locals[node.targets[0].id] = prov
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            prov = self._acquisition_of(fn, node.value)
+            if prov is None and isinstance(node.value, ast.Name):
+                prov = acquired_locals.get(node.value.id)
+            if prov is not None:
+                returns = prov
+                break
+        sinks = set()
+        params = set(fn.params)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                recv = node.func.value
+                if (
+                    isinstance(recv, ast.Name)
+                    and recv.id in params
+                    and node.func.attr in _OWNING_RELEASES
+                ):
+                    sinks.add(recv.id)
+                if node.func.attr in _STORE_METHODS and node.args:
+                    arg = node.args[0]
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in params
+                        and self._self_attr(node.func.value) is not None
+                    ):
+                        sinks.add(arg.id)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if (
+                    self._self_attr(node.targets[0]) is not None
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in params
+                ):
+                    sinks.add(node.value.id)
+        # Propagate: a param handed to a callee that sinks it is sunk here.
+        for site in self.graph.sites.get(fn.qualname, []):
+            if site.status != "resolved":
+                continue
+            for target in site.targets:
+                callee = self.table.functions.get(target)
+                summary = self._fn_summaries.get(target)
+                if callee is None or summary is None or not summary.sink_params:
+                    continue
+                offset = 1 if callee.params[:1] in (["self"], ["cls"]) else 0
+                for i, arg in enumerate(site.node.args):
+                    if not (isinstance(arg, ast.Name) and arg.id in params):
+                        continue
+                    idx = i + offset
+                    if idx < len(callee.params) and (
+                        callee.params[idx] in summary.sink_params
+                    ):
+                        sinks.add(arg.id)
+                for kw in site.node.keywords:
+                    if (
+                        kw.arg in summary.sink_params
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in params
+                    ):
+                        sinks.add(kw.value.id)
+        return _FnSummary(returns=returns, sink_params=frozenset(sinks))
+
+    # ----------------------------------------------------------- path walk
+
+    def _check_all_functions(self) -> None:
+        for qualname, fn in self.table.functions.items():
+            self._check_function(fn, fn.node.body)
+
+    def _check_function(self, fn: FunctionSymbol, body: list) -> None:
+        env: dict[str, _Tracked] = {}
+        fell_through = self._walk_stmts(fn, body, env, frozenset())
+        if fell_through:
+            self._leak_live(fn, env, line=fn.node.end_lineno or fn.line,
+                            how="function exit")
+
+    def _leak_live(
+        self, fn: FunctionSymbol, env: dict, line: int, how: str,
+        keep: str | None = None,
+        protected: frozenset = frozenset(),
+    ) -> None:
+        for name, tracked in sorted(env.items()):
+            if name == keep or tracked.state != "live":
+                continue
+            if name in protected:
+                # An enclosing finally releases this binding on every
+                # exit, including this one.
+                continue
+            self._emit_leak(fn, line, name, tracked.prov, how)
+
+    def _emit_leak(
+        self, fn: FunctionSymbol, line: int, name: str,
+        prov: Provenance, how: str,
+    ) -> None:
+        key = ("leak", fn.qualname, line, name, prov.line, how)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.leaks.append(
+            Leak(fn=fn.qualname, relpath=fn.relpath, line=line, name=name,
+                 prov=prov, how=how)
+        )
+
+    def _walk_stmts(
+        self,
+        fn: FunctionSymbol,
+        stmts: list,
+        env: dict,
+        protected: frozenset = frozenset(),
+    ) -> bool:
+        """Interpret *stmts* over *env*; returns whether control falls out.
+
+        *protected* holds binding names an enclosing ``finally`` releases
+        on every exit — terminal leak checks skip them.
+        """
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested def: its body runs at its own call sites with a
+                # fresh frame; findings are attributed to the enclosing fn.
+                self._check_function(fn, stmt.body)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue
+            if isinstance(stmt, ast.Return):
+                keep = None
+                if stmt.value is not None:
+                    self._scan_expr(fn, stmt.value, env, consume_top=True)
+                    if isinstance(stmt.value, ast.Name):
+                        keep = stmt.value.id
+                        env.pop(keep, None)  # ownership moves to the caller.
+                self._leak_live(
+                    fn, env, stmt.lineno, "return",
+                    keep=keep, protected=protected,
+                )
+                return False
+            if isinstance(stmt, ast.Raise):
+                if stmt.exc is not None:
+                    self._scan_expr(fn, stmt.exc, env)
+                self._leak_live(
+                    fn, env, stmt.lineno, "exception path",
+                    protected=protected,
+                )
+                return False
+            if isinstance(stmt, (ast.Break, ast.Continue)):
+                return True
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._walk_assign(fn, stmt, env)
+            elif isinstance(stmt, ast.Expr):
+                self._scan_expr(fn, stmt.value, env)
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(fn, stmt.test, env)
+                then_env = _copy_env(env)
+                then_falls = self._walk_stmts(fn, stmt.body, then_env, protected)
+                else_env = _copy_env(env)
+                else_falls = self._walk_stmts(
+                    fn, stmt.orelse, else_env, protected
+                )
+                if then_falls and else_falls:
+                    _merge_env(env, then_env, else_env)
+                elif then_falls:
+                    env.clear()
+                    env.update(then_env)
+                elif else_falls:
+                    env.clear()
+                    env.update(else_env)
+                else:
+                    return False
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                if isinstance(stmt, ast.While):
+                    self._scan_expr(fn, stmt.test, env)
+                else:
+                    self._scan_expr(fn, stmt.iter, env)
+                # Two passes over the body: the second sees bindings the
+                # first left live, catching cross-iteration rebind leaks.
+                loop_env = _copy_env(env)
+                self._walk_stmts(fn, stmt.body, loop_env, protected)
+                self._walk_stmts(fn, stmt.body, loop_env, protected)
+                self._walk_stmts(fn, stmt.orelse, loop_env, protected)
+                _merge_env(env, env, loop_env)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    prov = self._acquisition_of(fn, item.context_expr)
+                    if prov is not None:
+                        self._acquisitions += 1
+                        self._managed += 1  # with releases on all paths.
+                        continue
+                    if isinstance(item.context_expr, ast.Name):
+                        tracked = env.get(item.context_expr.id)
+                        if tracked is not None and tracked.state == "live":
+                            # `with handle:` — the with owns it from here.
+                            tracked.state = "released"
+                            tracked.release_line = stmt.lineno
+                        continue
+                    self._scan_expr(fn, item.context_expr, env)
+                if not self._walk_stmts(fn, stmt.body, env, protected):
+                    return False
+            elif isinstance(stmt, ast.Try):
+                # Bindings the finally releases are safe on *every* exit
+                # from the body and handlers, including return/raise.
+                inner = protected | self._finally_release_names(
+                    stmt.finalbody
+                )
+                pre = _copy_env(env)
+                body_env = _copy_env(env)
+                body_falls = self._walk_stmts(fn, stmt.body, body_env, inner)
+                outs = [body_env] if body_falls else []
+                any_handler_falls = False
+                for handler in stmt.handlers:
+                    # Handlers run from (approximately) the pre-try state:
+                    # the body may have raised before any acquisition.
+                    h_env = _copy_env(pre)
+                    if self._walk_stmts(fn, handler.body, h_env, inner):
+                        any_handler_falls = True
+                        outs.append(h_env)
+                if body_falls:
+                    outs2 = self._walk_stmts(
+                        fn, stmt.orelse, body_env, inner
+                    )
+                    if not outs2:
+                        outs = [e for e in outs if e is not body_env]
+                if not outs:
+                    # Every path out of the try terminates; finally still
+                    # runs, over the body's state.
+                    self._walk_stmts(fn, stmt.finalbody, body_env, protected)
+                    return False
+                merged = outs[0]
+                for other in outs[1:]:
+                    _merge_env(merged, merged, other)
+                if not self._walk_stmts(fn, stmt.finalbody, merged, protected):
+                    return False
+                env.clear()
+                env.update(merged)
+                if not body_falls and not any_handler_falls:
+                    return False
+            else:
+                for value in ast.iter_child_nodes(stmt):
+                    if isinstance(value, ast.expr):
+                        self._scan_expr(fn, value, env)
+        return True
+
+    @staticmethod
+    def _finally_release_names(finalbody: list) -> frozenset:
+        """Local names a ``finally`` block releases on every exit.
+
+        Catches ``x.close()``-style calls (any owning release name, under
+        any guard the block contains) and ``with x:`` items.  Being
+        generous here only suppresses leak reports for bindings the
+        finally does in fact dispose of.
+        """
+        names = set()
+        for stmt in finalbody:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in _OWNING_RELEASES
+                    and isinstance(node.value, ast.Name)
+                ):
+                    names.add(node.value.id)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if isinstance(item.context_expr, ast.Name):
+                            names.add(item.context_expr.id)
+        return frozenset(names)
+
+    def _walk_assign(self, fn: FunctionSymbol, stmt: ast.stmt, env: dict) -> None:
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(fn, stmt.value, env)
+            return
+        target = (
+            stmt.targets[0]
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            else getattr(stmt, "target", None)
+        )
+        value = stmt.value
+        if value is None:
+            return
+        prov = self._acquisition_of(fn, value)
+        if prov is None:
+            self._scan_expr(fn, value, env)
+        else:
+            self._acquisitions += 1
+        if isinstance(target, ast.Name):
+            prior = env.get(target.id)
+            if prior is not None and prior.state == "live":
+                self._emit_leak(
+                    fn, stmt.lineno, target.id, prior.prov, "rebound"
+                )
+            if prov is not None:
+                env[target.id] = _Tracked(prov=prov, name=target.id)
+            else:
+                env.pop(target.id, None)
+            return
+        attr = self._self_attr(target) if target is not None else None
+        if attr is not None:
+            moved = prov
+            if moved is None and isinstance(value, ast.Name):
+                tracked = env.get(value.id)
+                if tracked is not None and tracked.state == "live":
+                    moved = tracked.prov
+                    env.pop(value.id)  # ownership moves onto self.
+            if moved is not None:
+                self._check_self_store(fn, stmt.lineno, attr, moved)
+            return
+        if prov is not None:
+            # Tuple targets, subscripts, ...: assume the container owns it.
+            return
+
+    def _check_self_store(
+        self, fn: FunctionSymbol, line: int, attr: str, prov: Provenance
+    ) -> None:
+        """Storing a fresh resource on self needs a declared owner."""
+        if fn.cls is None:
+            return
+        info = self._class_info.get(fn.cls)
+        owned = set() if info is None else info.owned_attrs
+        for base in self.table.base_classes(self.table.classes[fn.cls]):
+            base_info = self._class_info.get(base)
+            if base_info is not None:
+                owned |= base_info.owned_attrs
+        if attr in owned:
+            return
+        self._emit_leak(fn, line, f"self.{attr}", prov, "unowned self store")
+
+    def _scan_expr(
+        self,
+        fn: FunctionSymbol,
+        expr: ast.expr,
+        env: dict,
+        consume_top: bool = False,
+    ) -> None:
+        """Releases, transfers, and discarded acquisitions inside *expr*."""
+        for node in _walk_outside_lambdas(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # Release call on a tracked binding: x.close() / t.join().
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                tracked = env.get(func.value.id)
+                if tracked is not None:
+                    if func.attr in self._release_names_for(tracked.prov):
+                        self._record_release(fn, node.lineno, tracked, func.attr)
+                        continue
+            # A live binding handed to a callee transfers unless the
+            # callee is resolved and provably does not sink it.
+            self._transfer_args(fn, node, env)
+            # Fresh acquisition used as a bare expression or receiver.
+            prov = self._acquisition_of(fn, node)
+            if prov is not None:
+                self._acquisitions += 1
+                if not (consume_top and node is expr):
+                    self._emit_leak(
+                        fn, node.lineno, "<anonymous>", prov, "discarded"
+                    )
+
+    def _record_release(
+        self, fn: FunctionSymbol, line: int, tracked: _Tracked, method: str
+    ) -> None:
+        if tracked.state == "released" and not self._release_is_idempotent(
+            tracked.prov, method
+        ):
+            key = ("double", fn.qualname, line, tracked.name)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.double_closes.append(
+                    DoubleClose(
+                        fn=fn.qualname,
+                        relpath=fn.relpath,
+                        line=line,
+                        name=tracked.name,
+                        prov=tracked.prov,
+                        first_line=tracked.release_line or line,
+                    )
+                )
+            return
+        if tracked.state != "released":
+            tracked.state = "released"
+            tracked.release_line = line
+
+    def _transfer_args(
+        self, fn: FunctionSymbol, call: ast.Call, env: dict
+    ) -> None:
+        live_args = [
+            (i, arg.id)
+            for i, arg in enumerate(call.args)
+            if isinstance(arg, ast.Name)
+            and arg.id in env
+            and env[arg.id].state == "live"
+        ]
+        live_kwargs = [
+            (kw.arg, kw.value.id)
+            for kw in call.keywords
+            if kw.arg is not None
+            and isinstance(kw.value, ast.Name)
+            and kw.value.id in env
+            and env[kw.value.id].state == "live"
+        ]
+        if not live_args and not live_kwargs:
+            return
+        site = self._site_for(fn, call)
+        if site is not None and site.status == "resolved" and site.targets:
+            # Resolved: transfer only the params the callee actually sinks.
+            for target in site.targets:
+                callee = self.table.functions.get(target)
+                summary = self._fn_summaries.get(target)
+                if callee is None or summary is None:
+                    continue
+                offset = 1 if callee.params[:1] in (["self"], ["cls"]) else 0
+                for i, name in live_args:
+                    idx = i + offset
+                    if idx < len(callee.params) and (
+                        callee.params[idx] in summary.sink_params
+                    ):
+                        env.pop(name, None)
+                for kw_name, name in live_kwargs:
+                    if kw_name in summary.sink_params:
+                        env.pop(name, None)
+            return
+        # Unresolved / builtin / dynamic callee: benefit of the doubt —
+        # the callee (or container) is assumed to take ownership.
+        for _, name in live_args:
+            env.pop(name, None)
+        for _, name in live_kwargs:
+            env.pop(name, None)
+
+    # ------------------------------------------------------ shutdown order
+
+    def _check_shutdown_orders(self) -> None:
+        for qual in sorted(self.table.classes):
+            cls = self.table.classes[qual]
+            # Only check classes declaring their own order; inherited
+            # declarations are checked on the declaring class.
+            declared = cls.shutdown_order
+            if not declared:
+                continue
+            info = self._class_info.get(qual, _ClassInfo())
+            known_attrs = (
+                set(cls.attr_types)
+                | set(cls.attr_annotations)
+                | cls.lock_attrs
+            )
+            for attr in declared:
+                if attr not in known_attrs:
+                    self._order_violation(
+                        cls, cls.line,
+                        f"shutdown_order names unknown attribute {attr!r}",
+                    )
+            rank = {attr: i for i, attr in enumerate(declared)}
+            released_somewhere: set = set()
+            for method in sorted(
+                info.release_methods.values(), key=lambda m: m.line
+            ):
+                events = [
+                    (attr, line, name)
+                    for attr, line, name in self._release_events(method)
+                    if attr in rank
+                ]
+                released_somewhere |= {attr for attr, _, _ in events}
+                max_rank_seen = -1
+                max_attr = ""
+                for attr, line, name in events:
+                    if rank[attr] < max_rank_seen:
+                        self._order_violation(
+                            cls, line,
+                            f"{method.name} releases {attr!r} "
+                            f"({name}) after {max_attr!r}, but "
+                            "shutdown_order declares "
+                            f"{' -> '.join(declared)}",
+                            fn=method,
+                        )
+                    elif rank[attr] > max_rank_seen:
+                        max_rank_seen = rank[attr]
+                        max_attr = attr
+            if info.release_methods:
+                for attr in declared:
+                    if attr in known_attrs and attr not in released_somewhere:
+                        self._order_violation(
+                            cls, cls.line,
+                            f"shutdown_order declares {attr!r} but no "
+                            "release method ever releases it",
+                        )
+
+    def _order_violation(
+        self,
+        cls: ClassSymbol,
+        line: int,
+        message: str,
+        fn: FunctionSymbol | None = None,
+    ) -> None:
+        self.order_violations.append(
+            OrderViolation(
+                cls=cls.qualname,
+                fn=fn.qualname if fn is not None else cls.qualname,
+                relpath=cls.relpath,
+                line=line,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------- summary
+
+    def summary(self) -> dict[str, object]:
+        """Resource census for the ``--deep`` JSON summary."""
+        return {
+            "resource_classes": len(self._resource_classes),
+            "owned_attrs": sum(
+                len(info.owned_attrs) for info in self._class_info.values()
+            ),
+            "acquisition_sites": self._acquisitions,
+            "managed_sites": self._managed,
+            "declared_orders": sum(
+                1 for c in self.table.classes.values() if c.shutdown_order
+            ),
+            "leaks": len(self.leaks),
+            "double_closes": len(self.double_closes),
+            "order_violations": len(self.order_violations),
+        }
+
+
+def _copy_env(env: dict) -> dict:
+    return {name: replace(tracked) for name, tracked in env.items()}
+
+
+def _merge_env(into: dict, left: dict, right: dict) -> None:
+    """Join two branch states: live wins over released (as ``maybe``)."""
+    merged: dict[str, _Tracked] = {}
+    for name in set(left) | set(right):
+        a, b = left.get(name), right.get(name)
+        if a is None or b is None:
+            keep = a if a is not None else b
+            # Dropped on one branch (transferred): keep the survivor but
+            # downgrade a live state — some path already disposed of it.
+            merged[name] = replace(keep)
+        elif a.state == b.state:
+            merged[name] = replace(a)
+        else:
+            states = {a.state, b.state}
+            pick = replace(a if a.state == "live" else b)
+            if states == {"live", "released"}:
+                pick.state = "maybe"
+                pick.release_line = (
+                    a.release_line
+                    if a.release_line is not None
+                    else b.release_line
+                )
+            merged[name] = pick
+    into.clear()
+    into.update(merged)
+
+
+def _walk_outside_lambdas(expr: ast.expr):
+    """Walk an expression without entering lambda/comprehension bodies'
+    function scopes (lambdas execute at their own call sites)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,109 @@
+"""Deep rules: resource lifecycle, proven release-on-all-paths.
+
+Three project-scoped rules over
+:class:`repro.lint.resources.ResourceAnalysis`:
+
+* ``deep-resource-leak`` — an acquired resource (file handle, thread,
+  executor, journal, any project resource class) escapes every owner:
+  some path reaches a function exit with it live, it is rebound or
+  discarded while live, or it is stored on ``self`` under an attribute
+  no release method covers.  The message carries hop-by-hop provenance
+  through factory chains, like the blocking chains of
+  ``deep-async-blocking``;
+* ``deep-resource-double-close`` — one path releases the same binding
+  twice and the release method is not declared ``@idempotent``
+  (:mod:`repro.concurrency`);
+* ``deep-shutdown-order`` — a class's declared
+  ``__shutdown_order__ = shutdown_order(...)`` contradicts the actual
+  release-event sequence in its release methods, names an unknown
+  attribute, or lists one that is never released.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import rule
+
+
+@rule(
+    "deep-resource-leak",
+    family="resources",
+    scope="project",
+    description="acquired resource escapes every owner on some path",
+)
+def check_resource_leaks(ctx) -> Iterator[Finding]:
+    for v in ctx.resources.leaks:
+        if v.how == "unowned self store":
+            detail = (
+                f"{v.fn} stores a fresh resource on {v.name} but no release "
+                f"method of the class tears that attribute down "
+                f"({v.prov.describe()})"
+            )
+            hint = (
+                "add a close()/shutdown() that releases the attribute, list "
+                "it in __shutdown_order__ = shutdown_order(...), or hand "
+                "ownership to a caller"
+            )
+        else:
+            detail = (
+                f"{v.fn} leaks {v.name!r} via {v.how}: {v.prov.describe()}"
+            )
+            hint = (
+                "release it on every path (try/finally or a `with` block), "
+                "return it to the caller, or pass it to a close-taking owner"
+            )
+        yield Finding(
+            rule="deep-resource-leak",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=detail,
+            hint=hint,
+        )
+
+
+@rule(
+    "deep-resource-double-close",
+    family="resources",
+    scope="project",
+    description="release reachable twice on one path without @idempotent",
+)
+def check_double_close(ctx) -> Iterator[Finding]:
+    for v in ctx.resources.double_closes:
+        yield Finding(
+            rule="deep-resource-double-close",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=(
+                f"{v.fn} releases {v.name!r} twice on one path (first at "
+                f"line {v.first_line}); {v.prov.describe()} and its release "
+                "is not declared idempotent"
+            ),
+            hint="guard the second release behind a closed-flag check, or "
+            "decorate the release method with @repro.concurrency.idempotent "
+            "if it already checks its own flag",
+        )
+
+
+@rule(
+    "deep-shutdown-order",
+    family="resources",
+    scope="project",
+    description="release events contradict the declared shutdown_order",
+)
+def check_shutdown_order(ctx) -> Iterator[Finding]:
+    for v in ctx.resources.order_violations:
+        cls_name = v.cls.rsplit(".", 1)[-1]
+        yield Finding(
+            rule="deep-shutdown-order",
+            severity="error",
+            path=v.relpath,
+            line=v.line,
+            message=f"{cls_name}: {v.message}",
+            hint="release resources in the declared order (drain/notify "
+            "before join before close), or fix the shutdown_order(...) "
+            "declaration to match the intended teardown",
+        )

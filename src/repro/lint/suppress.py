@@ -27,6 +27,15 @@ Two placements are honoured:
       for token in set(tokenize(text)):
           ...
 
+* **whole file** — ``disable-file=<rule>[,<rule>...]`` anywhere in the
+  file (conventionally in the module docstring area) suppresses the
+  named rules at every line of the file::
+
+      # repro-lint: disable-file=deep-resource-leak — fixture: leaks on purpose
+
+  Reserve it for fixtures and generated code; a file-wide waiver hides
+  future regressions in everything the file will ever contain.
+
 ``disable=all`` disables every rule at that placement.
 """
 
@@ -40,24 +49,31 @@ import tokenize as _tokenize
 __all__ = ["SuppressionIndex"]
 
 _DIRECTIVE_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"#\s*repro-lint:\s*disable(-file)?=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
 
 _ALL = "all"
 
 
-def _parse_rules(comment: str) -> frozenset[str] | None:
+def _parse_rules(comment: str) -> tuple[frozenset[str], bool] | None:
+    """``(rules, file_wide)`` from a directive comment, or None."""
     match = _DIRECTIVE_RE.search(comment)
     if match is None:
         return None
-    return frozenset(r.strip() for r in match.group(1).split(","))
+    rules = frozenset(r.strip() for r in match.group(2).split(","))
+    return rules, match.group(1) is not None
 
 
 class SuppressionIndex:
     """Maps line numbers to the set of rules disabled there."""
 
-    def __init__(self, disabled_by_line: dict[int, frozenset[str]]) -> None:
+    def __init__(
+        self,
+        disabled_by_line: dict[int, frozenset[str]],
+        disabled_file_wide: frozenset[str] = frozenset(),
+    ) -> None:
         self._by_line = disabled_by_line
+        self._file_wide = disabled_file_wide
 
     @classmethod
     def from_source(cls, source: str, tree: ast.AST | None = None) -> "SuppressionIndex":
@@ -76,11 +92,16 @@ class SuppressionIndex:
         # that decides same-line vs. block placement.
         code_lines: set[int] = set()
         comments: list[tuple[int, frozenset[str]]] = []
+        file_wide: set[str] = set()
         for tok in tokens:
             if tok.type == _tokenize.COMMENT:
-                rules = _parse_rules(tok.string)
-                if rules is not None:
-                    comments.append((tok.start[0], rules))
+                parsed = _parse_rules(tok.string)
+                if parsed is not None:
+                    rules, is_file_wide = parsed
+                    if is_file_wide:
+                        file_wide.update(rules)
+                    else:
+                        comments.append((tok.start[0], rules))
             elif tok.type not in (
                 _tokenize.NL,
                 _tokenize.NEWLINE,
@@ -136,9 +157,14 @@ class SuppressionIndex:
                     continue
                 for covered in range(span[0], span[1] + 1):
                     by_line.setdefault(covered, set()).update(rules)
-        return cls({line: frozenset(rules) for line, rules in by_line.items()})
+        return cls(
+            {line: frozenset(rules) for line, rules in by_line.items()},
+            frozenset(file_wide),
+        )
 
     def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_wide or _ALL in self._file_wide:
+            return True
         disabled = self._by_line.get(line)
         if not disabled:
             return False

@@ -83,6 +83,9 @@ class ClassSymbol:
     attr_types: dict[str, ast.expr] = field(default_factory=dict)
     #: guarded field name → lock attribute name (guarded_by declarations).
     guarded_fields: dict[str, str] = field(default_factory=dict)
+    #: declared resource teardown sequence (``__shutdown_order__ =
+    #: shutdown_order("_cv", "_threads")``), empty when undeclared.
+    shutdown_order: tuple[str, ...] = ()
     #: attribute names that hold locks (guard targets + threading.*Lock()
     #: assignments/defaults).
     lock_attrs: set[str] = field(default_factory=set)
@@ -130,6 +133,22 @@ def _guard_from_annotation(ann: ast.expr) -> str | None:
     return None
 
 
+def _shutdown_order_from(value: ast.expr | None) -> tuple[str, ...] | None:
+    """Attribute names from a ``shutdown_order("a", "b", ...)`` call."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+    if name != "shutdown_order":
+        return None
+    attrs = tuple(
+        arg.value
+        for arg in value.args
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+    )
+    return attrs or None
+
+
 def _is_lock_expr(node: ast.expr | None) -> bool:
     """Whether *node* constructs (or defaults to) a threading lock."""
     if node is None:
@@ -164,12 +183,20 @@ class SymbolTable:
     # -------------------------------------------------------------- building
 
     @classmethod
-    def build(cls, root: Path, package_dirs: tuple[str, ...]) -> "SymbolTable":
+    def build(
+        cls,
+        root: Path,
+        package_dirs: tuple[str, ...],
+        tree_loader=None,
+    ) -> "SymbolTable":
         """Parse every file under *package_dirs* (relative to *root*).
 
         A package dir like ``src/repro`` produces module names rooted at
         ``repro`` (the dir's own basename); files that fail to parse are
         skipped here — the shallow walker already reports syntax errors.
+        ``tree_loader(relpath, source)`` may return a pre-parsed
+        ``ast.Module`` (the incremental cache's reuse hook) or None to
+        parse normally.
         """
         table = cls()
         for package_dir in package_dirs:
@@ -187,10 +214,14 @@ class SymbolTable:
                 except ValueError:
                     relpath = path.as_posix()
                 source = path.read_text(encoding="utf-8")
-                try:
-                    tree = ast.parse(source)
-                except SyntaxError:
-                    continue
+                tree = None
+                if tree_loader is not None:
+                    tree = tree_loader(relpath, source)
+                if tree is None:
+                    try:
+                        tree = ast.parse(source)
+                    except SyntaxError:
+                        continue
                 table._index_module(module_name, relpath, path, tree, source)
         return table
 
@@ -314,6 +345,15 @@ class SymbolTable:
                 fn = self._make_function(mod, child, cls=cls)
                 cls.methods[fn.name] = fn
                 self.functions[fn.qualname] = fn
+            elif (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+                and child.targets[0].id == "__shutdown_order__"
+            ):
+                declared = _shutdown_order_from(child.value)
+                if declared is not None:
+                    cls.shutdown_order = declared
             elif isinstance(child, ast.AnnAssign) and isinstance(
                 child.target, ast.Name
             ):
@@ -407,6 +447,19 @@ class SymbolTable:
             merged.update(self.guarded_fields_of(base_qual))
         merged.update(cls.guarded_fields)
         return merged
+
+    def shutdown_order_of(self, class_qualname: str) -> tuple[str, ...]:
+        """Declared teardown sequence of a class (own wins over bases)."""
+        cls = self.classes.get(class_qualname)
+        if cls is None:
+            return ()
+        if cls.shutdown_order:
+            return cls.shutdown_order
+        for base_qual in self.base_classes(cls):
+            inherited = self.shutdown_order_of(base_qual)
+            if inherited:
+                return inherited
+        return ()
 
     def lock_attrs_of(self, class_qualname: str) -> set[str]:
         cls = self.classes.get(class_qualname)

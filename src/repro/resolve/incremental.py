@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Annotated, Iterable, Sequence
 
-from repro.concurrency import guarded_by
+from repro.concurrency import guarded_by, idempotent
 from repro.datasets.schema import Record
 from repro.engine.engine import MatchingEngine, MatchResult
 from repro.llm.tokenizer import tokenize
@@ -199,6 +199,25 @@ class ResolutionStore:
     def __contains__(self, record_id: str) -> bool:
         with self._lock:
             return record_id in self._records
+
+    @idempotent
+    def close(self) -> None:
+        """Release the write-ahead journal handle.
+
+        Idempotent and thread-safe; a store built without a journal is a
+        no-op.  The store itself stays readable after close — only
+        further journaled ingestion is cut off (by the closed handle).
+        """
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+
+    def __enter__(self) -> "ResolutionStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -------------------------------------------------------------- ingestion
 
@@ -370,9 +389,13 @@ class ResolutionStore:
         entries, _ = read_journal(path, expect={"kind": "resolve", "mode": mode})
         repair(path)
         store = cls(engine, journal=path, _recovering=True, **kwargs)  # type: ignore[arg-type]
-        pending = store._replay(path, entries)
-        for record in pending:
-            store._finish(record)
+        try:
+            pending = store._replay(path, entries)
+            for record in pending:
+                store._finish(record)
+        except BaseException:
+            store.close()
+            raise
         return store
 
     def _replay(self, path: Path, entries: list[dict]) -> list[Record]:

@@ -50,7 +50,7 @@ from dataclasses import dataclass
 from typing import Annotated, Callable, Sequence
 
 from repro.baselines.threshold import ThresholdMatcher
-from repro.concurrency import guarded_by
+from repro.concurrency import guarded_by, shutdown_order
 from repro.datasets.schema import EntityPair, Record, Split
 from repro.engine.engine import MatchingEngine
 from repro.serve.admission import AdmissionController
@@ -84,6 +84,12 @@ class Gateway:
     #: the dispatch threads (dequeue), always under ``_cv``.
     _queue: Annotated["deque[_QueuedRequest]", guarded_by("_cv")]
     _closed: Annotated[bool, guarded_by("_cv")]
+
+    #: teardown contract, machine-checked by ``deep-shutdown-order``:
+    #: wake every worker blocked on ``_cv`` (so the drain can finish)
+    #: *before* joining the dispatch threads.  Joining first deadlocks —
+    #: a parked worker never observes ``_closed``.
+    __shutdown_order__ = shutdown_order("_cv", "_threads")
 
     def __init__(
         self,

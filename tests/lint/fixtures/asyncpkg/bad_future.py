@@ -1,4 +1,4 @@
-"""Future discipline broken both ways: off-loop completion, dead coroutines."""
+"""Future discipline broken both ways: off-loop completion, dead coroutines."""  # repro-lint: disable-file=deep-resource-leak — scaffolding thread
 
 import asyncio
 import threading

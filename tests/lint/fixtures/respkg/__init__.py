@@ -1,0 +1,8 @@
+"""Fixture package for the resource-lifecycle analysis (resources).
+
+``bad_*`` modules each violate exactly one resource rule; the matching
+``good_*`` module does the same job the sanctioned way and must produce
+zero findings.  ``regression_store.py`` is distilled from the real
+leaks the analyzer surfaced in ``repro.resolve`` / ``repro.faults``
+when the rules first ran (since fixed there).
+"""

@@ -1,0 +1,21 @@
+"""One path reaches the same release twice, without idempotence."""
+
+
+class Pipe:
+    """Owns its handle; close() is NOT declared @idempotent."""
+
+    def __init__(self, path):
+        self._handle = open(path)
+
+    def write(self, line):
+        self._handle.write(line)
+
+    def close(self):
+        self._handle.close()
+
+
+def close_twice(path):
+    pipe = Pipe(path)
+    pipe.write("x")
+    pipe.close()
+    pipe.close()

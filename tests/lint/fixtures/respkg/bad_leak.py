@@ -1,0 +1,40 @@
+"""Acquisitions that escape every owner — one leak shape per function."""
+
+import threading
+
+
+def leak_on_return(path):
+    """The handle is live when the function hands control back."""
+    handle = open(path)
+    data = handle.read()
+    return data
+
+
+def leak_on_exception_edge(path):
+    """Closed on the happy path only; the raise abandons it."""
+    handle = open(path)
+    if not path:
+        raise ValueError("empty path")
+    handle.close()
+
+
+def leak_by_discard(path):
+    """Acquired and immediately dropped — nothing can ever close it."""
+    open(path)
+
+
+def leak_a_thread(records):
+    """A non-daemon worker that nobody will ever join."""
+    worker = threading.Thread(target=records.sort)
+    worker.start()
+    return len(records)
+
+
+class HandleHolder:
+    """Stores the handle on self, but no release method covers it."""
+
+    def __init__(self, path):
+        self._handle = open(path)
+
+    def read(self):
+        return self._handle.read()

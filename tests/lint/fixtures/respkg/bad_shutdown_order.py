@@ -1,0 +1,49 @@
+"""Teardown sequences that contradict their shutdown_order declaration."""
+
+import threading
+
+from respkg.concurrency import shutdown_order
+
+
+class JoinBeforeWake:
+    """Declares wake-then-join but joins first — the workers never see
+    the wake and the join deadlocks."""
+
+    __shutdown_order__ = shutdown_order("_cv", "_threads")
+
+    def __init__(self):
+        self._cv = threading.Condition()
+        self._threads = []
+
+    def close(self):
+        for worker in self._threads:
+            worker.join()
+        with self._cv:
+            self._cv.notify_all()
+
+
+class ForgetsDeclaredAttr:
+    """Declares `_handle` in the order but never releases it."""
+
+    __shutdown_order__ = shutdown_order("_cv", "_handle")
+
+    def __init__(self):
+        self._cv = threading.Condition()
+        self._handle = None
+
+    def close(self):
+        with self._cv:
+            self._cv.notify_all()
+
+
+class NamesUnknownAttr:
+    """Declares an attribute the class does not even have."""
+
+    __shutdown_order__ = shutdown_order("_missing")
+
+    def __init__(self):
+        self._cv = threading.Condition()
+
+    def close(self):
+        with self._cv:
+            self._cv.notify_all()

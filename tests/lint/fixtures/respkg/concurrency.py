@@ -1,0 +1,14 @@
+"""shutdown_order / idempotent markers, mirroring repro.concurrency."""
+
+
+class ShutdownOrder:
+    def __init__(self, attrs: tuple) -> None:
+        self.attrs = attrs
+
+
+def shutdown_order(*attrs: str) -> ShutdownOrder:
+    return ShutdownOrder(tuple(attrs))
+
+
+def idempotent(fn):
+    return fn

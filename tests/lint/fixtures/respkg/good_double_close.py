@@ -1,0 +1,35 @@
+"""Repeated releases that are declared (or inherently) idempotent."""
+
+from respkg.concurrency import idempotent
+
+
+class IdempotentPipe:
+    """close() checks its own flag, and says so with @idempotent."""
+
+    def __init__(self, path):
+        self._handle = open(path)
+        self._closed = False
+
+    def write(self, line):
+        self._handle.write(line)
+
+    @idempotent
+    def close(self):
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+
+def close_twice_idempotently(path):
+    pipe = IdempotentPipe(path)
+    pipe.write("x")
+    pipe.close()
+    pipe.close()
+
+
+def builtin_releases_are_idempotent(path):
+    """file.close() is idempotent by contract — no annotation needed."""
+    handle = open(path)
+    handle.write("x")
+    handle.close()
+    handle.close()

@@ -1,0 +1,55 @@
+"""The same jobs as bad_leak, with every path covered."""
+
+import threading
+
+
+def managed_by_with(path):
+    """`with` releases on all paths by construction."""
+    with open(path) as handle:
+        return handle.read()
+
+
+def released_in_finally(path):
+    """Explicit handle, but the finally covers return and raise alike."""
+    handle = open(path)
+    try:
+        if not path:
+            raise ValueError("empty path")
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def make_handle(path):
+    """A factory: ownership transfers to the caller via return."""
+    return open(path)
+
+
+def caller_closes(path):
+    """The factory's resource, released where it is consumed."""
+    handle = make_handle(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def joined_thread(records):
+    """Spawn, then wait: the thread is released by join."""
+    worker = threading.Thread(target=records.sort)
+    worker.start()
+    worker.join()
+    return len(records)
+
+
+class OwnedHandleHolder:
+    """Stores the handle on self — and close() tears it down."""
+
+    def __init__(self, path):
+        self._handle = open(path)
+
+    def read(self):
+        return self._handle.read()
+
+    def close(self):
+        self._handle.close()

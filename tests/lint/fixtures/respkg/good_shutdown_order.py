@@ -1,0 +1,32 @@
+"""Teardown that matches its shutdown_order declaration exactly."""
+
+import threading
+
+from respkg.concurrency import shutdown_order
+
+
+class OrderedService:
+    """Wake the condition first, then join, then drop the references —
+    precisely the declared sequence."""
+
+    __shutdown_order__ = shutdown_order("_cv", "_threads")
+
+    def __init__(self):
+        self._cv = threading.Condition()
+        self._threads = []
+
+    def start(self):
+        worker = threading.Thread(target=self._run)
+        worker.start()
+        self._threads.append(worker)
+
+    def _run(self):
+        with self._cv:
+            self._cv.wait_for(lambda: True)
+
+    def close(self):
+        with self._cv:
+            self._cv.notify_all()
+        for worker in self._threads:
+            worker.join()
+        self._threads.clear()

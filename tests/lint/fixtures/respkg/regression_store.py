@@ -1,0 +1,40 @@
+"""Distilled from the real findings the resource rules first surfaced.
+
+Each shape reproduces, minimally, a leak found in the tree when
+``deep-resource-leak`` first ran (and since fixed): the resolution
+store's journal handle stored with no release method covering it
+(``repro.resolve.incremental``), and the kill/resume crash loop
+rebinding and abandoning live stores (``repro.faults.harness``).
+"""
+
+
+class MiniJournal:
+    """The journal itself is clean: it owns its handle and closes it."""
+
+    def __init__(self, path):
+        self._handle = open(path)
+
+    def append(self, line):
+        self._handle.write(line)
+
+    def close(self):
+        self._handle.close()
+
+
+class MiniStore:
+    """ResolutionStore as it was: journal stored, never released."""
+
+    def __init__(self, path):
+        self._journal = MiniJournal(path)
+
+    def ingest(self, line):
+        self._journal.append(line)
+
+
+def crash_retry(paths):
+    """kill_resume_roundtrip as it was: each retry rebinds a live store."""
+    store = None
+    for path in paths:
+        store = MiniStore(path)
+        store.ingest("x")
+    return store

@@ -175,7 +175,8 @@ class TestRunSummary:
     def test_timings_gated_behind_flag(self):
         _, with_timings = run_deep(FIXTURES, ("asyncpkg",), timings=True)
         assert set(with_timings["timings"]) == {
-            "symbols", "callgraph", "taint", "exceptions", "locks", "asyncflow",
+            "symbols", "callgraph", "taint", "exceptions", "locks",
+            "asyncflow", "resources",
         }
         _, plain = run_deep(FIXTURES, ("asyncpkg",))
         assert "timings" not in plain
@@ -184,7 +185,7 @@ class TestRunSummary:
         import json
 
         payload = json.loads(format_json([], summary={"async": {}}))
-        assert payload["schema_version"] == SCHEMA_VERSION == 2
+        assert payload["schema_version"] == SCHEMA_VERSION == 3
 
 
 class TestRealTree:

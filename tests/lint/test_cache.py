@@ -1,0 +1,193 @@
+"""The incremental analysis cache: hits, invalidation, and honesty.
+
+These tests run the deep analyzer over the respkg fixture tree (small,
+so cold runs stay fast) through a real on-disk cache directory, then
+edit files and corrupt the cache to prove the degradation story.
+"""
+
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint.cache import AnalysisCache, take_snapshot
+from repro.lint.deep import run_deep
+
+from .conftest import REPO_ROOT
+
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+
+@pytest.fixture()
+def respkg_copy(tmp_path):
+    """A private, editable copy of the respkg fixture tree."""
+    shutil.copytree(FIXTURES / "respkg", tmp_path / "respkg")
+    return tmp_path
+
+
+def run_cached(root, cache, changed=None):
+    return run_deep(root, ("respkg",), cache=cache, changed=changed)
+
+
+def strip_volatile(summary):
+    """Everything the warm/cold byte-identity contract covers."""
+    return {
+        k: v for k, v in summary.items() if k not in ("cache", "timings")
+    }
+
+
+class TestColdWarm:
+    def test_warm_hit_is_byte_identical(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        cold_findings, cold_summary = run_cached(respkg_copy, cache)
+        assert cache.stats["deep_hit"] is False
+        assert cold_summary["cache"]["deep_hit"] is False
+
+        warm_cache = AnalysisCache(tmp_path / "cache")
+        warm_findings, warm_summary = run_cached(respkg_copy, warm_cache)
+        assert warm_cache.stats["deep_hit"] is True
+        assert warm_summary["cache"]["deep_hit"] is True
+        assert [vars(f) for f in warm_findings] == [
+            vars(f) for f in cold_findings
+        ]
+        assert strip_volatile(warm_summary) == strip_volatile(cold_summary)
+
+    def test_cold_run_populates_tree_store(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        run_cached(respkg_copy, cache)
+        assert cache.stats["tree_misses"] > 0
+        assert cache.manifest_path.exists()
+        assert list(cache.trees_dir.glob("*.pkl"))
+
+
+class TestInvalidation:
+    def test_edit_misses_deep_but_reuses_trees(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        run_cached(respkg_copy, cache)
+        total = len(take_snapshot(respkg_copy, ("respkg",)).files)
+
+        target = respkg_copy / "respkg" / "good_leak.py"
+        target.write_text(target.read_text() + "\n\nEXTRA = 1\n")
+
+        warm = AnalysisCache(tmp_path / "cache")
+        run_cached(respkg_copy, warm)
+        assert warm.stats["deep_hit"] is False
+        # Every unchanged file re-loads its pickled tree; only the
+        # edited one re-parses.
+        assert warm.stats["tree_misses"] == 1
+        assert warm.stats["tree_hits"] == total - 1
+
+    def test_edit_invalidates_importers_fingerprints(self, respkg_copy):
+        before = take_snapshot(respkg_copy, ("respkg",))
+        target = respkg_copy / "respkg" / "concurrency.py"
+        target.write_text(target.read_text() + "\n\nEXTRA = 1\n")
+        after = take_snapshot(respkg_copy, ("respkg",))
+
+        flipped = {
+            rel
+            for rel in before.files
+            if before.files[rel].dep_fingerprint
+            != after.files[rel].dep_fingerprint
+        }
+        # concurrency.py and every module importing it (the shutdown
+        # fixtures and good_double_close), but not e.g. bad_leak.py.
+        assert "respkg/concurrency.py" in flipped
+        assert "respkg/bad_shutdown_order.py" in flipped
+        assert "respkg/bad_leak.py" not in flipped
+        assert flipped == before.dependents_of(["respkg/concurrency.py"])
+
+    def test_stale_files_is_the_dependent_closure(self, respkg_copy):
+        snap = take_snapshot(respkg_copy, ("respkg",))
+        cache = AnalysisCache(respkg_copy / "unused")
+        stale = cache.stale_files(snap, ["respkg/concurrency.py"])
+        assert "respkg/concurrency.py" in stale
+        assert "respkg/good_shutdown_order.py" in stale
+        assert "respkg/bad_leak.py" not in stale
+        # Out-of-tree paths are ignored, not crashed on.
+        assert cache.stale_files(snap, ["no/such/file.py"]) == []
+
+
+class TestCorruptionGrace:
+    def test_garbage_manifest_degrades_to_miss(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        cold_findings, _ = run_cached(respkg_copy, cache)
+        cache.manifest_path.write_text("{not json")
+
+        warm = AnalysisCache(tmp_path / "cache")
+        warm_findings, summary = run_cached(respkg_copy, warm)
+        assert warm.stats["deep_hit"] is False
+        assert [vars(f) for f in warm_findings] == [
+            vars(f) for f in cold_findings
+        ]
+
+    def test_garbage_pickles_degrade_to_reparse(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        cold_findings, _ = run_cached(respkg_copy, cache)
+        for pkl in cache.trees_dir.glob("*.pkl"):
+            pkl.write_bytes(b"\x80garbage")
+        cache.manifest_path.unlink()  # force the full analysis path too
+
+        warm = AnalysisCache(tmp_path / "cache")
+        warm_findings, _ = run_cached(respkg_copy, warm)
+        assert warm.stats["tree_hits"] == 0
+        assert [vars(f) for f in warm_findings] == [
+            vars(f) for f in cold_findings
+        ]
+
+    def test_wrong_format_version_is_a_miss(self, respkg_copy, tmp_path):
+        import json
+
+        cache = AnalysisCache(tmp_path / "cache")
+        run_cached(respkg_copy, cache)
+        manifest = json.loads(cache.manifest_path.read_text())
+        manifest["format"] = -1
+        cache.manifest_path.write_text(json.dumps(manifest))
+
+        warm = AnalysisCache(tmp_path / "cache")
+        run_cached(respkg_copy, warm)
+        assert warm.stats["deep_hit"] is False
+
+
+class TestChangedOnlyScope:
+    def test_scope_block_with_cache(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        _, summary = run_cached(
+            respkg_copy, cache, changed=["respkg/concurrency.py"]
+        )
+        scope = summary["scope"]
+        assert scope["changed_only"] is True
+        assert scope["analysis"] == "full"
+        assert scope["changed_in_tree"] == 1
+        assert scope["stale_files"] >= 4  # concurrency + its importers
+
+    def test_scope_block_warm_says_cached(self, respkg_copy, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        run_cached(respkg_copy, cache)
+        warm = AnalysisCache(tmp_path / "cache")
+        _, summary = run_cached(
+            respkg_copy, warm, changed=["respkg/concurrency.py"]
+        )
+        assert summary["scope"]["analysis"] == "cached"
+
+    def test_scope_block_without_cache_is_honest(self, respkg_copy):
+        _, summary = run_deep(
+            respkg_copy, ("respkg",), changed=["respkg/concurrency.py"]
+        )
+        scope = summary["scope"]
+        assert scope["analysis"] == "full"
+        assert "whole-program" in scope["note"]
+        assert "--cache" in scope["note"]
+
+
+class TestCli:
+    def test_cache_requires_deep(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--cache", "/tmp/x"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2
+        assert "--cache requires --deep" in proc.stderr

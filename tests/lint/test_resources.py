@@ -1,0 +1,258 @@
+"""The resource-lifecycle analysis (resources) over the respkg fixtures."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.deep import build_context, run_deep
+from repro.lint.resources import ResourceAnalysis
+from repro.lint.symbols import SymbolTable
+
+from .conftest import REPO_ROOT
+
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_run():
+    context = build_context(FIXTURES, ("respkg",))
+    findings, summary = run_deep(context=context)
+    return context, findings, summary
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+def analyze(source: str, module: str = "pkg.mod") -> ResourceAnalysis:
+    """Run just the resource analysis over one in-memory module."""
+    from repro.lint.callgraph import build_call_graph
+
+    table = SymbolTable.from_sources({module: textwrap.dedent(source)})
+    return ResourceAnalysis(table, build_call_graph(table))
+
+
+class TestLeakRule:
+    def test_every_leak_shape_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        lines = sorted(
+            f.line
+            for f in by_rule(findings, "deep-resource-leak")
+            if f.path == "respkg/bad_leak.py"
+        )
+        # return, exception edge, discard, thread exit, unowned self store.
+        assert lines == [10, 17, 23, 30, 37]
+
+    def test_messages_carry_provenance(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(
+            f
+            for f in by_rule(findings, "deep-resource-leak")
+            if f.path == "respkg/bad_leak.py" and f.line == 10
+        )
+        assert "file acquired at respkg/bad_leak.py:8" in hit.message
+        assert "via return" in hit.message
+
+    def test_good_module_clean(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert not any(f.path == "respkg/good_leak.py" for f in findings)
+
+    def test_factory_chain_provenance(self):
+        analysis = analyze(
+            """
+            def make(path):
+                return open(path)
+
+
+            def use(path):
+                handle = make(path)
+                return handle.read()
+            """
+        )
+        (leak,) = analysis.leaks
+        assert leak.fn == "pkg.mod.use"
+        assert "make(...)" in leak.prov.describe()
+        assert "file acquired" in leak.prov.describe()
+
+
+class TestDoubleCloseRule:
+    def test_second_close_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        (hit,) = by_rule(findings, "deep-resource-double-close")
+        assert hit.path == "respkg/bad_double_close.py"
+        assert hit.line == 21
+        assert "first at line 20" in hit.message
+
+    def test_idempotent_and_builtin_releases_clean(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert not any(
+            f.path == "respkg/good_double_close.py" for f in findings
+        )
+
+
+class TestShutdownOrderRule:
+    def test_wrong_sequence_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(
+            f
+            for f in by_rule(findings, "deep-shutdown-order")
+            if f.line == 22
+        )
+        assert "JoinBeforeWake" in hit.message
+        assert "_cv" in hit.message and "_threads" in hit.message
+
+    def test_declared_but_never_released_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert any(
+            "no release method ever releases it" in f.message
+            for f in by_rule(findings, "deep-shutdown-order")
+        )
+
+    def test_unknown_attribute_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert any(
+            "unknown attribute '_missing'" in f.message
+            for f in by_rule(findings, "deep-shutdown-order")
+        )
+
+    def test_good_module_clean(self, fixture_run):
+        _, findings, _ = fixture_run
+        assert not any(
+            f.path == "respkg/good_shutdown_order.py" for f in findings
+        )
+
+
+class TestRegressionModule:
+    """The real-tree leaks, pinned in distilled form."""
+
+    def test_unowned_journal_store_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(
+            f
+            for f in by_rule(findings, "deep-resource-leak")
+            if f.path == "respkg/regression_store.py" and f.line == 28
+        )
+        assert "self._journal" in hit.message
+
+    def test_crash_loop_rebind_flagged(self, fixture_run):
+        _, findings, _ = fixture_run
+        hit = next(
+            f
+            for f in by_rule(findings, "deep-resource-leak")
+            if f.path == "respkg/regression_store.py" and f.line == 38
+        )
+        assert "via rebound" in hit.message
+        assert "MiniStore acquired" in hit.message
+
+
+class TestRunSummary:
+    def test_exact_finding_set(self, fixture_run):
+        """The fixture package's full expected output, pinned."""
+        _, findings, _ = fixture_run
+        got = sorted((f.rule, f.path, f.line) for f in findings)
+        assert got == [
+            ("deep-resource-double-close", "respkg/bad_double_close.py", 21),
+            ("deep-resource-leak", "respkg/bad_leak.py", 10),
+            ("deep-resource-leak", "respkg/bad_leak.py", 17),
+            ("deep-resource-leak", "respkg/bad_leak.py", 23),
+            ("deep-resource-leak", "respkg/bad_leak.py", 30),
+            ("deep-resource-leak", "respkg/bad_leak.py", 37),
+            ("deep-resource-leak", "respkg/regression_store.py", 28),
+            ("deep-resource-leak", "respkg/regression_store.py", 38),
+            ("deep-shutdown-order", "respkg/bad_shutdown_order.py", 22),
+            ("deep-shutdown-order", "respkg/bad_shutdown_order.py", 25),
+            ("deep-shutdown-order", "respkg/bad_shutdown_order.py", 39),
+        ]
+
+    def test_resolution_rate_floor(self, fixture_run):
+        """ISSUE acceptance: callgraph resolution >= 0.90 on respkg."""
+        _, _, summary = fixture_run
+        assert summary["callgraph"]["resolution_rate"] >= 0.90
+
+    def test_resource_census(self, fixture_run):
+        _, _, summary = fixture_run
+        census = summary["resources"]
+        assert census["leaks"] == 7
+        assert census["double_closes"] == 1
+        assert census["order_violations"] == 3
+        assert census["declared_orders"] == 4
+        assert census["resource_classes"] >= 5
+        assert census["managed_sites"] >= 1
+
+
+class TestAnalysisInternals:
+    def test_with_managed_binding_counts_as_release(self):
+        """`h = open(...)` later owned by `with h:` is not a leak."""
+        analysis = analyze(
+            """
+            def load(path, mode):
+                handle = open(path, mode)
+                with handle:
+                    return handle.read()
+            """
+        )
+        assert analysis.leaks == []
+
+    def test_daemon_threads_exempt(self):
+        analysis = analyze(
+            """
+            import threading
+
+
+            def fire_and_forget(job):
+                worker = threading.Thread(target=job, daemon=True)
+                worker.start()
+            """
+        )
+        assert analysis.leaks == []
+
+    def test_transfer_to_sinking_callee(self):
+        """Passing to a close-taking callee transfers ownership."""
+        analysis = analyze(
+            """
+            def consume(handle):
+                try:
+                    return handle.read()
+                finally:
+                    handle.close()
+
+
+            def produce(path):
+                handle = open(path)
+                return consume(handle)
+            """
+        )
+        assert analysis.leaks == []
+
+    def test_resolved_non_sinking_callee_keeps_ownership(self):
+        """A callee that only reads the resource does not release it."""
+        analysis = analyze(
+            """
+            def peek(handle):
+                return handle.read()
+
+
+            def produce(path):
+                handle = open(path)
+                return peek(handle)
+            """
+        )
+        assert [leak.how for leak in analysis.leaks] == ["return"]
+
+    def test_shutdown_order_inherited_lookup(self):
+        table = SymbolTable.from_sources(
+            {
+                "pkg.mod": textwrap.dedent(
+                    """
+                    class Base:
+                        __shutdown_order__ = shutdown_order("_a", "_b")
+
+
+                    class Child(Base):
+                        pass
+                    """
+                )
+            }
+        )
+        assert table.shutdown_order_of("pkg.mod.Child") == ("_a", "_b")
+        assert table.shutdown_order_of("pkg.mod.Base") == ("_a", "_b")

@@ -188,6 +188,74 @@ class TestAsyncHeaders:
         assert [f.line for f in findings] == expected_lines
 
 
+class TestFileWide:
+    """``disable-file=<rule>`` suppresses the rule on every line."""
+
+    TABLE = [
+        (
+            "covers_every_line",
+            "# repro-lint: disable-file=ambient-clock — fixture module\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n",
+            [],
+        ),
+        (
+            "placement_anywhere_in_file",
+            "import time\n"
+            "a = time.time()\n"
+            "# repro-lint: disable-file=ambient-clock — late but file-wide\n"
+            "b = time.time()\n",
+            [],
+        ),
+        (
+            "wrong_rule_name_does_not_suppress",
+            "# repro-lint: disable-file=unseeded-rng\n"
+            "import time\n"
+            "a = time.time()\n",
+            [3],
+        ),
+        (
+            "comma_separated_rules",
+            "# repro-lint: disable-file=ambient-clock,unseeded-rng\n"
+            "import time\n"
+            "a = time.time()\n",
+            [],
+        ),
+        (
+            "disable_file_all",
+            "# repro-lint: disable-file=all\n"
+            "import time\n"
+            "a = time.time()\n",
+            [],
+        ),
+        (
+            "plain_disable_stays_line_scoped",
+            "# repro-lint: disable=ambient-clock — block form, first stmt only\n"
+            "import time\n"
+            "a = time.time()\n",
+            [3],
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "source, expected_lines",
+        [case[1:] for case in TABLE],
+        ids=[case[0] for case in TABLE],
+    )
+    def test_table(self, source, expected_lines):
+        findings = run_rule("ambient-clock", source)
+        assert [f.line for f in findings] == expected_lines
+
+    def test_index_reports_every_line(self):
+        index = index_of(
+            "# repro-lint: disable-file=ambient-clock\nx = 1\ny = 2\n"
+        )
+        assert index.is_suppressed("ambient-clock", 1)
+        assert index.is_suppressed("ambient-clock", 3)
+        assert not index.is_suppressed("unseeded-rng", 3)
+
+
 class TestParsing:
     def test_non_directive_comments_ignored(self):
         index = index_of("x = 1  # a plain comment\n")
