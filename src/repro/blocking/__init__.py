@@ -8,18 +8,32 @@ two standard families so the library covers the full EM pipeline:
 * :class:`~repro.blocking.embedding.EmbeddingBlocker` — nearest-neighbour
   blocking in the embedding space (the modern default);
 * :class:`~repro.blocking.token.TokenBlocker` — classic shared-token
-  (inverted-index) blocking.
+  (inverted-index) blocking;
+* :class:`~repro.index.MinHashBlocker` (in ``repro.index``) — MinHash/
+  LSH blocking with top-k ranking, for corpora where token blocking's
+  candidate sets blow up.
 
-Both report pair-completeness / reduction-ratio quality metrics.
+All report pair-completeness / reduction-ratio quality metrics;
+:func:`~repro.blocking.base.recall_at_k` and
+:func:`~repro.blocking.base.recall_curve` measure recall against
+candidate-set size for ranked candidate lists.
 """
 
-from repro.blocking.base import BlockingResult, blocking_quality
+from repro.blocking.base import (
+    BlockingResult,
+    blocking_quality,
+    recall_at_k,
+    recall_curve,
+)
 from repro.blocking.embedding import EmbeddingBlocker
-from repro.blocking.token import TokenBlocker
+from repro.blocking.token import TokenBlocker, blocking_tokens
 
 __all__ = [
     "BlockingResult",
     "EmbeddingBlocker",
     "TokenBlocker",
     "blocking_quality",
+    "blocking_tokens",
+    "recall_at_k",
+    "recall_curve",
 ]

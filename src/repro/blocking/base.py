@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.datasets.schema import Record
 
-__all__ = ["BlockingResult", "blocking_quality"]
+__all__ = ["BlockingResult", "blocking_quality", "recall_at_k", "recall_curve"]
 
 
 @dataclass(frozen=True)
@@ -70,3 +73,80 @@ def blocking_quality(
         "reduction_ratio": result.reduction_ratio,
         "candidates": float(len(result.candidates)),
     }
+
+
+# --------------------------------------------- ranked candidate generation
+
+
+def _pair_ranks(
+    ranked: Mapping[str, Sequence[str]]
+) -> dict[tuple[str, str], int]:
+    """Best (lowest) rank of every unordered candidate pair.
+
+    ``ranked`` maps a record id to its candidate ids, best first.  A pair
+    may appear in both directions (dedup workloads rank symmetrically);
+    the pair counts at cut-off *k* as soon as **either** direction ranks
+    it inside the top *k*, so its effective rank is the minimum of the
+    two.  Self-pairs are ignored.
+    """
+    best: dict[tuple[str, str], int] = {}
+    for left, names in ranked.items():
+        for rank, right in enumerate(names):
+            if right == left:
+                continue
+            pair = (left, right) if left <= right else (right, left)
+            prev = best.get(pair)
+            if prev is None or rank < prev:
+                best[pair] = rank
+    return best
+
+
+def recall_curve(
+    ranked: Mapping[str, Sequence[str]],
+    true_pairs: Iterable[tuple[str, str]],
+    ks: Sequence[int | None],
+) -> list[dict[str, object]]:
+    """Recall and candidate-set size at each cut-off in *ks*.
+
+    One point per *k* (``None`` = no cut-off: every ranked candidate
+    counts), each a dict with ``k``, ``recall`` (true pairs whose best
+    rank beats the cut-off, over all true pairs; 1.0 with no truth),
+    ``candidates`` (distinct unordered pairs inside the cut-off) and
+    ``candidates_per_record``.  This is the **single** code path behind
+    ``benchmarks/bench_blocking_scale.py`` and ``repro-em index
+    --stats`` — the benchmark and the CLI cannot disagree on what
+    "recall at k" means.
+    """
+    best = _pair_ranks(ranked)
+    truth = sorted({tuple(sorted(p)) for p in true_pairs})
+    records = max(1, len(ranked))
+    pair_ranks = np.fromiter(best.values(), dtype=np.int64, count=len(best))
+    missing = np.iinfo(np.int64).max
+    truth_ranks = np.fromiter(
+        (best.get(pair, missing) for pair in truth),
+        dtype=np.int64,
+        count=len(truth),
+    )
+    curve: list[dict[str, object]] = []
+    for k in ks:
+        if k is not None and k <= 0:
+            raise ValueError("k must be positive (or None for no cut-off)")
+        limit = missing if k is None else k
+        candidates = int((pair_ranks < limit).sum())
+        found = int((truth_ranks < limit).sum())
+        curve.append({
+            "k": None if k is None else int(k),
+            "recall": found / len(truth) if truth else 1.0,
+            "candidates": candidates,
+            "candidates_per_record": candidates / records,
+        })
+    return curve
+
+
+def recall_at_k(
+    ranked: Mapping[str, Sequence[str]],
+    true_pairs: Iterable[tuple[str, str]],
+    k: int | None = None,
+) -> dict[str, object]:
+    """Recall and candidate count at one cut-off (see :func:`recall_curve`)."""
+    return recall_curve(ranked, true_pairs, [k])[0]

@@ -1,14 +1,50 @@
-"""Classic shared-token (inverted index) blocking."""
+"""Classic shared-token (inverted index) blocking.
+
+Also home of :func:`blocking_tokens`, the tokenizer every candidate
+generator in the blocking layer shares (:class:`TokenBlocker`,
+:class:`~repro.resolve.incremental.TokenCandidateIndex`, and the
+MinHash/LSH subsystem in :mod:`repro.index`).  It differs from the
+simulated LLM's :func:`~repro.llm.tokenizer.tokenize` in three
+deliberate ways:
+
+* **Unicode casefold** — ``"Straße"`` and ``"STRASSE"`` produce the same
+  tokens (``str.casefold``, not ``str.lower``), and non-ASCII letters
+  are kept instead of dropped, so records in any script can block
+  against each other;
+* **no degenerate universal bucket** — punctuation-only and empty
+  descriptions tokenize to *nothing* (no placeholder/empty token), so
+  such records never all collide into one catch-all bucket that would
+  pair every degenerate record with every other;
+* it is a blocking-layer contract: changing the LLM tokenizer must not
+  silently change candidate generation, and vice versa.
+
+On plain ASCII text the two tokenizers agree, so switching the blocking
+layer to :func:`blocking_tokens` left every ASCII benchmark unchanged.
+"""
 
 from __future__ import annotations
 
+import re
 from collections import defaultdict
 
 from repro.blocking.base import BlockingResult
 from repro.datasets.schema import Record
-from repro.llm.tokenizer import tokenize
 
-__all__ = ["TokenBlocker"]
+__all__ = ["TokenBlocker", "blocking_tokens"]
+
+#: word/number runs (any script) with ``./-`` joins kept, underscores
+#: excluded — the unicode-aware counterpart of ``repro._util._TOKEN_RE``.
+_TOKEN_RE = re.compile(r"[^\W_]+(?:[./-][^\W_]+)*")
+
+
+def blocking_tokens(text: str) -> list[str]:
+    """Casefolded word/number tokens for candidate generation.
+
+    Punctuation-only and empty inputs return ``[]`` — callers must treat
+    a record with no tokens as having *no* blocking key at all, never as
+    a member of some shared "empty" bucket.
+    """
+    return _TOKEN_RE.findall(text.casefold())
 
 
 class TokenBlocker:
@@ -33,7 +69,7 @@ class TokenBlocker:
             # repro-lint: disable=set-iteration — order-insensitive: builds
             # an inverted index of sets; downstream consumes it via counts
             # and a frozenset of candidates only.
-            for token in set(tokenize(record.description)):
+            for token in set(blocking_tokens(record.description)):
                 index[token].add(i)
         # at least one record per token must survive, or tiny
         # collections would prune everything

@@ -12,9 +12,13 @@ Subcommands::
     repro-em engine (--pairs FILE | --dataset NAME) [--model NAME]
         [--prompt NAME] [--batch-size N] [--cache-size N] [--stats] [--quiet]
     repro-em resolve --dataset NAME [--split test] [--limit N] [--model NAME]
-        [--blocker token|embedding] [--mode transitive|correlation]
-        [--min-agreement F] [--format text|json] [--golden] [--stats]
-        [--no-short-circuit]
+        [--blocking token|embedding|minhash] [--top-k N] [--threshold F]
+        [--mode transitive|correlation] [--min-agreement F]
+        [--format text|json] [--golden] [--stats] [--no-short-circuit]
+    repro-em index (--dataset NAME [--split test] | --synthetic N)
+        [--num-perm N] [--threshold F] [--bands B --rows R]
+        [--min-similarity F] [--shards N] [--seed N] [--top-k N]
+        [--stats] [--format text|json]
     repro-em lint [PATHS ...] [--rule ID ...] [--format text|json]
         [--list-rules] [--deep] [--baseline FILE] [--update-baseline]
         [--jobs N] [--changed-only] [--base REF] [--timings]
@@ -133,11 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resolve only the first N pairs of the split")
     res.add_argument("--model", default="llama-3.1-8b")
     res.add_argument("--prompt", default="default")
-    res.add_argument("--blocker", default="token", choices=("token", "embedding"))
+    res.add_argument("--blocker", "--blocking", dest="blocker", default="token",
+                     choices=("token", "embedding", "minhash"))
     res.add_argument("--min-shared", type=int, default=1,
                      help="token blocker: min shared tokens per candidate")
     res.add_argument("--k", type=int, default=5,
                      help="embedding blocker: neighbours per record")
+    res.add_argument("--top-k", type=int, default=10,
+                     help="minhash blocker: candidates kept per record")
+    res.add_argument("--threshold", type=float, default=0.5,
+                     help="minhash blocker: target Jaccard threshold for "
+                     "the LSH banding solver")
     res.add_argument("--mode", default="transitive",
                      choices=("transitive", "correlation"))
     res.add_argument("--min-agreement", type=float, default=0.5,
@@ -154,6 +164,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="include the engine stats snapshot "
                      "(cache hits, batches, fallbacks)")
     res.add_argument("--format", choices=("text", "json"), default="text")
+
+    idx = sub.add_parser(
+        "index",
+        help="build a MinHash/LSH candidate index over a corpus and "
+        "report its composition and recall-vs-candidate-size curve",
+    )
+    source = idx.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=DATASET_NAMES)
+    source.add_argument("--synthetic", type=int, metavar="N",
+                        help="index an N-record seeded synthetic dedup corpus")
+    idx.add_argument("--split", default="test",
+                     choices=("train", "valid", "test"))
+    idx.add_argument("--corruption", type=float, default=0.25,
+                     help="synthetic corpus: duplicate corruption level")
+    idx.add_argument("--num-perm", type=int, default=128,
+                     help="signature width (ignored when --bands/--rows set)")
+    idx.add_argument("--threshold", type=float, default=0.5,
+                     help="target Jaccard threshold for the banding solver")
+    idx.add_argument("--bands", type=int, default=None)
+    idx.add_argument("--rows", type=int, default=None)
+    idx.add_argument("--min-similarity", type=float, default=0.0,
+                     help="estimated-Jaccard floor on candidates")
+    idx.add_argument("--shards", type=int, default=8)
+    idx.add_argument("--seed", type=int, default=0)
+    idx.add_argument("--top-k", type=int, default=10,
+                     help="deepest rank cut-off in the recall curve")
+    idx.add_argument("--stats", action="store_true",
+                     help="include the recall-vs-candidate-size curve "
+                     "against the corpus ground truth")
+    idx.add_argument("--format", choices=("text", "json"), default="text")
 
     lint = sub.add_parser(
         "lint", help="check repro-specific invariants (determinism, "
@@ -488,6 +528,10 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     left, right = split_records(split)
     if args.blocker == "token":
         blocker = TokenBlocker(min_shared=args.min_shared)
+    elif args.blocker == "minhash":
+        from repro.index import MinHashBlocker
+
+        blocker = MinHashBlocker(k=args.top_k, threshold=args.threshold)
     else:
         blocker = EmbeddingBlocker(k=args.k)
     blocking = blocker.block(left, right)
@@ -565,6 +609,126 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
                   f"{entry['description']}")
     if args.stats:
         print(engine.stats.render())
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.blocking.base import recall_curve
+    from repro.index import MinHashCandidateIndex
+
+    if (args.bands is None) != (args.rows is None):
+        print("pass both of --bands/--rows, or neither")
+        return 2
+    if args.top_k <= 0:
+        print("--top-k must be positive")
+        return 2
+    if args.synthetic is not None:
+        from repro.datasets.synthetic import synthetic_dedup_corpus
+
+        if args.synthetic <= 0:
+            print("--synthetic must be positive")
+            return 2
+        corpus = synthetic_dedup_corpus(
+            args.synthetic, seed=args.seed, corruption=args.corruption
+        )
+        records = list(corpus.records)
+        true_pairs = set(corpus.true_pairs)
+        source = f"synthetic:{args.synthetic}"
+    else:
+        from repro.resolve import split_records
+
+        split = load_dataset(args.dataset).split(args.split)
+        left, right = split_records(split)
+        from dataclasses import replace
+
+        # Side-prefixed ids keep the two collections' id spaces apart,
+        # mirroring pipeline.node_id.
+        records = [
+            replace(record, record_id=f"{side}:{record.record_id}")
+            for side, collection in (("l", left), ("r", right))
+            for record in collection
+        ]
+        true_pairs = {
+            tuple(sorted((f"l:{pair.left.record_id}",
+                          f"r:{pair.right.record_id}")))
+            for pair in split.pairs
+            if pair.label
+        }
+        source = f"{args.dataset}/{args.split}"
+
+    index = MinHashCandidateIndex(
+        num_perm=args.num_perm,
+        threshold=args.threshold,
+        bands=args.bands,
+        rows=args.rows,
+        seed=args.seed,
+        shards=args.shards,
+        min_similarity=args.min_similarity,
+    )
+    start = time.perf_counter()
+    for record in records:
+        index.add(record.record_id, record.description)
+    elapsed = time.perf_counter() - start
+
+    payload: dict[str, object] = {
+        "schema_version": 1,
+        "source": source,
+        "records": len(records),
+        "seed": args.seed,
+        "index": index.stats(),
+    }
+    if args.stats:
+        ranked = {
+            record.record_id: [
+                entry.record_id
+                for entry in index.top_candidates(
+                    record.record_id, k=args.top_k
+                )
+            ]
+            for record in records
+        }
+        ks = [k for k in (1, 2, 5, 10, 20, 50, 100) if k <= args.top_k]
+        if args.top_k not in ks:
+            ks.append(args.top_k)
+        payload["true_pairs"] = len(true_pairs)
+        payload["recall_curve"] = recall_curve(
+            ranked, true_pairs, [*ks, None]
+        )
+
+    if args.format == "json":
+        # Ingest timing is wall-clock — it stays out of the JSON payload
+        # so two runs of the same command are byte-identical.
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    stats = payload["index"]
+    print(
+        f"{source}: {len(records)} records -> {stats['buckets']} buckets "
+        f"over {stats['shards']} shards "
+        f"(bands {stats['bands']} x rows {stats['rows']}, "
+        f"{stats['unindexable']} unindexable)"
+    )
+    print(
+        f"ingest: {len(records) / elapsed:.0f} records/sec "
+        f"({elapsed:.2f}s), max bucket {stats['max_bucket']}"
+    )
+    if args.stats:
+        rows = [
+            [
+                "all" if point["k"] is None else str(point["k"]),
+                f"{point['recall']:.4f}",
+                str(point["candidates"]),
+                f"{point['candidates_per_record']:.2f}",
+            ]
+            for point in payload["recall_curve"]
+        ]
+        print(format_table(
+            ["k", "recall", "cand pairs", "cand/record"], rows,
+            title=f"recall vs candidate-set size "
+            f"({payload['true_pairs']} true pairs)",
+        ))
     return 0
 
 
@@ -968,6 +1132,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "index":
+        return _cmd_index(args)
     if args.command == "resolve":
         return _cmd_resolve(args)
     if args.command == "lint":

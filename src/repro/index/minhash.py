@@ -1,0 +1,99 @@
+"""Seeded MinHash signatures over record token sets.
+
+A MinHash signature compresses a token set into ``num_perm`` 64-bit
+minima such that the probability two signatures agree at any one
+position equals the Jaccard similarity of the underlying sets — so the
+fraction of agreeing positions is an unbiased Jaccard estimate with
+standard error ``sqrt(J(1-J)/num_perm)``.
+
+Permutations are the classic multiply-shift family ``h_i(x) = a_i*x +
+b_i (mod 2**64)`` with odd ``a_i``, derived deterministically from an
+explicit seed via :func:`repro._util.derive_rng` (the ``unseeded-rng``
+lint rule holds over this package); token base hashes come from
+:func:`repro._util.stable_hash`, never the salted builtin ``hash``.
+Signatures are therefore bit-identical across processes and platforms.
+
+An **empty token set has no signature** (``signature`` returns
+``None``): hashing nothing would give every token-less record the same
+constant signature and fuse them all into one universal LSH bucket —
+exactly the degenerate blocking bucket the tokenization contract
+forbids (see :func:`repro.blocking.token.blocking_tokens`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._util import derive_rng, stable_hash
+
+__all__ = ["MinHasher", "estimated_jaccard", "exact_jaccard"]
+
+
+class MinHasher:
+    """Computes ``num_perm``-wide MinHash signatures for token sets.
+
+    Instances memoize token base hashes (the blake2b call is the per-
+    token cost; corpora reuse a bounded vocabulary), so one hasher
+    should be shared across a whole ingestion.  Two hashers with the
+    same ``(num_perm, seed)`` produce identical signatures.
+    """
+
+    def __init__(self, num_perm: int = 128, seed: int = 0) -> None:
+        if num_perm <= 0:
+            raise ValueError("num_perm must be positive")
+        self.num_perm = num_perm
+        self.seed = seed
+        rng = derive_rng(seed, "index", "minhash", num_perm)
+        # Odd multipliers + offsets, shaped (num_perm, 1) so one
+        # broadcastable multiply covers every (permutation, token) cell.
+        # uint64 arithmetic wraps mod 2**64, which is the hash family.
+        self._a = (
+            rng.integers(0, 2**62, size=(num_perm, 1), dtype=np.uint64)
+            * np.uint64(2)
+            + np.uint64(1)
+        )
+        self._b = rng.integers(0, 2**62, size=(num_perm, 1), dtype=np.uint64)
+        self._token_hashes: dict[str, int] = {}
+
+    def _token_hash(self, token: str) -> int:
+        cached = self._token_hashes.get(token)
+        if cached is None:
+            cached = stable_hash("minhash-token", token)
+            self._token_hashes[token] = cached
+        return cached
+
+    def signature(self, tokens: Iterable[str]) -> np.ndarray | None:
+        """MinHash signature of the distinct *tokens*, or None if empty.
+
+        The result is a ``(num_perm,)`` uint64 array; token order (and
+        multiplicity) never affects it.
+        """
+        distinct = set(tokens)
+        if not distinct:
+            return None
+        hashes = np.fromiter(
+            (self._token_hash(t) for t in sorted(distinct)),
+            dtype=np.uint64,
+            count=len(distinct),
+        )
+        return (self._a * hashes[np.newaxis, :] + self._b).min(axis=1)
+
+
+def estimated_jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of agreeing signature positions (unbiased Jaccard estimate)."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"signature widths differ: {a.shape} vs {b.shape}"
+        )
+    return float((a == b).mean())
+
+
+def exact_jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Exact Jaccard similarity of two token sets (1.0 for two empties)."""
+    set_a, set_b = set(a), set(b)
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union

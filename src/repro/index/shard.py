@@ -1,0 +1,118 @@
+"""Sharded inverted index over LSH band buckets.
+
+Postings (bucket key → record ids) are partitioned across shards by
+bucket-key hash, each shard behind its own lock, so concurrent ingestion
+only contends on the shards a record's band keys actually land in.
+Merged query results are independent of the shard count: a K-shard
+index answers every query exactly like a single-shard one (tested by
+``tests/index/test_shard.py``), because partitioning is a pure function
+of the bucket key and per-bucket insertion order is preserved within a
+shard.
+
+Lock discipline follows the repo convention: every shard's postings map
+is declared ``guarded_by("_lock")`` and verified by ``repro-em lint
+--deep``; no blocking call happens under a shard lock, and shard locks
+never nest (one shard is touched at a time), so the lock-order graph
+stays acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Annotated, Sequence
+
+from repro.concurrency import guarded_by
+
+__all__ = ["ShardedBandIndex"]
+
+
+class _Shard:
+    """One partition of the postings map, guarded by its own lock."""
+
+    _buckets: Annotated["dict[int, list[str]]", guarded_by("_lock")]
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = {}
+
+    def append(self, keys: Sequence[int], record_id: str) -> None:
+        """Add *record_id* to every bucket in *keys* (one lock hold)."""
+        with self._lock:
+            buckets = self._buckets
+            for key in keys:
+                posting = buckets.get(key)
+                if posting is None:
+                    buckets[key] = [record_id]
+                else:
+                    posting.append(record_id)
+
+    def members(self, keys: Sequence[int]) -> list[str]:
+        """Postings of every bucket in *keys*, concatenated."""
+        out: list[str] = []
+        with self._lock:
+            for key in keys:
+                out.extend(self._buckets.get(key, ()))
+        return out
+
+    def stats(self) -> tuple[int, int, int]:
+        """(buckets, postings, largest bucket) for this shard."""
+        with self._lock:
+            if not self._buckets:
+                return 0, 0, 0
+            sizes = [len(ids) for ids in self._buckets.values()]
+            return len(sizes), sum(sizes), max(sizes)
+
+
+class ShardedBandIndex:
+    """Band-bucket postings partitioned over per-shard locks.
+
+    The shard of a bucket is ``key % shards`` — a pure function of the
+    (stable) bucket key, so shard routing is deterministic and the
+    merged view never depends on how many shards exist.
+    """
+
+    def __init__(self, shards: int = 8) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self._shards = tuple(_Shard() for _ in range(shards))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _route(self, band_keys: Sequence[int]) -> list[list[int]]:
+        """Group *band_keys* by owning shard, indexed by shard number."""
+        routed: list[list[int]] = [[] for _ in self._shards]
+        count = len(self._shards)
+        for key in band_keys:
+            routed[key % count].append(key)
+        return routed
+
+    def add(self, record_id: str, band_keys: Sequence[int]) -> None:
+        """Append *record_id* to every band bucket, shard by shard.
+
+        Shards are visited in ascending index order, one lock at a time
+        (never nested), so concurrent adders cannot deadlock.
+        """
+        for shard, keys in enumerate(self._route(band_keys)):
+            if keys:
+                self._shards[shard].append(keys, record_id)
+
+    def query(self, band_keys: Sequence[int]) -> tuple[str, ...]:
+        """Sorted distinct ids appearing in any of the *band_keys* buckets."""
+        found: set[str] = set()
+        for shard, keys in enumerate(self._route(band_keys)):
+            if keys:
+                found.update(self._shards[shard].members(keys))
+        return tuple(sorted(found))
+
+    def stats(self) -> dict[str, object]:
+        """Merged postings statistics (shard layout included)."""
+        per_shard = [shard.stats() for shard in self._shards]
+        return {
+            "shards": len(self._shards),
+            "buckets": sum(s[0] for s in per_shard),
+            "postings": sum(s[1] for s in per_shard),
+            "max_bucket": max((s[2] for s in per_shard), default=0),
+            "buckets_per_shard": [s[0] for s in per_shard],
+        }

@@ -2,15 +2,18 @@
 
 :class:`ResolutionStore` is the online counterpart of the batch
 pipeline: records arrive one at a time, each is blocked against the
-records already ingested (a pairwise shared-token predicate served by an
-inverted index), the surviving candidate pairs are decided by the
-:class:`~repro.engine.MatchingEngine` in micro-batched chunks, and the
-cluster structure updates in place.
+records already ingested through a pluggable
+:class:`~repro.index.protocol.CandidateIndex` (shared-token inverted
+index by default, MinHash/LSH via
+:class:`repro.index.MinHashCandidateIndex`), the surviving candidate
+pairs are decided by the :class:`~repro.engine.MatchingEngine` in
+micro-batched chunks, and the cluster structure updates in place.
 
 **Order invariance (transitive mode).**  The candidate predicate is a
 symmetric function of the two records alone (share ≥ ``min_shared``
-tokens), so over a full ingestion the set of candidate edges is the same
-for every insertion order; the engine's decision for a pair is a
+tokens, or band collision plus a similarity floor), so over a full
+ingestion the set of candidate edges is the same for every insertion
+order; the engine's decision for a pair is a
 deterministic function of the pair; and connected components are a
 function of the positive-edge *set*.  Cluster-aware short-circuiting
 preserves this: a pair is only skipped when its endpoints are already
@@ -37,10 +40,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Annotated, Iterable, Sequence
 
+from repro.blocking.token import blocking_tokens
 from repro.concurrency import guarded_by, idempotent
 from repro.datasets.schema import Record
 from repro.engine.engine import MatchingEngine, MatchResult
-from repro.llm.tokenizer import tokenize
+from repro.index.protocol import CandidateIndex
 from repro.resolve.canonical import golden_records
 from repro.resolve.clusterer import (
     Clustering,
@@ -76,14 +80,16 @@ def _normalize_source(source: str) -> str:
     return "backend" if source == "cache" else source
 
 
-class TokenCandidateIndex:
+class TokenCandidateIndex(CandidateIndex):
     """Inverted index serving a *pairwise* shared-token candidate predicate.
 
     Two records are candidates when their descriptions share at least
-    ``min_shared`` distinct tokens.  The predicate depends only on the
-    two records — no collection-level frequency pruning — which is what
-    makes the incremental candidate edge set insertion-order-invariant.
-    The index is not locked: :class:`ResolutionStore` guards it.
+    ``min_shared`` distinct blocking tokens.  The predicate depends only
+    on the two records — no collection-level frequency pruning — which is
+    what makes the incremental candidate edge set insertion-order-
+    invariant.  The index is not locked: :class:`ResolutionStore` guards
+    it.  The MinHash/LSH counterpart with the same contract is
+    :class:`repro.index.MinHashCandidateIndex`.
     """
 
     def __init__(self, min_shared: int = 1) -> None:
@@ -94,13 +100,13 @@ class TokenCandidateIndex:
 
     def add(self, record_id: str, description: str) -> None:
         """Index one record's description tokens."""
-        for token in sorted(set(tokenize(description))):
+        for token in sorted(set(blocking_tokens(description))):
             self._postings.setdefault(token, []).append(record_id)
 
     def candidates(self, description: str, exclude: str | None = None) -> tuple[str, ...]:
         """Sorted ids of indexed records sharing ≥ ``min_shared`` tokens."""
         shared: dict[str, int] = {}
-        for token in sorted(set(tokenize(description))):
+        for token in sorted(set(blocking_tokens(description))):
             for record_id in self._postings.get(token, ()):
                 shared[record_id] = shared.get(record_id, 0) + 1
         return tuple(
@@ -135,7 +141,7 @@ class ResolutionStore:
     #: engine dispatch happens outside the store lock (blocking work).
     engine: MatchingEngine
     _records: Annotated["dict[str, Record]", guarded_by("_lock")]
-    _index: Annotated[TokenCandidateIndex, guarded_by("_lock")]
+    _index: Annotated[CandidateIndex, guarded_by("_lock")]
     _uf: Annotated[UnionFind, guarded_by("_lock")]
     _decisions: Annotated["list[PairDecision]", guarded_by("_lock")]
     _compared: Annotated["set[tuple[str, str]]", guarded_by("_lock")]
@@ -153,6 +159,7 @@ class ResolutionStore:
         must_link: Iterable[tuple[str, str]] = (),
         cannot_link: Iterable[tuple[str, str]] = (),
         journal: str | Path | None = None,
+        index: CandidateIndex | None = None,
         _recovering: bool = False,
     ) -> None:
         if mode not in ("transitive", "correlation"):
@@ -172,7 +179,15 @@ class ResolutionStore:
         self.cannot_link = tuple(sorted({tuple(sorted(p)) for p in cannot_link}))
         self._lock = threading.RLock()
         self._records = {}
-        self._index = TokenCandidateIndex(min_shared=min_shared)
+        #: blocking-strategy injection point: any CandidateIndex whose
+        #: predicate is a symmetric function of the two records alone
+        #: preserves the store's insertion-order invariance (see the
+        #: module docstring); ``min_shared`` configures the default
+        #: token index only.
+        self._index = (
+            index if index is not None
+            else TokenCandidateIndex(min_shared=min_shared)
+        )
         self._uf = UnionFind()
         self._decisions = []
         self._compared = set()

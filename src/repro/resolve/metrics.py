@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.blocking.base import recall_at_k, recall_curve
 from repro.eval.metrics import MatchingScores
 from repro.resolve.clusterer import Clustering
 
@@ -27,6 +28,12 @@ __all__ = [
     "b_cubed",
     "cluster_scores",
     "pairwise_scores",
+    # Blocking-recall metrics, re-exported so resolution callers score
+    # candidate generation and clustering through one module; the single
+    # implementation lives in repro.blocking.base (shared by the
+    # benchmark and the CLI --stats path).
+    "recall_at_k",
+    "recall_curve",
 ]
 
 

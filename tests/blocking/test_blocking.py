@@ -7,6 +7,9 @@ from repro.blocking import (
     EmbeddingBlocker,
     TokenBlocker,
     blocking_quality,
+    blocking_tokens,
+    recall_at_k,
+    recall_curve,
 )
 from repro.datasets.schema import Record
 
@@ -28,6 +31,103 @@ def collections(product_split):
     right += [p.right for p in product_split if not p.label][:60]
     truth = {(i, i) for i in range(len(matches))}
     return left, right, truth
+
+
+class TestBlockingTokens:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            # plain ASCII agrees with the LLM tokenizer
+            ("Acme Widget Pro", ["acme", "widget", "pro"]),
+            ("model XJ-900/64gb v2.1", ["model", "xj-900/64gb", "v2.1"]),
+            # unicode casefold: ß casefolds to ss, so the German spelling
+            # and the all-caps transliteration share a token
+            ("Straße", ["strasse"]),
+            ("STRASSE", ["strasse"]),
+            ("Éclair CAFÉ", ["éclair", "café"]),
+            ("ŉoodle", ["ʼnoodle"]),  # casefold, not lower
+            # non-ASCII scripts are kept, not dropped
+            ("ノート 128gb", ["ノート", "128gb"]),
+            # degenerate inputs produce NO token — never a universal bucket
+            ("", []),
+            ("   ", []),
+            ("!!! ... ---", []),
+            ("___", []),  # underscore is not a word character here
+            ("(+)", []),
+            # joins require word characters on both sides
+            ("a--b", ["a", "b"]),
+            ("-lead trail-", ["lead", "trail"]),
+        ],
+    )
+    def test_tokenization_table(self, text, expected):
+        assert blocking_tokens(text) == expected
+
+    def test_casefold_collides_equivalent_spellings(self):
+        assert blocking_tokens("Straße") == blocking_tokens("strasse")
+
+    def test_degenerate_records_never_pair(self):
+        """Punctuation-only records share no bucket — with anything."""
+        left = _records(["!!!", "..."])
+        right = _records(["---", "???", "real widget"])
+        result = TokenBlocker().block(left, right)
+        assert result.candidates == frozenset()
+
+
+class TestRecallMetrics:
+    def _ranked(self):
+        # a↔b ranked top by both sides; a→c only from one side at rank 1
+        return {
+            "a": ["b", "c"],
+            "b": ["a"],
+            "c": [],
+        }
+
+    def test_recall_at_k_counts_best_direction(self):
+        point = recall_at_k(self._ranked(), [("a", "b"), ("a", "c")], k=1)
+        assert point["k"] == 1
+        assert point["recall"] == 0.5  # only (a, b) inside top-1
+        assert point["candidates"] == 1
+
+    def test_no_cutoff_counts_everything(self):
+        point = recall_at_k(self._ranked(), [("a", "b"), ("a", "c")], k=None)
+        assert point["k"] is None
+        assert point["recall"] == 1.0
+        assert point["candidates"] == 2
+        assert point["candidates_per_record"] == pytest.approx(2 / 3)
+
+    def test_missing_truth_pair_is_unrecalled(self):
+        point = recall_at_k(self._ranked(), [("a", "z")], k=None)
+        assert point["recall"] == 0.0
+
+    def test_empty_truth_is_vacuously_perfect(self):
+        assert recall_at_k(self._ranked(), [], k=5)["recall"] == 1.0
+
+    def test_curve_is_monotone_in_k(self):
+        truth = [("a", "b"), ("a", "c")]
+        curve = recall_curve(self._ranked(), truth, [1, 2, None])
+        recalls = [point["recall"] for point in curve]
+        sizes = [point["candidates"] for point in curve]
+        assert recalls == sorted(recalls)
+        assert sizes == sorted(sizes)
+
+    def test_pair_direction_and_duplicates_collapse(self):
+        ranked = {"x": ["y"], "y": ["x"]}
+        point = recall_at_k(ranked, [("y", "x"), ("x", "y")], k=1)
+        assert point["recall"] == 1.0
+        assert point["candidates"] == 1  # one unordered pair
+
+    def test_self_pairs_ignored(self):
+        point = recall_at_k({"x": ["x", "y"], "y": []}, [("x", "y")], k=1)
+        # "x" ranking itself does not consume the cut-off... but rank is
+        # positional: y sits at rank 1, outside top-1.
+        assert point["recall"] == 0.0
+        assert recall_at_k({"x": ["x", "y"], "y": []}, [("x", "y")], k=2)[
+            "recall"
+        ] == 1.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            recall_at_k(self._ranked(), [], k=0)
 
 
 class TestEmbeddingBlocker:

@@ -1,0 +1,96 @@
+"""Synthetic dedup corpus: determinism, ground truth, validation."""
+
+import pytest
+
+from repro.blocking.token import blocking_tokens
+from repro.datasets.synthetic import SyntheticCorpus, synthetic_dedup_corpus
+
+
+class TestDeterminism:
+    def test_same_parameters_same_corpus(self):
+        first = synthetic_dedup_corpus(200, seed=3)
+        second = synthetic_dedup_corpus(200, seed=3)
+        assert first.records == second.records
+        assert first.clusters == second.clusters
+        assert first.true_pairs == second.true_pairs
+
+    def test_seed_changes_the_corpus(self):
+        base = synthetic_dedup_corpus(200, seed=3)
+        other = synthetic_dedup_corpus(200, seed=4)
+        assert base.records != other.records
+
+    def test_corruption_changes_duplicate_renderings(self):
+        mild = synthetic_dedup_corpus(200, seed=3, corruption=0.05)
+        harsh = synthetic_dedup_corpus(200, seed=3, corruption=0.9)
+        assert mild.records != harsh.records
+
+
+class TestShape:
+    def test_exact_record_count(self):
+        for n in (1, 7, 64, 250):
+            assert len(synthetic_dedup_corpus(n, seed=1).records) == n
+
+    def test_record_ids_unique_and_padded(self):
+        corpus = synthetic_dedup_corpus(150, seed=2)
+        ids = [record.record_id for record in corpus.records]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith("s") and len(i) == 4 for i in ids)
+
+    def test_every_record_tokenizes(self):
+        corpus = synthetic_dedup_corpus(300, seed=5)
+        assert all(
+            blocking_tokens(record.description) for record in corpus.records
+        )
+
+    def test_clusters_partition_into_known_ids(self):
+        corpus = synthetic_dedup_corpus(300, seed=5)
+        ids = {record.record_id for record in corpus.records}
+        members = [m for cluster in corpus.clusters for m in cluster]
+        assert len(set(members)) == len(members)  # no id in two clusters
+        assert set(members) <= ids
+        # multi-record clusters only — singletons carry no true pair
+        assert all(len(cluster) >= 2 for cluster in corpus.clusters)
+
+
+class TestTruePairs:
+    def test_pairs_are_sorted_intra_cluster(self):
+        corpus = synthetic_dedup_corpus(300, seed=7)
+        expected = {
+            tuple(sorted((a, b)))
+            for cluster in corpus.clusters
+            for a in cluster
+            for b in cluster
+            if a < b
+        }
+        assert corpus.true_pairs == expected
+        assert all(a < b for a, b in corpus.true_pairs)
+
+    def test_duplicates_share_vocabulary(self):
+        """Corruption lowers overlap without severing it (at the default)."""
+        corpus = synthetic_dedup_corpus(300, seed=7)
+        by_id = {record.record_id: record for record in corpus.records}
+        for a, b in sorted(corpus.true_pairs):
+            left = set(blocking_tokens(by_id[a].description))
+            right = set(blocking_tokens(by_id[b].description))
+            assert left & right, f"severed pair {a}/{b}"
+
+    def test_empty_truth_for_singleton_corpus(self):
+        corpus = synthetic_dedup_corpus(1, seed=0)
+        assert corpus.clusters == ()
+        assert corpus.true_pairs == frozenset()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [0, -5])
+    def test_nonpositive_n_rejected(self, n):
+        with pytest.raises(ValueError, match="n must be positive"):
+            synthetic_dedup_corpus(n)
+
+    @pytest.mark.parametrize("corruption", [-0.1, 1.5])
+    def test_corruption_out_of_range_rejected(self, corruption):
+        with pytest.raises(ValueError, match="corruption"):
+            synthetic_dedup_corpus(10, corruption=corruption)
+
+    def test_true_pairs_cached(self):
+        corpus = SyntheticCorpus(records=(), clusters=(("a", "b"),))
+        assert corpus.true_pairs is corpus.true_pairs

@@ -71,6 +71,40 @@ class ParityBackend:
 
 
 @dataclass
+class JaccardBackend:
+    """Deterministic matcher double: Yes iff token Jaccard >= threshold.
+
+    Parses the two descriptions back out of the rendered prompt
+    (``Entity 1:`` / ``Entity 2:`` lines) and answers from their token
+    overlap — a symmetric pure function of the pair, which makes it the
+    right oracle for blocking-parity tests: any pair similar enough to
+    match is similar enough for a similarity-based blocker to propose.
+    """
+
+    name: str = "jaccard"
+    threshold: float = 0.5
+    calls: int = field(default=0, init=False)
+
+    def generate(self, prompts: list[str]) -> list[str]:
+        from repro.blocking.token import blocking_tokens
+
+        self.calls += 1
+        answers = []
+        for prompt in prompts:
+            sides = {}
+            for line in prompt.splitlines():
+                for key in ("Entity 1:", "Entity 2:"):
+                    if line.startswith(key):
+                        sides[key] = set(blocking_tokens(line[len(key):]))
+            left = sides.get("Entity 1:", set())
+            right = sides.get("Entity 2:", set())
+            union = len(left | right)
+            similarity = len(left & right) / union if union else 1.0
+            answers.append("Yes." if similarity >= self.threshold else "No.")
+        return answers
+
+
+@dataclass
 class FlakyBackend:
     """Fault-injecting wrapper: fail-N-then-succeed and/or a failure rate.
 

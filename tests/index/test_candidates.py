@@ -1,0 +1,191 @@
+"""MinHashCandidateIndex: the incremental predicate and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import synthetic_dedup_corpus
+from repro.index import MinHashCandidateIndex, MinHashBlocker, rank_candidates
+
+
+def _index(**kwargs):
+    kwargs.setdefault("bands", 32)
+    kwargs.setdefault("rows", 3)
+    return MinHashCandidateIndex(**kwargs)
+
+
+def _corpus(n=120, seed=11):
+    return synthetic_dedup_corpus(n, seed=seed)
+
+
+class TestAdd:
+    def test_duplicate_id_rejected(self):
+        index = _index()
+        index.add("a", "acme widget")
+        with pytest.raises(ValueError, match="already indexed"):
+            index.add("a", "acme widget")
+
+    def test_token_less_records_are_unindexable(self):
+        index = _index()
+        index.add("empty", "!!! ...")
+        index.add("real", "acme widget")
+        assert index.unindexable == 1
+        assert len(index) == 2
+        assert index.signature_of("empty") is None
+        # A token-less record never blocks with anything — including
+        # another token-less record (no degenerate universal bucket).
+        assert index.candidates("??? !!!") == ()
+
+    def test_len_counts_everything(self):
+        index = _index()
+        for i, description in enumerate(["acme widget", "zenix gadget", "..."]):
+            index.add(f"r{i}", description)
+        assert len(index) == 3
+
+
+class TestPredicate:
+    def test_near_duplicates_are_candidates(self):
+        index = _index()
+        index.add("a", "acme widget pro 64gb black edition")
+        index.add("b", "acme widget pro 64gb black")
+        assert "b" in index.candidates(
+            "acme widget pro 64gb black edition", exclude="a"
+        )
+
+    def test_exclude_drops_self(self):
+        index = _index()
+        index.add("a", "acme widget pro")
+        found = index.candidates("acme widget pro", exclude="a")
+        assert "a" not in found
+
+    def test_candidates_sorted(self):
+        index = _index()
+        for record_id in ("r3", "r1", "r2"):
+            index.add(record_id, "acme widget pro 64gb")
+        found = index.candidates("acme widget pro 64gb")
+        assert list(found) == sorted(found)
+
+    def test_predicate_is_symmetric_over_a_corpus(self):
+        """a sees b iff b sees a — the order-invariance prerequisite."""
+        corpus = _corpus()
+        index = _index(min_similarity=0.35)
+        by_id = {record.record_id: record for record in corpus.records}
+        for record in corpus.records:
+            index.add(record.record_id, record.description)
+        for record in corpus.records:
+            for other in index.candidates(
+                record.description, exclude=record.record_id
+            ):
+                assert record.record_id in index.candidates(
+                    by_id[other].description, exclude=other
+                )
+
+    def test_min_similarity_floor_filters(self):
+        loose = _index(min_similarity=0.0)
+        tight = _index(min_similarity=0.9)
+        for index in (loose, tight):
+            index.add("a", "acme widget pro 64gb black")
+            index.add("b", "acme widget lite 32gb")
+        probe = "acme widget pro 64gb black"
+        assert "b" in loose.candidates(probe, exclude="a")
+        assert "b" not in tight.candidates(probe, exclude="a")
+
+    def test_min_similarity_validation(self):
+        with pytest.raises(ValueError, match="min_similarity"):
+            _index(min_similarity=1.5)
+
+    def test_bands_rows_must_come_together(self):
+        with pytest.raises(ValueError, match="bands/rows"):
+            MinHashCandidateIndex(bands=32)
+
+
+class TestTopCandidates:
+    def test_matches_rank_candidates_contract(self):
+        """The matrix-backed ranking equals the reference implementation."""
+        corpus = _corpus()
+        index = _index(min_similarity=0.2)
+        for record in corpus.records:
+            index.add(record.record_id, record.description)
+        for record in corpus.records[:25]:
+            signature = index.signature_of(record.record_id)
+            found = [
+                other
+                for other in index._postings.query(
+                    index.banding.band_keys(signature)
+                )
+                if other != record.record_id
+            ]
+            expected = rank_candidates(
+                signature,
+                [(other, index.signature_of(other)) for other in found],
+                k=5,
+                min_similarity=index.min_similarity,
+            )
+            assert index.top_candidates(record.record_id, k=5) == expected
+
+    def test_unknown_record_is_empty(self):
+        assert _index().top_candidates("ghost") == ()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            _index().top_candidates("a", k=0)
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        index = _index(shards=4)
+        index.add("a", "acme widget")
+        index.add("b", "...")
+        stats = index.stats()
+        assert stats["records"] == 2
+        assert stats["indexed"] == 1
+        assert stats["unindexable"] == 1
+        assert stats["bands"] == 32 and stats["rows"] == 3
+        assert stats["shards"] == 4
+        assert stats["postings"] == 32  # one signature, one posting per band
+
+    def test_signature_of_returns_a_copy(self):
+        index = _index()
+        index.add("a", "acme widget")
+        signature = index.signature_of("a")
+        signature[:] = 0
+        assert not np.array_equal(index.signature_of("a"), signature)
+
+
+class TestBlocker:
+    def test_blocks_near_duplicate_pairs(self):
+        from repro.datasets.schema import Record
+
+        def rec(record_id, description):
+            return Record(
+                record_id=record_id,
+                attributes={"title": description},
+                description=description,
+            )
+
+        left = [
+            rec("0", "acme widget pro 64gb"),
+            rec("1", "zenix gadget mini red"),
+        ]
+        right = [
+            rec("0", "acme widget pro 64gb black"),
+            rec("1", "zenix gadget mini"),
+            rec("2", "wholly unrelated thing"),
+        ]
+        result = MinHashBlocker(k=2, threshold=0.3).block(left, right)
+        assert (0, 0) in result.candidates
+        assert (1, 1) in result.candidates
+        assert all(j != 2 for _, j in result.candidates)
+
+    def test_deterministic(self):
+        corpus = _corpus(n=60)
+        records = list(corpus.records)
+        left, right = records[:30], records[30:]
+        first = MinHashBlocker(k=5, threshold=0.3).block(left, right)
+        second = MinHashBlocker(k=5, threshold=0.3).block(left, right)
+        assert first.candidates == second.candidates
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            MinHashBlocker(k=0)
+        with pytest.raises(ValueError, match="bands/rows"):
+            MinHashBlocker(bands=8)

@@ -1,0 +1,108 @@
+"""MinHash signatures: determinism, invariances, Jaccard error bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util import derive_rng
+from repro.index import MinHasher, estimated_jaccard, exact_jaccard
+
+NUM_PERM = 128
+
+
+def _vocab(rng, size):
+    return [f"tok{int(i):04d}" for i in rng.choice(10_000, size, replace=False)]
+
+
+class TestSignature:
+    def test_deterministic_across_instances(self):
+        a = MinHasher(num_perm=NUM_PERM, seed=3)
+        b = MinHasher(num_perm=NUM_PERM, seed=3)
+        tokens = ["acme", "widget", "pro", "64gb"]
+        np.testing.assert_array_equal(a.signature(tokens), b.signature(tokens))
+
+    def test_seed_changes_signature(self):
+        tokens = ["acme", "widget", "pro"]
+        a = MinHasher(num_perm=NUM_PERM, seed=0).signature(tokens)
+        b = MinHasher(num_perm=NUM_PERM, seed=1).signature(tokens)
+        assert not np.array_equal(a, b)
+
+    def test_order_and_multiplicity_invariant(self):
+        hasher = MinHasher(num_perm=NUM_PERM, seed=0)
+        base = hasher.signature(["a", "b", "c"])
+        np.testing.assert_array_equal(base, hasher.signature(["c", "a", "b"]))
+        np.testing.assert_array_equal(
+            base, hasher.signature(["a", "a", "b", "c", "c"])
+        )
+
+    def test_shape_and_dtype(self):
+        signature = MinHasher(num_perm=64, seed=0).signature(["x"])
+        assert signature.shape == (64,)
+        assert signature.dtype == np.uint64
+
+    def test_empty_token_set_has_no_signature(self):
+        assert MinHasher(num_perm=NUM_PERM).signature([]) is None
+        assert MinHasher(num_perm=NUM_PERM).signature(()) is None
+
+    def test_num_perm_validation(self):
+        with pytest.raises(ValueError, match="num_perm"):
+            MinHasher(num_perm=0)
+
+
+class TestJaccardEstimate:
+    def test_identical_sets_estimate_one(self):
+        hasher = MinHasher(num_perm=NUM_PERM, seed=0)
+        a = hasher.signature(["p", "q", "r"])
+        assert estimated_jaccard(a, a) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        hasher = MinHasher(num_perm=NUM_PERM, seed=0)
+        a = hasher.signature([f"a{i}" for i in range(20)])
+        b = hasher.signature([f"b{i}" for i in range(20)])
+        assert estimated_jaccard(a, b) <= 0.05
+
+    def test_estimate_tracks_exact_jaccard_within_error_bound(self):
+        """|est - J| stays within ~4 standard errors across many pairs.
+
+        The per-position agreement probability is J, so the estimator's
+        standard error is sqrt(J(1-J)/num_perm); a 4-sigma band over 60
+        seeded pairs is a deterministic (seeded) but statistically
+        honest bound, and the mean absolute error must be far tighter.
+        """
+        hasher = MinHasher(num_perm=NUM_PERM, seed=0)
+        rng = derive_rng(99, "minhash-error-bound")
+        errors = []
+        for trial in range(60):
+            shared = _vocab(rng, int(rng.integers(2, 30)))
+            only_a = _vocab(rng, int(rng.integers(1, 20)))
+            only_b = _vocab(rng, int(rng.integers(1, 20)))
+            set_a = set(shared) | set(only_a)
+            set_b = set(shared) | set(only_b)
+            exact = exact_jaccard(set_a, set_b)
+            estimate = estimated_jaccard(
+                hasher.signature(set_a), hasher.signature(set_b)
+            )
+            sigma = math.sqrt(max(exact * (1 - exact), 1e-9) / NUM_PERM)
+            assert abs(estimate - exact) <= 4 * sigma + 1e-9, (
+                f"trial {trial}: est {estimate:.3f} vs exact {exact:.3f}"
+            )
+            errors.append(abs(estimate - exact))
+        assert sum(errors) / len(errors) < 0.04
+
+    def test_shape_mismatch_rejected(self):
+        a = MinHasher(num_perm=64, seed=0).signature(["x"])
+        b = MinHasher(num_perm=128, seed=0).signature(["x"])
+        with pytest.raises(ValueError, match="widths differ"):
+            estimated_jaccard(a, b)
+
+
+class TestExactJaccard:
+    def test_basic(self):
+        assert exact_jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+
+    def test_two_empties_are_identical(self):
+        assert exact_jaccard([], []) == 1.0
+
+    def test_one_empty(self):
+        assert exact_jaccard(["a"], []) == 0.0

@@ -1,0 +1,82 @@
+"""Sharded band-bucket postings: merge equivalence, thread safety."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro._util import derive_rng
+from repro.index import ShardedBandIndex
+
+
+def _workload(n_records=200, keys_per_record=8):
+    rng = derive_rng(17, "shard-workload")
+    return [
+        (
+            f"r{i:03d}",
+            [int(k) for k in rng.integers(0, 500, size=keys_per_record)],
+        )
+        for i in range(n_records)
+    ]
+
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize("shards", [1, 3, 8, 17])
+    def test_any_shard_count_answers_like_single_shard(self, shards):
+        """Partitioning is invisible: K shards ≡ 1 shard on every query."""
+        workload = _workload()
+        reference = ShardedBandIndex(shards=1)
+        sharded = ShardedBandIndex(shards=shards)
+        for record_id, keys in workload:
+            reference.add(record_id, keys)
+            sharded.add(record_id, keys)
+        for _, keys in workload:
+            assert sharded.query(keys) == reference.query(keys)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_merged_stats_are_shard_count_independent(self, shards):
+        index = ShardedBandIndex(shards=shards)
+        for record_id, keys in _workload():
+            index.add(record_id, keys)
+        stats = index.stats()
+        assert stats["shards"] == shards
+        reference = ShardedBandIndex(shards=1)
+        for record_id, keys in _workload():
+            reference.add(record_id, keys)
+        expected = reference.stats()
+        assert stats["buckets"] == expected["buckets"]
+        assert stats["postings"] == expected["postings"]
+        assert stats["max_bucket"] == expected["max_bucket"]
+        assert sum(stats["buckets_per_shard"]) == stats["buckets"]
+
+
+class TestQueries:
+    def test_query_returns_sorted_distinct_ids(self):
+        index = ShardedBandIndex(shards=4)
+        index.add("b", [1, 2])
+        index.add("a", [2, 3])
+        # key 2 holds both; keys [1, 2, 3] reach each id twice.
+        assert index.query([1, 2, 3]) == ("a", "b")
+
+    def test_missing_keys_are_empty(self):
+        index = ShardedBandIndex(shards=4)
+        index.add("a", [1])
+        assert index.query([999]) == ()
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedBandIndex(shards=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_adds_merge_completely(self):
+        """Parallel ingestion over the per-shard locks loses nothing."""
+        workload = _workload(n_records=400)
+        index = ShardedBandIndex(shards=4)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda item: index.add(*item), workload))
+        reference = ShardedBandIndex(shards=4)
+        for record_id, keys in workload:
+            reference.add(record_id, keys)
+        for _, keys in workload:
+            assert index.query(keys) == reference.query(keys)
+        assert index.stats()["postings"] == reference.stats()["postings"]

@@ -1,0 +1,75 @@
+"""Top-k ranking: ordering contract, cut-offs, validation."""
+
+import numpy as np
+import pytest
+
+from repro.index import MinHasher, RankedCandidate, rank_candidates
+
+HASHER = MinHasher(num_perm=128, seed=0)
+
+
+def _sig(*tokens):
+    return HASHER.signature(list(tokens))
+
+
+class TestRanking:
+    def test_orders_by_similarity_descending(self):
+        probe = _sig("a", "b", "c", "d")
+        ranked = rank_candidates(
+            probe,
+            [
+                ("far", _sig("x", "y", "z")),
+                ("near", _sig("a", "b", "c", "e")),
+                ("exact", _sig("a", "b", "c", "d")),
+            ],
+        )
+        assert [entry.record_id for entry in ranked] == [
+            "exact", "near", "far",
+        ]
+        assert ranked[0].similarity == 1.0
+        similarities = [entry.similarity for entry in ranked]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_ties_break_by_ascending_record_id(self):
+        probe = _sig("a", "b")
+        same = _sig("a", "b")
+        ranked = rank_candidates(
+            probe, [("zeta", same), ("alpha", same), ("mid", same)]
+        )
+        assert [entry.record_id for entry in ranked] == [
+            "alpha", "mid", "zeta",
+        ]
+
+    def test_k_truncates(self):
+        probe = _sig("a", "b")
+        others = [(f"r{i}", _sig("a", f"t{i}")) for i in range(10)]
+        assert len(rank_candidates(probe, others, k=3)) == 3
+        assert len(rank_candidates(probe, others, k=None)) == 10
+
+    def test_min_similarity_filters(self):
+        probe = _sig("a", "b", "c", "d")
+        ranked = rank_candidates(
+            probe,
+            [("near", _sig("a", "b", "c", "d", "e")),
+             ("far", _sig("q", "r", "s"))],
+            min_similarity=0.5,
+        )
+        assert [entry.record_id for entry in ranked] == ["near"]
+
+    def test_empty_others(self):
+        assert rank_candidates(_sig("a"), []) == ()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            rank_candidates(_sig("a"), [("b", _sig("b"))], k=0)
+
+    def test_result_type(self):
+        ranked = rank_candidates(_sig("a"), [("b", _sig("a"))])
+        assert ranked == (RankedCandidate("b", 1.0),)
+
+    def test_deterministic(self):
+        probe = _sig("a", "b", "c")
+        others = [(f"r{i}", _sig(f"t{i}", "a")) for i in range(20)]
+        assert rank_candidates(probe, others) == rank_candidates(
+            probe, others
+        )
