@@ -31,6 +31,8 @@ from repro.faults.harness import (
     engine_stats_violations,
     kill_resume_roundtrip,
     resolution_snapshot,
+    sharded_conservation_violations,
+    sharded_kill_resume_roundtrip,
     sweep,
     synthetic_pairs,
     synthetic_records,
@@ -39,6 +41,8 @@ from repro.faults.journal import (
     JOURNAL_VERSION,
     JournalError,
     JournalWriter,
+    fsync_dir,
+    journal_header,
     read_journal,
     repair,
 )
@@ -63,10 +67,14 @@ __all__ = [
     "chaos_match",
     "chaos_resolve",
     "engine_stats_violations",
+    "fsync_dir",
+    "journal_header",
     "kill_resume_roundtrip",
     "read_journal",
     "repair",
     "resolution_snapshot",
+    "sharded_conservation_violations",
+    "sharded_kill_resume_roundtrip",
     "sweep",
     "synthetic_pairs",
     "synthetic_records",

@@ -145,6 +145,58 @@ class MinHashCandidateIndex(CandidateIndex):
             if kept
         )
 
+    def blocking_keys(self, description: str) -> tuple[int, ...]:
+        """LSH band keys of the description's signature.
+
+        Overrides the token-hash default: for this index, candidacy is
+        routed through band buckets, not raw tokens — two records can
+        only be candidates when a band key collides, so replicating a
+        record onto the shards owning its band keys covers every pair
+        this index would surface.  Token-less records have no keys.
+        """
+        signature = self.hasher.signature(blocking_tokens(description))
+        if signature is None:
+            return ()
+        return tuple(sorted({int(k) for k in self.banding.band_keys(signature)}))
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready live state (see :mod:`repro.resolve.snapshot`).
+
+        Signatures serialize as plain int lists in row order; postings
+        are *not* serialized — they are a pure function of the
+        signatures and rebuild in the same per-bucket order on restore.
+        """
+        ids_by_row = sorted(self._row, key=self._row.__getitem__)
+        return {
+            "ids": ids_by_row,
+            "signatures": self._matrix[: self._count].tolist(),
+            "unindexable": self.unindexable,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild matrix, row map, and postings from snapshot state."""
+        ids = [str(record_id) for record_id in state["ids"]]
+        signatures = state["signatures"]
+        if len(ids) != len(signatures):
+            raise ValueError(
+                f"snapshot row mismatch: {len(ids)} ids, "
+                f"{len(signatures)} signatures"
+            )
+        capacity = max(_INITIAL_CAPACITY, len(ids))
+        self._matrix = np.empty(
+            (capacity, self.banding.num_perm), dtype=np.uint64
+        )
+        if ids:
+            self._matrix[: len(ids)] = np.asarray(signatures, dtype=np.uint64)
+        self._row = {record_id: row for row, record_id in enumerate(ids)}
+        self._count = len(ids)
+        self.unindexable = int(state.get("unindexable", 0))
+        self._postings = ShardedBandIndex(shards=self._postings.shard_count)
+        for row, record_id in enumerate(ids):
+            self._postings.add(
+                record_id, self.banding.band_keys(self._matrix[row])
+            )
+
     def signature_of(self, record_id: str) -> np.ndarray | None:
         """The stored signature of an indexed record (None if token-less)."""
         row = self._row.get(record_id)

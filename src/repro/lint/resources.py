@@ -96,6 +96,33 @@ _STORE_METHODS = frozenset(
     {"append", "appendleft", "add", "insert", "put", "put_nowait", "extend"}
 )
 
+#: constructors that wrap a comprehension without taking ownership away.
+_CONTAINER_WRAPPERS = frozenset({"tuple", "list", "set", "frozenset"})
+
+
+def _container_element(node: ast.expr) -> "ast.expr | None":
+    """The per-element expression of a container-of-acquisitions.
+
+    Recognizes a comprehension — bare, or wrapped in ``tuple()`` /
+    ``list()`` / ``set()`` / ``frozenset()`` — and returns its element
+    expression so the container can be treated as acquiring whatever
+    each element acquires.
+    """
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return node.elt
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _CONTAINER_WRAPPERS
+        and len(node.args) == 1
+        and not node.keywords
+        and isinstance(
+            node.args[0], (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        )
+    ):
+        return node.args[0].elt
+    return None
+
 
 @dataclass(frozen=True)
 class Provenance:
@@ -344,6 +371,13 @@ class ResourceAnalysis:
         """Provenance when *node* acquires a fresh resource, else None."""
         if isinstance(node, ast.Await):
             node = node.value
+        element = _container_element(node)
+        if element is not None:
+            # A container built from per-element acquisitions owns every
+            # element: ``self._shards = tuple(Shard(i) for i in ...)`` is
+            # an acquisition exactly like ``self._shard = Shard(0)``, and
+            # flows through the same self-store / shutdown-order checks.
+            return self._acquisition_of(fn, element)
         if not isinstance(node, ast.Call):
             return None
         site = self._site_for(fn, node)
@@ -723,6 +757,11 @@ class ResourceAnalysis:
                 env.pop(target.id, None)
             return
         attr = self._self_attr(target) if target is not None else None
+        if attr is None and isinstance(target, ast.Subscript):
+            # Element store into a container on self (``self._shards[i] =
+            # store``) transfers ownership to the container's attribute,
+            # exactly like rebinding the attribute itself would.
+            attr = self._self_attr(target.value)
         if attr is not None:
             moved = prov
             if moved is None and isinstance(value, ast.Name):

@@ -15,6 +15,12 @@ in.  This package closes that gap:
   thread-safe store that ingests records one at a time (blocker
   candidates → micro-batched engine decisions → cluster update) and is
   order-invariant for transitive closure;
+* :mod:`~repro.resolve.snapshot` — the snapshot/compaction format that
+  turns journal recovery from O(history) into O(live state);
+* :mod:`~repro.resolve.sharded` — :class:`ShardedResolutionStore`,
+  K independent journal-backed shards (replication on blocking keys,
+  cross-shard merge queue, parallel recovery) producing a clustering
+  byte-identical to one shard's;
 * :mod:`~repro.resolve.canonical` — golden-record selection per cluster
   via deterministic attribute voting;
 * :mod:`~repro.resolve.metrics` — cluster-level evaluation (B³, ARI,
@@ -48,6 +54,18 @@ from repro.resolve.metrics import (
     cluster_scores,
     pairwise_scores,
 )
+from repro.resolve.sharded import (
+    MergeQueue,
+    ShardedIngestResult,
+    ShardedResolutionStore,
+    shard_journal_path,
+)
+from repro.resolve.snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    snapshot_path_for,
+    write_snapshot_doc,
+)
 from repro.resolve.pipeline import (
     ResolutionReport,
     gold_clustering,
@@ -61,10 +79,14 @@ __all__ = [
     "Clustering",
     "ClusterScores",
     "IngestResult",
+    "MergeQueue",
     "PairDecision",
     "ResolutionError",
     "ResolutionReport",
     "ResolutionStore",
+    "SNAPSHOT_VERSION",
+    "ShardedIngestResult",
+    "ShardedResolutionStore",
     "TokenCandidateIndex",
     "UnionFind",
     "adjusted_rand_index",
@@ -75,9 +97,13 @@ __all__ = [
     "gold_clustering",
     "golden_record",
     "golden_records",
+    "load_snapshot",
     "node_id",
     "pairwise_scores",
     "resolve_blocking",
+    "shard_journal_path",
+    "snapshot_path_for",
     "split_records",
     "transitive_closure",
+    "write_snapshot_doc",
 ]

@@ -70,8 +70,39 @@ class PairDecision:
 
     @property
     def key(self) -> tuple[str, str]:
-        """Canonical unordered pair (identity for aggregation)."""
-        return _canonical_pair(self.left, self.right)
+        """Canonical unordered pair (identity for aggregation).
+
+        Cached per instance (the dataclass is frozen, so the pair can
+        never change): bulk consumers — clustering, journal restore,
+        sharded re-drain — hit this once per decision instead of
+        recomputing the canonical ordering on every access.  Cached by
+        hand in ``__dict__`` rather than via ``functools.cached_property``,
+        whose per-descriptor lock (still present on Python 3.11) costs
+        more than the computation it saves.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = _canonical_pair(self.left, self.right)
+            self.__dict__["_key"] = cached
+        return cached
+
+    @classmethod
+    def trusted(
+        cls, left: str, right: str, match: bool, score: float, source: str
+    ) -> "PairDecision":
+        """Construct without re-validation, for bulk snapshot restore.
+
+        Snapshot documents are written by :meth:`ResolutionStore.snapshot`
+        from decisions that already passed ``__post_init__``, and are
+        version/kind-checked before any row is read — re-validating tens
+        of thousands of rows on every recovery would dominate restore
+        time for zero additional safety.
+        """
+        decision = object.__new__(cls)
+        decision.__dict__.update(
+            left=left, right=right, match=match, score=score, source=source
+        )
+        return decision
 
 
 @dataclass(frozen=True)

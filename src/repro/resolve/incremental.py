@@ -24,6 +24,16 @@ same clustering as one batch run.  Correlation mode aggregates *all*
 decisions as evidence, so there short-circuiting is disabled and the
 clustering is recomputed from the full (sorted) decision log.
 
+**Durability.**  ``journal=`` write-ahead-logs every record, decision,
+commit, and must-link to an fsync'd JSONL file
+(:mod:`repro.faults.journal`); :meth:`recover` rebuilds a killed store
+and finishes its in-flight work byte-identically.  :meth:`snapshot`
+checkpoints the live state (records, decisions, constraints, candidate
+index) at the current journal sequence, and :meth:`compact` additionally
+swaps the journal for a fresh suffix-only file — after which recovery
+is O(live state + suffix), never O(full history).  See
+:mod:`repro.resolve.snapshot` and DESIGN.md §18.
+
 **Thread safety.**  One lock guards the record table, candidate index,
 union-find, and decision log (``@guarded_by`` declarations below,
 enforced by ``repro-em lint --deep``).  Engine dispatch — the only
@@ -51,6 +61,12 @@ from repro.resolve.clusterer import (
     PairDecision,
     correlation_cluster,
     transitive_closure,
+)
+from repro.resolve.snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    snapshot_path_for,
+    write_snapshot_doc,
 )
 from repro.resolve.uf import UnionFind
 
@@ -117,6 +133,16 @@ class TokenCandidateIndex(CandidateIndex):
             )
         )
 
+    def snapshot_state(self) -> dict:
+        """JSON-ready postings map (see :mod:`repro.resolve.snapshot`)."""
+        return {"postings": {t: list(ids) for t, ids in self._postings.items()}}
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the postings map from :meth:`snapshot_state` output."""
+        self._postings = {
+            token: list(ids) for token, ids in state["postings"].items()
+        }
+
 
 @dataclass(frozen=True)
 class IngestResult:
@@ -133,6 +159,9 @@ class IngestResult:
     cluster_id: str
     #: size of that cluster after the update.
     cluster_size: int
+    #: canonical (sorted) pairs this call decided as matches — the merge
+    #: events a sharded wrapper must route to sibling shards.
+    merges: tuple = ()
 
 
 class ResolutionStore:
@@ -145,6 +174,10 @@ class ResolutionStore:
     _uf: Annotated[UnionFind, guarded_by("_lock")]
     _decisions: Annotated["list[PairDecision]", guarded_by("_lock")]
     _compared: Annotated["set[tuple[str, str]]", guarded_by("_lock")]
+    _must_pairs: Annotated["set[tuple[str, str]]", guarded_by("_lock")]
+    _must_by_member: Annotated["dict[str, list[str]]", guarded_by("_lock")]
+    _committed: Annotated["set[str]", guarded_by("_lock")]
+    _inflight: Annotated[int, guarded_by("_lock")]
     engine_calls: Annotated[int, guarded_by("_lock")]
     short_circuited: Annotated[int, guarded_by("_lock")]
 
@@ -160,6 +193,7 @@ class ResolutionStore:
         cannot_link: Iterable[tuple[str, str]] = (),
         journal: str | Path | None = None,
         index: CandidateIndex | None = None,
+        journal_meta: dict | None = None,
         _recovering: bool = False,
     ) -> None:
         if mode not in ("transitive", "correlation"):
@@ -175,7 +209,6 @@ class ResolutionStore:
         self.short_circuit = (
             short_circuit and mode == "transitive" and not tuple(cannot_link)
         )
-        self.must_link = tuple(sorted({tuple(sorted(p)) for p in must_link}))
         self.cannot_link = tuple(sorted({tuple(sorted(p)) for p in cannot_link}))
         self._lock = threading.RLock()
         self._records = {}
@@ -191,9 +224,21 @@ class ResolutionStore:
         self._uf = UnionFind()
         self._decisions = []
         self._compared = set()
+        self._must_pairs = set()
+        self._must_by_member = {}
+        self._committed = set()
+        self._inflight = 0
         self.engine_calls = 0
         self.short_circuited = 0
+        for a, b in must_link:
+            self._apply_must_link(a, b)
         self._journal = None
+        #: extra header fields a wrapper pins into the journal (e.g. the
+        #: sharded store's shard number/count); validated on recovery.
+        self._journal_meta = dict(journal_meta or {})
+        #: global journal sequence of the first entry the current writer
+        #: will append (bumped by recovery replay and compaction).
+        self._seq_at_open = 0
         if journal is not None:
             from repro.faults.journal import JournalWriter
 
@@ -204,7 +249,13 @@ class ResolutionStore:
                     f"ResolutionStore.recover() instead"
                 )
             self._journal = JournalWriter(
-                path, header={"kind": "resolve", "mode": mode}
+                path,
+                header={
+                    "kind": "resolve",
+                    "mode": mode,
+                    "index": type(self._index).__name__,
+                    **self._journal_meta,
+                },
             )
 
     def __len__(self) -> int:
@@ -234,6 +285,61 @@ class ResolutionStore:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # ------------------------------------------------------------ constraints
+
+    def _apply_must_link(self, a: str, b: str) -> bool:
+        """Register a must-link pair; union it if both sides are present.
+
+        Returns False when the pair was already known.  The lock is
+        reentrant, so callers already inside it can use this directly.
+        """
+        if a == b:
+            raise ValueError(f"must-link pair of {a!r} with itself")
+        pair = (a, b) if a < b else (b, a)
+        with self._lock:
+            if pair in self._must_pairs:
+                return False
+            self._must_pairs.add(pair)
+            self._must_by_member.setdefault(pair[0], []).append(pair[1])
+            self._must_by_member.setdefault(pair[1], []).append(pair[0])
+            if pair[0] in self._records and pair[1] in self._records:
+                self._uf.union(pair[0], pair[1])
+        return True
+
+    def add_must_link(self, a: str, b: str) -> bool:
+        """Add one must-link constraint at runtime (journaled, idempotent).
+
+        This is the delivery edge of cross-shard merge routing: a match
+        decided in one shard arrives at every sibling shard holding both
+        records as a must-link, merging them there without another
+        engine call.  Returns False (and journals nothing) when the pair
+        was already constrained.
+        """
+        with self._lock:
+            fresh = self._apply_must_link(a, b)
+        if fresh and self._journal is not None:
+            pair = (a, b) if a < b else (b, a)
+            self._journal.append(
+                {"type": "must_link", "left": pair[0], "right": pair[1]}
+            )
+        return fresh
+
+    @property
+    def must_link(self) -> tuple:
+        """Every must-link constraint (constructor plus runtime), sorted."""
+        with self._lock:
+            return tuple(sorted(self._must_pairs))
+
+    def known_pairs(self) -> set:
+        """Canonical pairs this store has decided or been constrained on.
+
+        Delivering a must-link for any of these is a guaranteed no-op;
+        sharded re-drain uses this to deliver only the connectivity a
+        shard is actually missing.
+        """
+        with self._lock:
+            return self._must_pairs | self._compared
+
     # -------------------------------------------------------------- ingestion
 
     def ingest(self, record: Record) -> IngestResult:
@@ -248,35 +354,42 @@ class ResolutionStore:
                 raise ValueError(
                     f"record {record.record_id!r} already ingested"
                 )
+            self._inflight += 1
             self._records[record.record_id] = record
             self._index.add(record.record_id, record.description)
             self._uf.add(record.record_id)
-            for a, b in self.must_link:
-                if a in self._records and b in self._records:
-                    self._uf.union(a, b)
-        if self._journal is not None:
-            # Write-ahead: the record is acknowledged before any of its
-            # comparisons run, so a crash mid-comparison leaves it
-            # journaled-but-uncommitted and ``recover`` finishes it.
-            self._journal.append(
-                {
-                    "type": "record",
-                    "record_id": record.record_id,
-                    "description": record.description,
-                    "attributes": dict(record.attributes),
-                }
-            )
-        candidates, calls, skipped = self._decide_candidates(record)
-        if self._journal is not None:
-            self._journal.append(
-                {
-                    "type": "commit",
-                    "record_id": record.record_id,
-                    "candidates": candidates,
-                    "engine_calls": calls,
-                    "short_circuited": skipped,
-                }
-            )
+            for partner in self._must_by_member.get(record.record_id, ()):
+                if partner in self._records:
+                    self._uf.union(record.record_id, partner)
+        try:
+            if self._journal is not None:
+                # Write-ahead: the record is acknowledged before any of its
+                # comparisons run, so a crash mid-comparison leaves it
+                # journaled-but-uncommitted and ``recover`` finishes it.
+                self._journal.append(
+                    {
+                        "type": "record",
+                        "record_id": record.record_id,
+                        "description": record.description,
+                        "attributes": dict(record.attributes),
+                    }
+                )
+            candidates, calls, skipped, merges = self._decide_candidates(record)
+            if self._journal is not None:
+                self._journal.append(
+                    {
+                        "type": "commit",
+                        "record_id": record.record_id,
+                        "candidates": candidates,
+                        "engine_calls": calls,
+                        "short_circuited": skipped,
+                    }
+                )
+            with self._lock:
+                self._committed.add(record.record_id)
+        finally:
+            with self._lock:
+                self._inflight -= 1
         cluster = self._cluster_of(record.record_id)
         return IngestResult(
             record_id=record.record_id,
@@ -285,20 +398,26 @@ class ResolutionStore:
             short_circuited=skipped,
             cluster_id=cluster[0],
             cluster_size=len(cluster),
+            merges=tuple(merges),
         )
 
-    def _decide_candidates(self, record: Record) -> tuple[int, int, int]:
+    def _decide_candidates(
+        self, record: Record
+    ) -> tuple[int, int, int, list]:
         """Block *record* and decide its pending pairs until none remain.
 
-        Returns ``(candidates, engine_calls, short_circuited)`` for this
-        record.  Shared by :meth:`ingest` and crash recovery: pairs whose
-        decisions are already journaled sit in ``_compared`` and are never
-        re-asked, so finishing an uncommitted record after a crash decides
-        exactly the pairs the interrupted run had not yet acknowledged.
+        Returns ``(candidates, engine_calls, short_circuited, merges)``
+        for this record, where ``merges`` lists the canonical pairs
+        decided as matches.  Shared by :meth:`ingest` and crash recovery:
+        pairs whose decisions are already journaled sit in ``_compared``
+        and are never re-asked, so finishing an uncommitted record after
+        a crash decides exactly the pairs the interrupted run had not yet
+        acknowledged.
         """
         candidates = 0
         calls = 0
         skipped = 0
+        merges: list[tuple[str, str]] = []
         while True:
             with self._lock:
                 #: (other id, prompt-left desc, prompt-right desc) —
@@ -368,13 +487,149 @@ class ResolutionStore:
                 self.engine_calls += len(results)
                 for other, decision in decided:
                     self._decisions.append(decision)
-                    if self.mode == "transitive" and decision.match:
-                        self._uf.union(record.record_id, other)
-        return candidates, calls, skipped
+                    if decision.match:
+                        merges.append(decision.key)
+                        if self.mode == "transitive":
+                            self._uf.union(record.record_id, other)
+        return candidates, calls, skipped, merges
 
     def ingest_all(self, records: Sequence[Record]) -> list[IngestResult]:
         """Ingest records in order (a convenience over repeated ``ingest``)."""
         return [self.ingest(record) for record in records]
+
+    # ------------------------------------------------------------- durability
+
+    def journal_seq(self) -> int:
+        """Global journal sequence: entries acknowledged since journal birth.
+
+        Monotonic across compactions (a compacted journal's header
+        carries the sequence it starts at as ``basis``).  Zero for a
+        store without a journal.
+        """
+        journal = self._journal
+        if journal is None:
+            return self._seq_at_open
+        return self._seq_at_open + journal.entries
+
+    def snapshot(self, path: str | Path | None = None) -> Path:
+        """Checkpoint live state at the current journal sequence.
+
+        The store must be journaled and quiescent (no ingest in flight):
+        the snapshot's ``seq`` claims to cover exactly the journal prefix
+        ``[0, seq)``, which only holds when no acknowledged-but-unapplied
+        (or applied-but-unacknowledged) work exists.  Returns the path
+        written.  See :mod:`repro.resolve.snapshot` for the format.
+        """
+        with self._lock:
+            if self._journal is None:
+                raise ValueError("snapshot requires a journaled store")
+            if self._inflight:
+                raise ValueError(
+                    "snapshot requires a quiescent store "
+                    f"({self._inflight} ingest(s) in flight)"
+                )
+            doc = self._snapshot_doc()
+            target = (
+                Path(path) if path is not None
+                else snapshot_path_for(self._journal.path)
+            )
+        # The document is an immutable copy: writing it outside the lock
+        # keeps file I/O off the store's critical section.
+        return write_snapshot_doc(target, doc)
+
+    def _snapshot_doc(self) -> dict:
+        """JSON-ready live state (store quiescent; lock is reentrant)."""
+        with self._lock:
+            index_state = None
+            state_of = getattr(self._index, "snapshot_state", None)
+            if callable(state_of):
+                index_state = state_of()
+            return {
+                "kind": "resolve-snapshot",
+                "version": SNAPSHOT_VERSION,
+                "mode": self.mode,
+                "seq": self.journal_seq(),
+                "records": [
+                    {
+                        "record_id": record.record_id,
+                        "description": record.description,
+                        "attributes": dict(record.attributes),
+                        "committed": record.record_id in self._committed,
+                    }
+                    for record in self._records.values()
+                ],
+                "decisions": [
+                    {
+                        "left": d.left,
+                        "right": d.right,
+                        "match": d.match,
+                        "score": d.score,
+                        "source": d.source,
+                    }
+                    for d in self._decisions
+                ],
+                "must_link": [list(pair) for pair in sorted(self._must_pairs)],
+                "cannot_link": [list(pair) for pair in self.cannot_link],
+                # Materialized partition: restore loads this directly
+                # instead of replaying one union per positive decision.
+                "components": self._uf.snapshot_state(),
+                "engine_calls": self.engine_calls,
+                "short_circuited": self.short_circuited,
+                "index": {
+                    "class": type(self._index).__name__,
+                    "state": index_state,
+                },
+            }
+
+    def compact(self) -> Path:
+        """Snapshot, then swap the journal for a suffix-only file.
+
+        After compaction the journal on disk contains only entries past
+        the snapshot (none, immediately after), with ``"basis"`` in its
+        header recording the global sequence it starts at — so recovery
+        cost is O(live state + suffix) no matter how long the store has
+        been running.  Crash-safe at every step: the snapshot write is
+        atomic, and the journal swap is a single ``os.replace`` (a crash
+        in between leaves the old full journal, which recovery handles
+        by skipping the first ``seq - basis`` entries).
+
+        Like :meth:`snapshot`, requires a quiescent store; concurrent
+        ingestion must be externally paused across the call.
+        """
+        import json as _json
+        import os as _os
+
+        from repro.faults.journal import JOURNAL_VERSION, JournalWriter, fsync_dir
+
+        snapshot_path = self.snapshot()
+        with self._lock:
+            if self._journal is None:  # pragma: no cover — snapshot checked
+                raise ValueError("compact requires a journaled store")
+            seq = self.journal_seq()
+            journal_path = self._journal.path
+            index_name = type(self._index).__name__
+            self._journal.close()
+            self._journal = None
+        header = {
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "kind": "resolve",
+            "mode": self.mode,
+            "index": index_name,
+            "basis": seq,
+            **self._journal_meta,
+        }
+        tmp = journal_path.with_name(journal_path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(header, sort_keys=True, ensure_ascii=True) + "\n")
+            handle.flush()
+            _os.fsync(handle.fileno())
+        _os.replace(tmp, journal_path)
+        fsync_dir(journal_path.parent)
+        with self._lock:
+            self._journal = JournalWriter(journal_path)
+            self._seq_at_open = seq
+        return snapshot_path
 
     # --------------------------------------------------------------- recovery
 
@@ -387,39 +642,226 @@ class ResolutionStore:
     ) -> "ResolutionStore":
         """Rebuild a journaled store after a crash and finish in-flight work.
 
-        Replays every acknowledged record and decision from the journal at
-        *path* (dropping a torn final line and truncating it from the
-        file), re-derives the union-find / candidate index / compared-pair
-        state, then re-runs the comparison loop for any record whose
-        ``commit`` entry never made it to disk.  Journaled pairs are never
-        re-asked, so the recovered store — and the continued run — is
-        byte-identical to one that was never interrupted (decision sources
-        are cache-normalized for exactly this reason).  The returned store
-        keeps journaling to the same file.
+        Loads the sibling snapshot when one exists (see :meth:`snapshot`)
+        and replays only the journal suffix past it; otherwise replays
+        the full journal.  Either way a torn final line is dropped and
+        truncated from the file, the union-find / candidate index /
+        compared-pair state is re-derived, and the comparison loop re-runs
+        for any record whose ``commit`` entry never made it to disk.
+        Journaled pairs are never re-asked, so the recovered store — and
+        the continued run — is byte-identical to one that was never
+        interrupted (decision sources are cache-normalized for exactly
+        this reason).  The returned store keeps journaling to the same
+        file.
+
+        A journal whose header's configuration (kind, mode, index class,
+        or any ``journal_meta`` field) does not match the resuming store
+        raises a structured :class:`~repro.faults.journal.JournalError`
+        carrying the offending path and line number.  A journal with no
+        acknowledged header — the process died between creating the file
+        and fsyncing the header — recovers as an *empty* store, not a
+        corrupt one.
         """
-        from repro.faults.journal import read_journal, repair
+        from repro.faults.journal import (
+            JournalError,
+            journal_header,
+            read_journal,
+            repair,
+        )
 
         path = Path(path)
         mode = str(kwargs.get("mode", "transitive"))
-        entries, _ = read_journal(path, expect={"kind": "resolve", "mode": mode})
+        meta = dict(kwargs.get("journal_meta") or {})  # type: ignore[call-overload]
+        snap_path = snapshot_path_for(path)
+        state = load_snapshot(snap_path, mode=mode) if snap_path.exists() else None
+
+        raw = path.read_bytes()
+        if not raw or b"\n" not in raw:
+            # Torn header: the journal never acknowledged anything.
+            if state is not None:
+                raise JournalError(
+                    f"{path}: journal has no header but a snapshot exists "
+                    f"at {snap_path} (journal file was lost or replaced)",
+                    path=path,
+                    lineno=1,
+                )
+            repair(path)
+            return cls(engine, journal=path, _recovering=True, **kwargs)  # type: ignore[arg-type]
+
+        expect = {"kind": "resolve", "mode": mode, **meta}
+        entries, _ = read_journal(path, expect=expect)
         repair(path)
+        header = journal_header(path)
+        basis = header.get("basis", 0)
+        if not isinstance(basis, int) or basis < 0:
+            raise JournalError(
+                f"{path}: journal header basis {basis!r} is not a "
+                f"non-negative integer",
+                path=path,
+                lineno=1,
+            )
         store = cls(engine, journal=path, _recovering=True, **kwargs)  # type: ignore[arg-type]
+        recovered = False
         try:
-            pending = store._replay(path, entries)
+            index_cls = type(store._index).__name__
+            if "index" in header and header["index"] != index_cls:
+                raise JournalError(
+                    f"{path}: journal was written through index "
+                    f"{header['index']!r} but the resuming store is "
+                    f"configured with {index_cls!r}",
+                    path=path,
+                    lineno=1,
+                )
+            skip = 0
+            pending_snapshot: list[Record] = []
+            if state is not None:
+                if basis > state["seq"]:
+                    raise JournalError(
+                        f"{path}: journal basis {basis} is past the snapshot "
+                        f"sequence {state['seq']} — entries are missing",
+                        path=path,
+                        lineno=1,
+                    )
+                skip = state["seq"] - basis
+                if skip > len(entries):
+                    raise JournalError(
+                        f"{path}: snapshot covers sequence {state['seq']} but "
+                        f"the journal only holds {basis + len(entries)} "
+                        f"entries",
+                        path=path,
+                        lineno=1,
+                    )
+                pending_snapshot = store._restore_snapshot(snap_path, state)
+            pending = store._replay(path, entries[skip:], pending_snapshot)
+            store._seq_at_open = basis + len(entries)
             for record in pending:
                 store._finish(record)
-        except BaseException:
-            store.close()
-            raise
+            recovered = True
+        finally:
+            if not recovered:
+                store.close()
         return store
 
-    def _replay(self, path: Path, entries: list[dict]) -> list[Record]:
-        """Apply journal *entries*; returns uncommitted records, in order."""
+    def _restore_snapshot(self, path: Path, state: dict) -> list[Record]:
+        """Load a validated snapshot document; returns uncommitted records."""
+        from repro.faults.journal import JournalError
+
+        index_meta = state.get("index") or {}
+        with self._lock:
+            index_cls = type(self._index).__name__
+        if index_meta.get("class") != index_cls:
+            raise JournalError(
+                f"{path}: snapshot was taken through index "
+                f"{index_meta.get('class')!r} but the resuming store is "
+                f"configured with {index_cls!r}",
+                path=path,
+                lineno=1,
+            )
+        snapshot_cannot = tuple(
+            tuple(pair) for pair in state.get("cannot_link", [])
+        )
+        if snapshot_cannot != self.cannot_link:
+            raise JournalError(
+                f"{path}: snapshot cannot-link constraints "
+                f"{snapshot_cannot!r} do not match the resuming store's "
+                f"{self.cannot_link!r}",
+                path=path,
+                lineno=1,
+            )
+        records = [
+            Record(
+                record_id=str(entry["record_id"]),
+                attributes=dict(entry.get("attributes") or {}),
+                description=str(entry["description"]),
+            )
+            for entry in state["records"]
+        ]
+        committed = {
+            str(entry["record_id"])
+            for entry in state["records"]
+            if entry.get("committed", True)
+        }
+        decisions = []
+        decision_keys = []
+        # Field types are trusted as-is: the document was serialized by
+        # _snapshot_doc from already-validated decisions, and json round-
+        # trips str/bool/float unchanged.
+        for entry in state["decisions"]:
+            left = entry["left"]
+            right = entry["right"]
+            decisions.append(
+                PairDecision.trusted(
+                    left, right, entry["match"], entry["score"],
+                    entry["source"],
+                )
+            )
+            decision_keys.append(
+                (left, right) if left <= right else (right, left)
+            )
+        index_state = index_meta.get("state")
+        components = state.get("components")
+        with self._lock:
+            for record in records:
+                self._records[record.record_id] = record
+            restore = getattr(self._index, "restore_state", None)
+            if index_state is not None and callable(restore):
+                restore(index_state)
+            else:
+                # No serialized index state: rebuild it by re-indexing
+                # every record in insertion order (same end state, pays
+                # tokenization/hashing again).
+                for record in records:
+                    self._index.add(record.record_id, record.description)
+            if components is not None:
+                # Materialized partition: load it flat and register the
+                # must-link bookkeeping without re-running a union per
+                # pair — connectivity is already in the components.
+                self._uf.restore_state(components)
+                for entry in state.get("must_link", []):
+                    a, b = str(entry[0]), str(entry[1])
+                    pair = (a, b) if a < b else (b, a)
+                    if pair in self._must_pairs:
+                        continue
+                    self._must_pairs.add(pair)
+                    self._must_by_member.setdefault(pair[0], []).append(pair[1])
+                    self._must_by_member.setdefault(pair[1], []).append(pair[0])
+                self._decisions.extend(decisions)
+                self._compared.update(decision_keys)
+            else:
+                # Pre-components snapshot: re-derive the partition by
+                # replaying unions the way journal replay would.
+                for record in records:
+                    self._uf.add(record.record_id)
+                for pair in state.get("must_link", []):
+                    self._apply_must_link(str(pair[0]), str(pair[1]))
+                for decision in decisions:
+                    self._decisions.append(decision)
+                    self._compared.add(decision.key)
+                    if self.mode == "transitive" and decision.match:
+                        self._uf.union(decision.left, decision.right)
+            self._committed |= committed
+            self.engine_calls = int(state.get("engine_calls", len(decisions)))
+            self.short_circuited = int(state.get("short_circuited", 0))
+        return [r for r in records if r.record_id not in committed]
+
+    def _replay(
+        self,
+        path: Path,
+        entries: list[dict],
+        pending: Sequence[Record] = (),
+    ) -> list[Record]:
+        """Apply journal *entries* on top of any restored snapshot state.
+
+        *pending* carries snapshot-era uncommitted records; the combined
+        (insertion-ordered) list of records still lacking a ``commit``
+        entry is returned for :meth:`_finish`.
+        """
         from repro.faults.journal import JournalError
 
         records: list[Record] = []
         committed: set[str] = set()
         decisions: list[PairDecision] = []
+        must_pairs: list[tuple[str, str]] = []
         skipped = 0
         for entry in entries:
             kind = entry.get("type")
@@ -444,30 +886,39 @@ class ResolutionStore:
             elif kind == "commit":
                 committed.add(str(entry["record_id"]))
                 skipped += int(entry.get("short_circuited", 0))
+            elif kind == "must_link":
+                must_pairs.append((str(entry["left"]), str(entry["right"])))
             else:
                 raise JournalError(
-                    f"{path}: unknown journal entry type {kind!r}"
+                    f"{path}: unknown journal entry type {kind!r}",
+                    path=path,
                 )
         with self._lock:
             for record in records:
                 if record.record_id in self._records:
                     raise JournalError(
-                        f"{path}: record {record.record_id!r} journaled twice"
+                        f"{path}: record {record.record_id!r} journaled twice",
+                        path=path,
                     )
                 self._records[record.record_id] = record
                 self._index.add(record.record_id, record.description)
                 self._uf.add(record.record_id)
-            for a, b in self.must_link:
-                if a in self._records and b in self._records:
-                    self._uf.union(a, b)
+                for partner in self._must_by_member.get(record.record_id, ()):
+                    if partner in self._records:
+                        self._uf.union(record.record_id, partner)
+            for a, b in must_pairs:
+                self._apply_must_link(a, b)
             for decision in decisions:
                 self._decisions.append(decision)
                 self._compared.add(decision.key)
                 if self.mode == "transitive" and decision.match:
                     self._uf.union(decision.left, decision.right)
-            self.engine_calls = len(decisions)
-            self.short_circuited = skipped
-        return [r for r in records if r.record_id not in committed]
+            self.engine_calls += len(decisions)
+            self.short_circuited += skipped
+            self._committed |= committed
+        return [
+            r for r in (*pending, *records) if r.record_id not in committed
+        ]
 
     def _finish(self, record: Record) -> None:
         """Complete one journaled-but-uncommitted record after recovery.
@@ -477,7 +928,7 @@ class ResolutionStore:
         re-skipped here, so the store-level totals still match an
         uninterrupted run's.
         """
-        candidates, calls, skipped = self._decide_candidates(record)
+        candidates, calls, skipped, _ = self._decide_candidates(record)
         if self._journal is not None:
             self._journal.append(
                 {
@@ -488,6 +939,8 @@ class ResolutionStore:
                     "short_circuited": skipped,
                 }
             )
+        with self._lock:
+            self._committed.add(record.record_id)
 
     # --------------------------------------------------------------- read-outs
 
@@ -540,6 +993,16 @@ class ResolutionStore:
         """Every engine decision so far, in canonical sorted order."""
         with self._lock:
             return tuple(sorted(self._decisions, key=lambda d: (d.key, d.source)))
+
+    def decision_log(self) -> tuple[PairDecision, ...]:
+        """Every engine decision so far, in append (journal) order.
+
+        The log order is itself deterministic for a given journal, and
+        skipping the canonical sort makes this the cheap accessor for
+        bulk consumers (sharded re-drain walks every shard's history).
+        """
+        with self._lock:
+            return tuple(self._decisions)
 
     def records(self) -> tuple[Record, ...]:
         """Ingested records, sorted by record id."""

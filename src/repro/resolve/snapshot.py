@@ -1,0 +1,134 @@
+"""Snapshot/compaction format for journal-backed resolution stores.
+
+A journal replays *history*; a snapshot checkpoints *live state*.  The
+two compose: a snapshot taken at journal sequence ``seq`` captures the
+exact effect of journal entries ``[0, seq)`` — records, decisions,
+constraints, counters, and (optionally) serialized candidate-index
+state — so recovery loads the snapshot and replays only the journal
+suffix past ``seq``.  :meth:`~repro.resolve.incremental.ResolutionStore
+.compact` then swaps the journal for a fresh file whose header carries
+``"basis": seq``, so the on-disk journal itself stays O(suffix): the
+recovery path never touches retired history again.
+
+Format (one JSON document, written atomically — temp file, fsync,
+rename, directory fsync — so a crash mid-write leaves the previous
+snapshot intact)::
+
+    {"kind": "resolve-snapshot", "version": 1, "mode": "transitive",
+     "seq": 1234,
+     "records": [{"record_id": ..., "description": ..., "attributes":
+                  ..., "committed": true}, ...],      # insertion order
+     "decisions": [{"left": ..., "right": ..., "match": ..., "score":
+                    ..., "source": ...}, ...],         # log order
+     "must_link": [["a", "b"], ...],                   # full current set
+     "cannot_link": [["a", "b"], ...],
+     "engine_calls": 57, "short_circuited": 3,
+     "index": {"class": "TokenCandidateIndex", "state": {...} | null}}
+
+Candidate indexes may implement ``snapshot_state() -> dict`` /
+``restore_state(state)`` (both :class:`~repro.resolve.incremental
+.TokenCandidateIndex` and :class:`~repro.index.MinHashCandidateIndex`
+do); an index without them is rebuilt by re-adding every record in
+insertion order, which is correct but pays tokenization/hashing again.
+
+Consistency: a snapshot may only be taken of a *quiescent* store (no
+ingest in flight) — the store enforces this — because ``seq`` must name
+a prefix whose effects are exactly the captured state.  Mid-ingest, a
+record can be journaled but not yet decided, which is representable
+(``committed: false``) — but a decision could be applied in memory and
+not yet journaled, which is not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "load_snapshot",
+    "snapshot_path_for",
+    "write_snapshot_doc",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_path_for(journal_path: str | Path) -> Path:
+    """Canonical sibling path a journal's snapshot lives at."""
+    journal_path = Path(journal_path)
+    return journal_path.with_name(journal_path.name + ".snapshot")
+
+
+def write_snapshot_doc(path: str | Path, doc: dict) -> Path:
+    """Atomically persist one snapshot document.
+
+    Write-to-temp + fsync + rename + directory fsync: at every instant
+    the snapshot path either holds the previous complete snapshot or the
+    new one, never a torn mix — so snapshot writing needs no repair
+    protocol of its own.
+    """
+    from repro.faults.journal import fsync_dir
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    payload = json.dumps(doc, sort_keys=True, ensure_ascii=True)
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+    return path
+
+
+def load_snapshot(path: str | Path, mode: str) -> dict:
+    """Parse and validate one snapshot document.
+
+    Raises :class:`~repro.faults.journal.JournalError` (path attached)
+    when the document is not a snapshot, has an unsupported version, or
+    was taken from a store in a different ``mode`` — the same structured
+    failure shape journal header mismatches produce.
+    """
+    from repro.faults.journal import JournalError
+
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("snapshot is not an object")
+    except ValueError:
+        raise JournalError(
+            f"{path}: snapshot is not a valid JSON document", path=path, lineno=1
+        ) from None
+    if doc.get("kind") != "resolve-snapshot":
+        raise JournalError(
+            f"{path}: not a resolution snapshot "
+            f"(kind={doc.get('kind')!r})",
+            path=path,
+            lineno=1,
+        )
+    version = doc.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise JournalError(
+            f"{path}: unsupported snapshot version {version!r} "
+            f"(expected {SNAPSHOT_VERSION})",
+            path=path,
+            lineno=1,
+        )
+    if doc.get("mode") != mode:
+        raise JournalError(
+            f"{path}: snapshot mode {doc.get('mode')!r} does not match the "
+            f"recovering store (mode={mode!r})",
+            path=path,
+            lineno=1,
+        )
+    seq = doc.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        raise JournalError(
+            f"{path}: snapshot seq {seq!r} is not a non-negative integer",
+            path=path,
+            lineno=1,
+        )
+    return doc

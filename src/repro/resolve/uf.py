@@ -128,6 +128,41 @@ class UnionFind:
         """Every element → its canonical (min-member) component id."""
         return {element: self.find(element) for element in self._parent}
 
+    # ----------------------------------------------------------- persistence
+
+    def snapshot_state(self) -> list[list[str]]:
+        """Canonical JSON-safe dump: components as sorted member lists.
+
+        The dump is a pure function of the partition (not of the union
+        call order), so two stores holding the same components serialize
+        identically.
+        """
+        return [list(component) for component in self.components()]
+
+    def restore_state(self, components: Iterable[Iterable[str]]) -> None:
+        """Replace the partition with a :meth:`snapshot_state` dump.
+
+        The restored forest is flat — every member points directly at
+        the component's canonical (min-member) id — which reproduces the
+        partition and every public read-out in O(elements) without
+        replaying a single union.  Internal tree shape differs from the
+        forest that produced the dump, but tree shape was never
+        observable through the public surface.
+        """
+        self._parent.clear()
+        self._rank.clear()
+        self._min_member.clear()
+        for members in components:
+            group = [str(member) for member in members]
+            if not group:
+                continue
+            cid = min(group)
+            for member in group:
+                self._parent[member] = cid
+                self._rank[member] = 0
+            self._rank[cid] = 1 if len(group) > 1 else 0
+            self._min_member[cid] = cid
+
     def copy(self) -> "UnionFind":
         """Independent copy (components and determinism preserved)."""
         clone = UnionFind()

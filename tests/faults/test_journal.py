@@ -8,6 +8,8 @@ from repro.faults import (
     JOURNAL_VERSION,
     JournalError,
     JournalWriter,
+    fsync_dir,
+    journal_header,
     read_journal,
     repair,
 )
@@ -139,3 +141,96 @@ class TestRepair:
         records, torn = read_journal(path)
         assert not torn
         assert [r["n"] for r in records] == [1, 3]
+
+
+class TestTornHeader:
+    """The crash windows between ``open()`` and the header fsync."""
+
+    def test_empty_file_parses_as_blank_when_allowed(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b"")
+        assert read_journal(path, allow_blank=True) == ([], False)
+
+    def test_header_without_newline_parses_as_blank_when_allowed(
+        self, tmp_path
+    ):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"type": "header", "version": 1}')  # no newline
+        records, torn = read_journal(path, allow_blank=True)
+        assert records == [] and torn is True
+
+    def test_repair_truncates_a_torn_header_to_empty(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"type": "header", "ver')
+        assert repair(path) is True
+        assert path.read_bytes() == b""
+
+    def test_writer_reinitializes_a_repaired_blank_journal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"type": "header", "ver')
+        repair(path)
+        write_entries(path, {"type": "work", "n": 1})
+        records, torn = read_journal(path, expect={"kind": "test"})
+        assert not torn
+        assert [r["n"] for r in records] == [1]
+
+
+class TestStructuredErrors:
+    """JournalError carries the offending path and line number."""
+
+    def test_header_mismatch_points_at_line_one(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, header={"kind": "resolve"})
+        with pytest.raises(JournalError) as excinfo:
+            read_journal(path, expect={"kind": "eval"})
+        assert excinfo.value.path == path
+        assert excinfo.value.lineno == 1
+
+    def test_midfile_corruption_points_at_its_line(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(path, {"type": "work", "n": 1})
+        with open(path, "ab") as handle:
+            handle.write(b"@@garbage@@\n")
+        write_entries(path, {"type": "work", "n": 2})
+        with pytest.raises(JournalError) as excinfo:
+            read_journal(path)
+        assert excinfo.value.path == path
+        assert excinfo.value.lineno == 3  # header, entry, then the garbage
+
+    def test_error_without_location_has_none_fields(self):
+        error = JournalError("boom")
+        assert error.path is None and error.lineno is None
+
+
+class TestHeaderAccess:
+    def test_journal_header_returns_parsed_header(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        write_entries(
+            path, {"type": "work"}, header={"kind": "resolve", "basis": 7}
+        )
+        header = journal_header(path)
+        assert header["kind"] == "resolve"
+        assert header["basis"] == 7
+
+    def test_journal_header_rejects_torn_first_line(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_bytes(b'{"type": "header"')
+        with pytest.raises(JournalError, match="not a header"):
+            journal_header(path)
+
+    def test_journal_header_rejects_non_header_first_line(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"type": "work"}\n')
+        with pytest.raises(JournalError, match="not a header"):
+            journal_header(path)
+
+
+class TestDirectoryDurability:
+    def test_fsync_dir_flushes_an_existing_directory(self, tmp_path):
+        # Behavioural floor: callable on a real directory without error
+        # (the fsync itself is only observable under crash injection).
+        fsync_dir(tmp_path)
+
+    def test_fsync_dir_rejects_a_missing_directory(self, tmp_path):
+        with pytest.raises(OSError):
+            fsync_dir(tmp_path / "nope")

@@ -256,3 +256,72 @@ class TestAnalysisInternals:
         )
         assert table.shutdown_order_of("pkg.mod.Child") == ("_a", "_b")
         assert table.shutdown_order_of("pkg.mod.Base") == ("_a", "_b")
+
+
+class TestContainerElementStores:
+    """``self.attr[i] = resource`` transfers ownership to the attribute."""
+
+    POOL = """
+        from repro.concurrency import shutdown_order
+
+
+        class Pool:
+            __shutdown_order__ = shutdown_order("_handles")
+
+            def __init__(self):
+                self._handles = [None]
+
+            def swap(self, path):
+                handle = open(path)
+                self._handles[0] = handle
+
+            def close(self):
+                for handle in self._handles:
+                    handle.close()
+        """
+
+    def test_element_store_into_owned_attr_is_clean(self):
+        analysis = analyze(self.POOL)
+        assert analysis.leaks == []
+
+    def test_element_store_into_undeclared_attr_flagged(self):
+        analysis = analyze(
+            """
+            class Pool:
+                def __init__(self):
+                    self._handles = [None]
+
+                def swap(self, path):
+                    handle = open(path)
+                    self._handles[0] = handle
+            """
+        )
+        assert any(
+            leak.how == "unowned self store"
+            and leak.name == "self._handles"
+            for leak in analysis.leaks
+        )
+
+    def test_direct_element_store_of_fresh_resource_is_clean(self):
+        # No intermediate binding: the acquisition lands straight in the
+        # owned container.
+        analysis = analyze(
+            """
+            from repro.concurrency import shutdown_order
+
+
+            class Pool:
+                __shutdown_order__ = shutdown_order("_handles")
+
+                def __init__(self):
+                    self._handles = [None]
+
+                def swap(self, path):
+                    self._handles[0] = open(path)
+
+                def close(self):
+                    for handle in self._handles:
+                        handle.close()
+            """
+        )
+        assert analysis.leaks == []
